@@ -1,0 +1,49 @@
+"""E-F1 / E-F2 — Figure 1 and Theorem 3.7: counting instances and the
+succinctness gap between inverse-role and inverse-free query families.
+
+Reproduces the *shape* of the succinctness result: the (ALCI, UCQ) family
+detecting "path length ≥ k" stays polynomial in k while the inverse-free
+family must spell out the whole path, and the counting instances of Figure 1
+grow linearly.
+"""
+
+import pytest
+
+from repro.workloads.counting import (
+    alci_length_query,
+    counting_instance,
+    inverse_free_length_query,
+    path_detection_cq,
+    succinctness_measurements,
+)
+
+
+def test_fig1_counting_instance_generation(benchmark):
+    instance = benchmark(lambda: counting_instance(64))
+    print(f"\n[E-F1] counting instance C_64: {len(instance)} facts, "
+          f"{len(instance.active_domain)} elements (Figure 1 shape)")
+    assert len(instance.active_domain) == 129
+
+
+def test_fig1_succinctness_gap(benchmark):
+    rows = benchmark(lambda: succinctness_measurements(8))
+    print("\n[E-F1] query-size growth (k, |ALCI query|, |inverse-free query|):")
+    for row in rows:
+        print(f"    k={row['k']:2d}   {row['alci_size']:5d}   {row['inverse_free_size']:5d}")
+    # Shape check: the inverse-free family grows strictly faster.
+    alci_delta = rows[-1]["alci_size"] - rows[0]["alci_size"]
+    plain_delta = rows[-1]["inverse_free_size"] - rows[0]["inverse_free_size"]
+    assert plain_delta > alci_delta
+
+
+@pytest.mark.parametrize("k", [1, 2, 3])
+def test_fig1_path_queries_detect_length(benchmark, k):
+    query = path_detection_cq(k)
+    long_instance = counting_instance(k + 1)
+    short_instance = counting_instance(max(k - 1, 0)) if k > 1 else None
+    result = benchmark(lambda: query.holds_in(long_instance))
+    assert result
+    if short_instance is not None:
+        assert not query.holds_in(short_instance)
+    assert alci_length_query(k).ontology.uses_inverse_roles()
+    assert not inverse_free_length_query(k).ontology.uses_inverse_roles()

@@ -1,0 +1,78 @@
+"""E-32 / E-41 — Propositions 3.2 and 4.1: coFPP ≡ Boolean MDDlog ≡ coMMSNP.
+
+Runs the translations in both directions on the 2-colourability query (the
+running example of Section 4) and checks three-way agreement on odd and even
+cycles, timing each translation.
+"""
+
+from repro.core import Fact, Instance
+from repro.datalog import evaluate_boolean
+from repro.fpp import ForbiddenPatternsProblem, colour_instance, make_palette
+from repro.mmsnp import Implication, MMSNPFormula, SchemaAtom, SOAtom, SOVariable
+from repro.core import RelationSymbol, Schema, Variable
+from repro.translations import (
+    csp_to_mddlog,
+    fpp_to_mddlog,
+    mddlog_to_fpp,
+    mddlog_to_mmsnp,
+    mmsnp_to_mddlog,
+)
+from repro.workloads.csp_zoo import clique_template, cycle_graph
+
+EDGE = RelationSymbol("edge", 2)
+
+
+def _two_colour_fpp() -> ForbiddenPatternsProblem:
+    palette = make_palette(2)
+    patterns = [
+        colour_instance(Instance([Fact(EDGE, ("u", "v"))]), palette, {"u": c, "v": c})
+        for c in palette
+    ]
+    return ForbiddenPatternsProblem(Schema([EDGE]), palette, patterns)
+
+
+def _two_colour_mmsnp() -> MMSNPFormula:
+    X = SOVariable("X")
+    u, v = Variable("u"), Variable("v")
+    return MMSNPFormula(
+        [X],
+        [
+            Implication((SchemaAtom(EDGE, (u, v)), SOAtom(X, (u,)), SOAtom(X, (v,))), ()),
+            Implication((SchemaAtom(EDGE, (u, v)),), (SOAtom(X, (u,)), SOAtom(X, (v,)))),
+        ],
+    )
+
+
+DATA = [cycle_graph(3), cycle_graph(4), cycle_graph(5)]
+
+
+def test_prop32_fpp_to_mddlog(benchmark):
+    problem = _two_colour_fpp()
+    program = benchmark(lambda: fpp_to_mddlog(problem))
+    answers = [evaluate_boolean(program, d) for d in DATA]
+    print(f"\n[E-32] coFPP -> MDDlog: |Π| = {program.size()}; answers on C3,C4,C5 = {answers}")
+    assert answers == [True, False, True]
+
+
+def test_prop32_mddlog_to_fpp(benchmark):
+    program = csp_to_mddlog(clique_template(2))
+    problem = benchmark(lambda: mddlog_to_fpp(program))
+    answers = [problem.co_fpp_query(d) for d in DATA]
+    print(f"\n[E-32] MDDlog -> coFPP: {len(problem.patterns)} patterns; answers = {answers}")
+    assert answers == [True, False, True]
+
+
+def test_prop41_mmsnp_to_mddlog(benchmark):
+    formula = _two_colour_mmsnp()
+    program = benchmark(lambda: mmsnp_to_mddlog(formula))
+    answers = [evaluate_boolean(program, d) for d in DATA]
+    print(f"\n[E-41] coMMSNP -> MDDlog: |Π| = {program.size()}; answers = {answers}")
+    assert answers == [True, False, True]
+
+
+def test_prop41_mddlog_to_mmsnp(benchmark):
+    program = csp_to_mddlog(clique_template(2))
+    formula = benchmark(lambda: mddlog_to_mmsnp(program))
+    answers = [not formula.holds(d) for d in DATA]
+    print(f"\n[E-41] MDDlog -> MMSNP: |Φ| = {formula.size()}; answers = {answers}")
+    assert answers == [True, False, True]

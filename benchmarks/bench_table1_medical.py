@@ -1,0 +1,40 @@
+"""E-T1 — Table I / Examples 2.1, 2.2: certain answers of the medical OMQ.
+
+Regenerates the paper's worked example: the certain answers to the bacterial
+infection UCQ and to the hereditary-predisposition AQ on the patient data,
+reporting the same answer sets the paper states and timing the engines.
+"""
+
+from repro.workloads.medical import (
+    example_2_1_omq,
+    example_2_2_q1_omq,
+    example_2_2_q2_omq,
+    family_instance,
+    patient_instance,
+)
+
+EXPECTED_2_1 = {("patient1",), ("patient2",)}
+
+
+def test_table1_certain_answers(benchmark):
+    omq = example_2_1_omq()
+    data = patient_instance()
+    answers = benchmark(lambda: omq.certain_answers(data))
+    print(f"\n[E-T1] Example 2.1 certain answers: {sorted(answers)} (paper: patient1, patient2)")
+    assert answers == EXPECTED_2_1
+
+
+def test_table1_q1_ucq_rewriting_shape(benchmark):
+    omq = example_2_2_q1_omq()
+    data = patient_instance()
+    answers = benchmark(lambda: omq.certain_answers(data))
+    print(f"\n[E-T1] Example 2.2 q1 answers: {sorted(answers)} (asserted findings only)")
+    assert answers == {("may7diag2",)}
+
+
+def test_table1_q2_recursive_query(benchmark):
+    omq = example_2_2_q2_omq()
+    data = family_instance(4, predisposed_root=True)
+    answers = benchmark(lambda: omq.certain_answers(data))
+    print(f"\n[E-T1] Example 2.2 q2 answers on a 5-generation chain: {len(answers)} ancestors")
+    assert len(answers) == 5

@@ -1,0 +1,76 @@
+"""E-317 / E-310 — Theorem 3.17 and Proposition 3.15: (GFO/GNFO, UCQ) versus
+frontier-guarded DDlog and MDDlog.
+
+Translates frontier-guarded DDlog programs into (GNFO, UCQ) queries and checks
+certain-answer agreement; evaluates the Proposition 3.15 guarded query on the
+separating instance families D1 (query true) and D0 (query false), which is
+the witness that (GFO, UCQ) exceeds MDDlog.
+"""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import Atom, var
+from repro.datalog import DisjunctiveDatalogProgram, Rule, evaluate, goal_atom
+from repro.fo import is_gfo, is_gnfo
+from repro.translations import frontier_ddlog_to_gnfo_omq, proposition_3_15_omq
+from repro.workloads.separations import gfo_d0, gfo_d1, gfo_query_holds
+
+EDGE = RelationSymbol("edge", 2)
+MARK = RelationSymbol("mark", 1)
+x, y = var("x"), var("y")
+
+
+def reachability_program() -> DisjunctiveDatalogProgram:
+    reach = RelationSymbol("Reach", 1)
+    return DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(reach, (x,)),), (Atom(MARK, (x,)),)),
+            Rule((Atom(reach, (x,)),), (Atom(EDGE, (x, y)), Atom(reach, (y,)))),
+            Rule((goal_atom(x),), (Atom(reach, (x,)),)),
+        ]
+    )
+
+
+def chain_instance(length: int) -> Instance:
+    facts = [Fact(EDGE, (f"n{i}", f"n{i + 1}")) for i in range(length)]
+    facts.append(Fact(MARK, (f"n{length}",)))
+    return Instance(facts)
+
+
+def test_thm317_frontier_ddlog_as_gnfo_omq(benchmark):
+    program = reachability_program()
+    omq = benchmark(lambda: frontier_ddlog_to_gnfo_omq(program))
+    gnfo_count = sum(is_gnfo(sentence) for sentence in omq.sentences)
+    data = chain_instance(3)
+    agreement = omq.certain_answers(data, extra_elements=0) == evaluate(program, data)
+    print(
+        f"\n[E-317] frontier-guarded DDlog -> (GNFO, UCQ): {len(omq.sentences)} "
+        f"sentences (GNFO: {gnfo_count}/{len(omq.sentences)}), certain-answer "
+        f"agreement on a 4-element chain: {agreement}"
+    )
+    assert agreement
+    assert gnfo_count == len(omq.sentences)
+
+
+def test_prop315_guarded_query_separation(benchmark):
+    omq = proposition_3_15_omq()
+    guarded = all(is_gfo(sentence) for sentence in omq.sentences)
+
+    def run():
+        rows = []
+        for n in (2, 3, 4, 5):
+            rows.append((n, gfo_query_holds(gfo_d1(n)), gfo_query_holds(gfo_d0(n))))
+        return rows
+
+    rows = benchmark(run)
+    print(
+        f"\n[E-310] Proposition 3.15 (GFO ontology: {guarded}) — query value on the "
+        "separating families (n, D1, D0):"
+    )
+    for n, on_d1, on_d0 in rows:
+        print(f"    n={n}:  D1 -> {int(on_d1)}   D0 -> {int(on_d0)}")
+    assert all(on_d1 and not on_d0 for _n, on_d1, on_d0 in rows)
+    # Cross-check the smallest family member against the bounded OMQ engine.
+    assert omq.is_certain(gfo_d1(2), (), extra_elements=0)
+    assert not omq.is_certain(gfo_d0(2), (), extra_elements=0)

@@ -1,0 +1,27 @@
+"""E-31 — Theorem 3.1: Πp2-hardness of MDDlog evaluation via the 2QBF reduction.
+
+Regenerates the reduction for a sweep of formula sizes and checks that the
+MDDlog evaluation agrees with brute-force 2QBF validity, timing the DDlog
+certain-answer evaluator on the reduced instances.
+"""
+
+import pytest
+
+from repro.datalog import evaluate_boolean
+from repro.workloads.qbf import qbf_instance, qbf_program, random_qbf
+
+
+@pytest.mark.parametrize("num_universals,num_clauses", [(1, 2), (2, 2), (2, 3)])
+def test_qbf_reduction_sweep(benchmark, num_universals, num_clauses):
+    qbf = random_qbf(num_universals, 2, num_clauses, seed=num_clauses)
+    program = qbf_program(qbf)
+    instance = qbf_instance(qbf)
+
+    result = benchmark(lambda: evaluate_boolean(program, instance))
+    expected = qbf.is_valid()
+    print(
+        f"\n[E-31] ∀{num_universals}∃2, {num_clauses} clauses: "
+        f"program size {program.size()}, instance size {len(instance)}, "
+        f"valid={expected}, MDDlog={result}"
+    )
+    assert result == expected

@@ -1,0 +1,45 @@
+"""E-35 — Theorems 3.5 / 3.6 / 3.8: succinctness of OMQs versus MDDlog.
+
+Measures the size of the constructive translations along parameterised query
+families: the forward (ALC, AQ) → MDDlog direction grows exponentially (the
+blow-up Theorem 3.5 proves unavoidable), the reverse MDDlog → (ALC, AQ)
+direction stays linear (Theorem 3.4 (2)), and the inverse-role elimination of
+Theorem 3.6 stays polynomial per axiom.
+"""
+
+import pytest
+
+from repro.obda import (
+    aq_to_mddlog_curve,
+    classify_growth,
+    inverse_elimination_curve,
+    mddlog_to_omq_curve,
+)
+
+
+def _print_curve(label, curve):
+    print(f"\n[E-35] {label} (parameter, source size, target size):")
+    for point in curve:
+        print(
+            f"    i={point.parameter:2d}   |source|={point.source_size:5d}   "
+            f"|target|={point.target_size:7d}"
+        )
+    print(f"    growth shape: {classify_growth(curve)}")
+
+
+def test_thm35_forward_translation_blowup(benchmark):
+    curve = benchmark(lambda: aq_to_mddlog_curve(range(1, 6)))
+    _print_curve("(ALC, AQ) -> MDDlog (Theorem 3.4 / 3.5)", curve)
+    assert classify_growth(curve) == "exponential"
+
+
+def test_thm35_reverse_translation_linear(benchmark):
+    curve = benchmark(lambda: mddlog_to_omq_curve(range(1, 10)))
+    _print_curve("MDDlog -> (ALC, AQ) (Theorem 3.4 (2))", curve)
+    assert classify_growth(curve) == "polynomial"
+
+
+def test_thm36_inverse_elimination_size(benchmark):
+    curve = benchmark(lambda: inverse_elimination_curve(range(1, 8)))
+    _print_curve("ALCI -> ALC ontology rewriting (Theorem 3.6)", curve)
+    assert classify_growth(curve) == "polynomial"

@@ -1,0 +1,144 @@
+"""E-42 / E-43 — Theorems 4.2 and 4.3: GMSNP, frontier-guarded DDlog, MMSNP2.
+
+Runs the translations GMSNP → frontier-guarded DDlog (and back) and
+MMSNP2 → GMSNP on the 2-colourability sentence and on a genuinely non-monadic
+edge-marking sentence, timing each construction and checking three-way
+agreement of the defined queries on directed cycles.
+"""
+
+import pytest
+
+from repro.core import Fact, Instance
+from repro.core.cq import var
+from repro.datalog import evaluate_boolean
+from repro.mmsnp import FactSOAtom, Implication, MMSNPFormula, SchemaAtom, SOAtom, SOVariable
+from repro.translations import (
+    frontier_ddlog_to_gmsnp,
+    gmsnp_to_frontier_ddlog,
+    mmsnp2_to_gmsnp,
+)
+from repro.workloads.csp_zoo import EDGE, cycle_graph
+
+x, y = var("x"), var("y")
+
+
+def two_colourability_sentence() -> MMSNPFormula:
+    colour = SOVariable("X", 1)
+    return MMSNPFormula(
+        [colour],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)), SOAtom(colour, (x,)), SOAtom(colour, (y,))),
+                (),
+            ),
+            Implication(
+                (SchemaAtom(EDGE, (x, y)),),
+                (SOAtom(colour, (x,)), SOAtom(colour, (y,))),
+            ),
+        ],
+        [],
+    )
+
+
+def orientation_sentence() -> MMSNPFormula:
+    marked = SOVariable("M", 2)
+    return MMSNPFormula(
+        [marked],
+        [
+            Implication((SchemaAtom(EDGE, (x, y)),), (SOAtom(marked, (x, y)),)),
+            Implication(
+                (
+                    SchemaAtom(EDGE, (x, y)),
+                    SOAtom(marked, (x, y)),
+                    SOAtom(marked, (y, x)),
+                ),
+                (),
+            ),
+        ],
+        [],
+    )
+
+
+def edge_marking_mmsnp2_sentence() -> MMSNPFormula:
+    marker = SOVariable("M", 1)
+    return MMSNPFormula(
+        [marker],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)),),
+                (FactSOAtom(marker, EDGE, (x, y)), SOAtom(marker, (x,))),
+            ),
+            Implication(
+                (
+                    SchemaAtom(EDGE, (x, y)),
+                    FactSOAtom(marker, EDGE, (x, y)),
+                    SOAtom(marker, (x,)),
+                ),
+                (),
+            ),
+        ],
+        [],
+    )
+
+
+def test_thm42_gmsnp_to_frontier_ddlog(benchmark):
+    formula = two_colourability_sentence()
+    program = benchmark(lambda: gmsnp_to_frontier_ddlog(formula))
+    agreements = 0
+    for length in (3, 4, 5, 6):
+        graph = cycle_graph(length)
+        if evaluate_boolean(program, graph) == (not formula.holds(graph)):
+            agreements += 1
+    print(
+        f"\n[E-42] GMSNP(2-col) -> frontier-guarded DDlog: |Φ|={formula.size()}, "
+        f"|Π|={program.size()}, rules={len(program)}, agreement on cycles C3..C6: {agreements}/4"
+    )
+    assert agreements == 4
+    assert program.is_frontier_guarded()
+
+
+def test_thm42_non_monadic_so_variables(benchmark):
+    formula = orientation_sentence()
+    program = benchmark(lambda: gmsnp_to_frontier_ddlog(formula))
+    two_cycle = Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "a"))])
+    agreement = evaluate_boolean(program, two_cycle) == (not formula.holds(two_cycle))
+    print(
+        f"\n[E-42] binary SO variable: |Φ|={formula.size()} -> |Π|={program.size()} "
+        f"(monadic: {program.is_monadic()}), agreement on the 2-cycle: {agreement}"
+    )
+    assert agreement
+    assert not program.is_monadic()
+
+
+def test_thm42_round_trip(benchmark):
+    formula = two_colourability_sentence()
+    program = gmsnp_to_frontier_ddlog(formula)
+    back = benchmark(lambda: frontier_ddlog_to_gmsnp(program))
+    agreement = all(
+        back.holds(cycle_graph(length)) == formula.holds(cycle_graph(length))
+        for length in (3, 4)
+    )
+    print(
+        f"\n[E-42] round trip GMSNP -> DDlog -> GMSNP: sizes {formula.size()} -> "
+        f"{program.size()} -> {back.size()}, agreement: {agreement}"
+    )
+    assert agreement
+
+
+def test_thm43_mmsnp2_to_gmsnp(benchmark):
+    formula = edge_marking_mmsnp2_sentence()
+    translated = benchmark(lambda: mmsnp2_to_gmsnp(formula))
+    instances = [
+        Instance([Fact(EDGE, ("a", "a"))]),
+        Instance([Fact(EDGE, ("a", "b"))]),
+        Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "a"))]),
+    ]
+    agreement = sum(
+        translated.holds(instance) == formula.holds(instance) for instance in instances
+    )
+    print(
+        f"\n[E-43] MMSNP2 -> GMSNP: |Φ|={formula.size()} -> |Φ'|={translated.size()}, "
+        f"agreement on {agreement}/{len(instances)} probe instances "
+        f"(GMSNP: {translated.is_gmsnp()})"
+    )
+    assert agreement == len(instances)

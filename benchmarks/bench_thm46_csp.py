@@ -1,0 +1,75 @@
+"""E-46 — Theorem 4.6: atomic OMQs and (generalized, marked) coCSPs.
+
+Builds the CSP templates for the paper's Example 4.5 query and for Boolean
+variants, checks agreement with the certain-answer engines, and reports the
+template sizes (the exponential-time template construction of Theorem 4.6).
+"""
+
+from repro.core import boolean_atomic_query
+from repro.omq import OntologyMediatedQuery
+from repro.translations import csp_to_omq, omq_to_csp
+from repro.workloads.csp_zoo import three_colourability_template, two_colourability_template
+from repro.workloads.medical import (
+    example_4_5_omq,
+    example_4_5_ontology,
+    example_4_5_schema,
+    family_instance,
+)
+
+
+def test_thm46_marked_template_of_example_4_5(benchmark):
+    omq = example_4_5_omq()
+    encoding = benchmark(lambda: omq_to_csp(omq))
+    cocsp = encoding.as_cocsp_query()
+    data = family_instance(2, predisposed_root=True)
+    assert cocsp.evaluate(data) == omq.certain_answers(data)
+    template = encoding.marked_templates[0].instance
+    print(
+        f"\n[E-46] Example 4.5 -> generalized coCSP with marked element: "
+        f"{len(encoding.marked_templates)} marked templates over a template with "
+        f"{len(template.active_domain)} types and {len(template)} facts"
+    )
+
+
+def test_thm46_boolean_template(benchmark):
+    omq = OntologyMediatedQuery(
+        ontology=example_4_5_ontology(),
+        query=boolean_atomic_query("HereditaryPredisposition"),
+        data_schema=example_4_5_schema(),
+    )
+    encoding = benchmark(lambda: omq_to_csp(omq))
+    data = family_instance(3, predisposed_root=True)
+    cocsp = encoding.as_cocsp_query()
+    assert cocsp.evaluate(data) == (omq.certain_answers(data) == {()})
+    print(
+        f"\n[E-46] Boolean case: {len(encoding.templates)} template(s), sizes "
+        f"{[len(t) for t in encoding.templates]}"
+    )
+
+
+def test_thm46_csp_to_omq_direction(benchmark):
+    """The converse construction: a coCSP becomes an (ALC, BAQ) OMQ."""
+    template = two_colourability_template()
+    omq = benchmark(lambda: csp_to_omq(template))
+    from repro.workloads.csp_zoo import cycle_graph
+
+    for length, expected in [(3, True), (4, False)]:
+        got = omq.certain_answers(cycle_graph(length)) == {()}
+        assert got == expected
+    print(
+        f"\n[E-46] coCSP(K2) -> (ALC,BAQ): |O| = {omq.ontology.size()} "
+        f"(linear in the template, as in Theorem 6.1's construction)"
+    )
+
+
+def test_thm46_hard_template_round_trip(benchmark):
+    template = three_colourability_template()
+    omq = benchmark(lambda: csp_to_omq(template))
+    from repro.workloads.csp_zoo import cycle_graph
+
+    # K4 is not 3-colourable; C5 is.
+    from repro.workloads.csp_zoo import clique_template
+
+    assert omq.certain_answers(clique_template(4)) == {()}
+    assert omq.certain_answers(cycle_graph(5)) == frozenset()
+    print(f"\n[E-46] coCSP(K3) -> (ALC,BAQ): |O| = {omq.ontology.size()}")

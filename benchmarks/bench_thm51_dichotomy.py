@@ -1,0 +1,67 @@
+"""E-51 / E-54 — Theorems 5.1, 5.3, 5.4: the PTIME / coNP dichotomy.
+
+Classifies the CSP-template zoo (the concrete instances of the Feder–Vardi
+landscape the paper's dichotomy transfer speaks about) and the OMQs obtained
+from them, reproducing the "who is tractable" split, and exercises the
+functional-role example behind Theorem 5.4.
+"""
+
+import pytest
+
+from repro.csp import NP_HARD, PTIME, classify_template
+from repro.obda import classify_omq
+from repro.translations import csp_to_omq
+from repro.workloads.csp_zoo import ZOO
+from repro.workloads.medical import example_4_5_omq
+from repro.workloads.separations import (
+    functional_ok_instance,
+    functional_role_omq,
+    functional_violation_instance,
+)
+
+
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_thm51_template_zoo_classification(benchmark, name):
+    entry = ZOO[name]
+    template = entry["template"]()
+    report = benchmark(lambda: classify_template(template, check_rewritability=False))
+    expected = PTIME if entry["tractable"] else NP_HARD
+    print(f"\n[E-51] {name:22s} -> {report.complexity:8s} (expected {expected}); "
+          f"witnesses: {', '.join(report.witnesses[:2])}")
+    assert report.complexity == expected
+
+
+def test_thm51_omq_classification_tractable(benchmark):
+    report = benchmark(lambda: classify_omq(example_4_5_omq()))
+    print(f"\n[E-51] Example 4.5 OMQ: {report.complexity}, datalog-rewritable={report.datalog_rewritable}")
+    assert report.is_tractable()
+
+
+def test_thm51_omq_classification_hard(benchmark):
+    omq = csp_to_omq(ZOO["3-colourability"]["template"]())
+    report = benchmark(lambda: classify_omq(omq))
+    print(f"\n[E-51] 3-colourability OMQ: {report.complexity}")
+    assert report.complexity == "coNP-hard"
+
+
+def test_thm54_functional_roles_break_homomorphism_preservation(benchmark):
+    """Theorem 5.4 rests on (ALCF, AQ) not being homomorphism-preserved; the
+    witnessing pair of instances from the proof of Theorem 3.10."""
+    omq = functional_role_omq()
+    violation = functional_violation_instance()
+    fine = functional_ok_instance()
+
+    def measure():
+        return (
+            omq.certain_answers(violation, engine="bounded"),
+            omq.certain_answers(fine, engine="bounded"),
+        )
+
+    inconsistent_answers, consistent_answers = benchmark(measure)
+    print(
+        f"\n[E-54] (ALCF,AQ): answers on inconsistent D = {sorted(inconsistent_answers)}, "
+        f"on its homomorphic image D' = {sorted(consistent_answers)} "
+        f"(not preserved under homomorphisms → beyond MDDlog/CSP)"
+    )
+    assert ("a",) in inconsistent_answers
+    assert ("a",) not in consistent_answers

@@ -1,0 +1,13 @@
+"""Pytest configuration: make the src layout importable without installation.
+
+``pip install -e .`` is the supported path; this fallback keeps the test and
+benchmark suites runnable in fully offline environments where the editable
+install cannot build (no ``wheel`` package available).
+"""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

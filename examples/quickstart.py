@@ -1,0 +1,92 @@
+"""Quickstart: ontology-based data access with the paper's medical example.
+
+Builds the ontology of Table I, the patient data of Example 2.1, and asks the
+ontology-mediated query "return all patients with a bacterial infection
+diagnosis".  Both patients are certain answers even though neither has the
+diagnosis asserted explicitly — the ontology supplies the missing knowledge.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import OntologyMediatedQuery
+from repro.core import Atom, ConjunctiveQuery, Instance, RelationSymbol, Schema, Variable
+from repro.dl import ConceptInclusion, ConceptName, Exists, Ontology, Role
+
+
+def build_ontology() -> Ontology:
+    """The medical ontology of Table I, written with the library's DL API."""
+    has_finding = Role("HasFinding")
+    has_diagnosis = Role("HasDiagnosis")
+    has_parent = Role("HasParent")
+    return Ontology(
+        [
+            # A finding of Erythema Migrans suffices for a Lyme disease diagnosis.
+            ConceptInclusion(
+                Exists(has_finding, ConceptName("ErythemaMigrans")),
+                Exists(has_diagnosis, ConceptName("LymeDisease")),
+            ),
+            # Lyme disease and Listeriosis are bacterial infections.
+            ConceptInclusion(
+                ConceptName("LymeDisease") | ConceptName("Listeriosis"),
+                ConceptName("BacterialInfection"),
+            ),
+            # Hereditary predispositions propagate from parents.
+            ConceptInclusion(
+                Exists(has_parent, ConceptName("HereditaryPredisposition")),
+                ConceptName("HereditaryPredisposition"),
+            ),
+        ]
+    )
+
+
+def build_data(schema: Schema) -> Instance:
+    """The patient database of Example 2.1."""
+    return Instance.from_tuples(
+        schema,
+        {
+            "HasFinding": [("patient1", "jan12find1")],
+            "ErythemaMigrans": [("jan12find1",)],
+            "HasDiagnosis": [("patient2", "may7diag2")],
+            "Listeriosis": [("may7diag2",)],
+        },
+    )
+
+
+def main() -> None:
+    schema = Schema.binary(
+        concept_names=[
+            "ErythemaMigrans",
+            "LymeDisease",
+            "Listeriosis",
+            "HereditaryPredisposition",
+        ],
+        role_names=["HasFinding", "HasDiagnosis", "HasParent"],
+    )
+    ontology = build_ontology()
+    data = build_data(schema)
+
+    # q(x) = ∃y (HasDiagnosis(x, y) ∧ BacterialInfection(y))
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery(
+        (x,),
+        [
+            Atom(RelationSymbol("HasDiagnosis", 2), (x, y)),
+            Atom(RelationSymbol("BacterialInfection", 1), (y,)),
+        ],
+    )
+    omq = OntologyMediatedQuery(ontology=ontology, query=query, data_schema=schema)
+
+    print("Ontology-mediated query", omq.omq_language())
+    print("Data:")
+    for fact in sorted(data, key=str):
+        print("   ", fact)
+    answers = omq.certain_answers(data)
+    print("\nCertain answers to 'patients with a bacterial infection diagnosis':")
+    for (patient,) in sorted(answers):
+        print("   ", patient)
+    print("\nWithout the ontology the same query returns:")
+    print("   ", sorted(query.evaluate(data)) or "nothing")
+
+
+if __name__ == "__main__":
+    main()

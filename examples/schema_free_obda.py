@@ -1,0 +1,60 @@
+"""Schema-free ontology-based data access (Section 6).
+
+A data-integration scenario: the data is harvested from sources that are not
+under the user's control, so no fixed data schema can be assumed — facts may
+mention arbitrary relation symbols, including symbols the ontology designer
+intended as internal bookkeeping.  Section 6 of the paper shows that the
+decidability and complexity landscape survives this setting; the key device is
+to *shield* working concept names so stray data cannot interfere with them.
+
+The example builds the schema-free (ALC, BAQ) query of Theorem 6.1 for a
+2-colourability template and shows that its answers match the CSP view even
+when the data mentions the construction's working symbols.
+
+Run with:  python examples/schema_free_obda.py
+"""
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.homomorphism import has_homomorphism
+from repro.obda import csp_to_schema_free_omq, shield_concept_names
+from repro.workloads.csp_zoo import EDGE, cycle_graph, two_colourability_template
+from repro.workloads.medical import example_2_2_q2_omq
+
+
+def main() -> None:
+    template = two_colourability_template()
+    encoding = csp_to_schema_free_omq(template)
+    print("== Theorem 6.1: 2-colourability as a schema-free (ALC, BAQ) query")
+    print(f"   ontology axioms: {len(encoding.omq.ontology)}; "
+          f"query: {encoding.omq.query}; schema-free: {encoding.omq.schema_free}")
+
+    probes = {
+        "odd cycle C3 (not 2-colourable)": cycle_graph(3),
+        "even cycle C4 (2-colourable)": cycle_graph(4),
+        "self-loop": Instance([Fact(EDGE, ("a", "a"))]),
+    }
+    for label, data in probes.items():
+        cocsp = not has_homomorphism(data, template)
+        omq_answer = encoding.omq.certain_answers(data, engine="bounded") == frozenset({()})
+        print(f"   {label:35s}  coCSP = {int(cocsp)}   schema-free OMQ = {int(omq_answer)}")
+
+    print("\n== Stray data about working symbols does not change the answers")
+    noisy = cycle_graph(4).with_facts(
+        [
+            Fact(RelationSymbol("A_elem_0", 1), ("v0",)),
+            Fact(RelationSymbol("R_elem_1", 2), ("v1", "v2")),
+        ]
+    )
+    answer = encoding.omq.certain_answers(noisy, engine="bounded")
+    print(f"   noisy C4 (mentions A_elem_0 / R_elem_1): certain answers = {set(answer)}")
+    print("   -> still empty: the shielded concepts re-interpret freely (Fact 1).")
+
+    print("\n== Theorem 6.3: shielding an existing ontology")
+    ontology = example_2_2_q2_omq().ontology
+    shielded = shield_concept_names(ontology, {"HereditaryPredisposition"})
+    for axiom in shielded:
+        print("   ", axiom)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""repro — a reproduction of "Ontology-Based Data Access: A Study through
+Disjunctive Datalog, CSP, and MMSNP" (Bienvenu, ten Cate, Lutz, Wolter).
+
+The package is organised into substrates (``core``, ``datalog``, ``dl``,
+``fo``, ``csp``, ``mmsnp``, ``fpp``), the paper's primary contribution
+(``omq``, ``translations``, ``obda``) and workload generators (``workloads``).
+See DESIGN.md for the full inventory and EXPERIMENTS.md for the experiment
+index.
+"""
+
+from .core import (
+    Atom,
+    ConjunctiveQuery,
+    Fact,
+    Instance,
+    MarkedInstance,
+    RelationSymbol,
+    Schema,
+    UnionOfConjunctiveQueries,
+    Variable,
+)
+from .dl import (
+    ConceptInclusion,
+    ConceptName,
+    Exists,
+    Forall,
+    FunctionalRole,
+    Ontology,
+    Role,
+    RoleInclusion,
+    TransitiveRole,
+)
+from .omq import OntologyMediatedQuery, certain_answers, is_certain_answer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Atom",
+    "ConceptInclusion",
+    "ConceptName",
+    "ConjunctiveQuery",
+    "Exists",
+    "Fact",
+    "Forall",
+    "FunctionalRole",
+    "Instance",
+    "MarkedInstance",
+    "Ontology",
+    "OntologyMediatedQuery",
+    "RelationSymbol",
+    "Role",
+    "RoleInclusion",
+    "Schema",
+    "TransitiveRole",
+    "UnionOfConjunctiveQueries",
+    "Variable",
+    "certain_answers",
+    "is_certain_answer",
+    "__version__",
+]

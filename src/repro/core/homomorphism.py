@@ -1,0 +1,233 @@
+"""Homomorphisms between instances.
+
+Homomorphism existence between relational structures is the computational
+backbone of the paper: conjunctive-query evaluation, CSPs (``D -> B``),
+forbidden-pattern problems and obstruction sets all reduce to it.
+
+The search combines arc-consistency style pruning with backtracking on the
+smallest-candidate-set variable, which is ample for the laptop-scale
+structures used in the reproduction.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Mapping, Sequence
+
+from .instance import Fact, Instance, MarkedInstance
+
+Element = Hashable
+PartialMap = Mapping[Element, Element]
+
+
+def _candidate_sets(
+    source: Instance,
+    target: Instance,
+    fixed: PartialMap,
+) -> dict[Element, set[Element]] | None:
+    """Initial per-element candidate sets; ``None`` when some set is empty."""
+    target_domain = set(target.active_domain)
+    candidates: dict[Element, set[Element]] = {}
+    for element in source.active_domain:
+        if element in fixed:
+            image = fixed[element]
+            candidates[element] = {image} if image in target_domain else set()
+        else:
+            candidates[element] = set(target_domain)
+        if not candidates[element]:
+            return None
+    # Unary pruning: an element must map to something satisfying all its
+    # unary facts, and more generally each fact constrains each position.
+    for fact in source:
+        tuples = target.tuples(fact.relation)
+        if not tuples:
+            return None
+        for position, element in enumerate(fact.arguments):
+            allowed = {t[position] for t in tuples}
+            candidates[element] &= allowed
+            if not candidates[element]:
+                return None
+    return candidates
+
+
+def _propagate(
+    source: Instance,
+    target: Instance,
+    candidates: dict[Element, set[Element]],
+) -> bool:
+    """Generalised arc consistency over all source facts.  Returns False on wipe-out."""
+    changed = True
+    while changed:
+        changed = False
+        for fact in source:
+            tuples = target.tuples(fact.relation)
+            args = fact.arguments
+            supported: list[set[Element]] = [set() for _ in args]
+            for candidate_tuple in tuples:
+                if all(
+                    candidate_tuple[i] in candidates[args[i]] for i in range(len(args))
+                ):
+                    for i in range(len(args)):
+                        supported[i].add(candidate_tuple[i])
+            for i, element in enumerate(args):
+                new = candidates[element] & supported[i]
+                if new != candidates[element]:
+                    candidates[element] = new
+                    changed = True
+                if not new:
+                    return False
+    return True
+
+
+def _search(
+    source: Instance,
+    target: Instance,
+    candidates: dict[Element, set[Element]],
+    find_all: bool,
+) -> Iterator[dict[Element, Element]]:
+    if not _propagate(source, target, candidates):
+        return
+    undecided = [e for e, cands in candidates.items() if len(cands) > 1]
+    if not undecided:
+        yield {e: next(iter(cands)) for e, cands in candidates.items()}
+        return
+    pivot = min(undecided, key=lambda e: len(candidates[e]))
+    for value in sorted(candidates[pivot], key=repr):
+        branch = {e: set(c) for e, c in candidates.items()}
+        branch[pivot] = {value}
+        yielded = False
+        for result in _search(source, target, branch, find_all):
+            yielded = True
+            yield result
+            if not find_all:
+                return
+        if yielded and not find_all:
+            return
+
+
+def homomorphisms(
+    source: Instance,
+    target: Instance,
+    fixed: PartialMap | None = None,
+) -> Iterator[dict[Element, Element]]:
+    """Enumerate all homomorphisms from ``source`` to ``target`` extending ``fixed``."""
+    fixed = dict(fixed or {})
+    if not source.active_domain:
+        # The empty instance maps anywhere via the empty map.
+        yield {}
+        return
+    candidates = _candidate_sets(source, target, fixed)
+    if candidates is None:
+        return
+    yield from _search(source, target, candidates, find_all=True)
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: PartialMap | None = None,
+) -> dict[Element, Element] | None:
+    """One homomorphism from ``source`` to ``target`` extending ``fixed``, or None."""
+    fixed = dict(fixed or {})
+    if not source.active_domain:
+        return {}
+    candidates = _candidate_sets(source, target, fixed)
+    if candidates is None:
+        return None
+    for hom in _search(source, target, candidates, find_all=False):
+        return hom
+    return None
+
+
+def has_homomorphism(
+    source: Instance,
+    target: Instance,
+    fixed: PartialMap | None = None,
+) -> bool:
+    """``source -> target`` in the paper's notation."""
+    return find_homomorphism(source, target, fixed) is not None
+
+
+def marked_homomorphism_exists(
+    source: MarkedInstance,
+    target: MarkedInstance,
+) -> bool:
+    """``(D, d) -> (B, b)``: a homomorphism mapping each mark to the matching mark."""
+    if source.arity != target.arity:
+        raise ValueError("marked instances must have the same arity")
+    fixed: dict[Element, Element] = {}
+    for src_mark, tgt_mark in zip(source.marks, target.marks):
+        if src_mark in fixed and fixed[src_mark] != tgt_mark:
+            return False
+        fixed[src_mark] = tgt_mark
+    return has_homomorphism(source.instance, target.instance, fixed)
+
+
+def homomorphically_equivalent(first: Instance, second: Instance) -> bool:
+    """Homomorphisms exist in both directions."""
+    return has_homomorphism(first, second) and has_homomorphism(second, first)
+
+
+def homomorphically_incomparable(first: Instance, second: Instance) -> bool:
+    """No homomorphism in either direction (used by Proposition 5.11)."""
+    return not has_homomorphism(first, second) and not has_homomorphism(second, first)
+
+
+def is_homomorphism(
+    mapping: Mapping[Element, Element], source: Instance, target: Instance
+) -> bool:
+    """Check that ``mapping`` is a homomorphism from ``source`` to ``target``."""
+    for element in source.active_domain:
+        if element not in mapping:
+            return False
+    for fact in source:
+        image = Fact(fact.relation, tuple(mapping[a] for a in fact.arguments))
+        if image not in target:
+            return False
+    return True
+
+
+def endomorphisms(instance: Instance) -> Iterator[dict[Element, Element]]:
+    """All homomorphisms from an instance to itself."""
+    yield from homomorphisms(instance, instance)
+
+
+def core(instance: Instance) -> Instance:
+    """A core of ``instance``: a minimal induced sub-instance it retracts onto.
+
+    The core is unique up to isomorphism; CSP templates are interchangeable
+    with their cores, which the FO-definability and bounded-width tests rely on.
+    """
+    current = instance
+    changed = True
+    while changed:
+        changed = False
+        domain = sorted(current.active_domain, key=repr)
+        for element in domain:
+            remaining = [d for d in domain if d != element]
+            candidate = current.restrict_to_domain(remaining)
+            folding = find_homomorphism(current, candidate)
+            if folding is not None:
+                # The homomorphic image of ``current`` under the folding is a
+                # retract with strictly fewer elements; iterating reaches the core.
+                current = Instance(fact.map(folding.__getitem__) for fact in current)
+                changed = True
+                break
+    return current
+
+
+def is_core(instance: Instance) -> bool:
+    """True if every endomorphism of the instance is surjective on its domain."""
+    size = len(instance.active_domain)
+    for endo in endomorphisms(instance):
+        if len(set(endo.values())) < size:
+            return False
+    return True
+
+
+def retracts_onto(instance: Instance, sub_domain: Sequence[Element]) -> bool:
+    """Is there a retraction of ``instance`` onto the sub-instance induced by ``sub_domain``?"""
+    kept = set(sub_domain)
+    candidate = instance.restrict_to_domain(kept)
+    return (
+        find_homomorphism(instance, candidate, fixed={d: d for d in kept}) is not None
+    )

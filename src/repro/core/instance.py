@@ -1,0 +1,246 @@
+"""Facts, instances and marked instances (Section 2 of the paper).
+
+An *instance* over a schema ``S`` is a finite set of facts ``R(a1, ..., an)``
+with ``R`` in ``S`` and constants ``ai``.  The *active domain* ``adom(D)`` is
+the set of constants occurring in facts.  A *marked instance* additionally
+carries a tuple of distinguished active-domain elements (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+from .schema import RelationSymbol, Schema
+
+Constant = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Fact:
+    """A ground fact ``R(a1, ..., an)``."""
+
+    relation: RelationSymbol
+    arguments: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.relation.arity:
+            raise ValueError(
+                f"relation {self.relation} expects {self.relation.arity} "
+                f"arguments, got {len(self.arguments)}"
+            )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(a) for a in self.arguments)
+        return f"{self.relation.name}({args})"
+
+    def map(self, mapping: Callable[[Constant], Constant]) -> "Fact":
+        return Fact(self.relation, tuple(mapping(a) for a in self.arguments))
+
+
+class Instance:
+    """A finite set of facts over a schema.
+
+    Instances are immutable; set-like operations return new instances.
+    The schema is inferred from the facts unless given explicitly (a schema
+    may declare symbols that do not occur in any fact).
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Schema | None = None,
+    ) -> None:
+        self._facts: frozenset[Fact] = frozenset(facts)
+        inferred = Schema(fact.relation for fact in self._facts)
+        if schema is None:
+            self._schema = inferred
+        else:
+            for sym in inferred:
+                if sym not in schema:
+                    raise ValueError(f"fact uses symbol {sym} outside the schema")
+            self._schema = schema
+        domain: set[Constant] = set()
+        for fact in self._facts:
+            domain.update(fact.arguments)
+        self._adom = frozenset(domain)
+        self._by_relation: dict[RelationSymbol, frozenset[tuple]] | None = None
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def facts(self) -> frozenset[Fact]:
+        return self._facts
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def active_domain(self) -> frozenset:
+        return self._adom
+
+    def adom(self) -> frozenset:
+        """Alias matching the paper's notation ``adom(D)``."""
+        return self._adom
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._facts == other._facts
+
+    def __hash__(self) -> int:
+        return hash(self._facts)
+
+    def __repr__(self) -> str:
+        shown = ", ".join(sorted(str(f) for f in self._facts))
+        return f"Instance({{{shown}}})"
+
+    def is_empty(self) -> bool:
+        return not self._facts
+
+    # -- indexed access --------------------------------------------------------
+
+    def tuples(self, relation: RelationSymbol | str) -> frozenset[tuple]:
+        """All argument tuples of facts over ``relation``."""
+        if self._by_relation is None:
+            index: dict[RelationSymbol, set[tuple]] = {}
+            for fact in self._facts:
+                index.setdefault(fact.relation, set()).add(fact.arguments)
+            self._by_relation = {rel: frozenset(tups) for rel, tups in index.items()}
+        if isinstance(relation, str):
+            sym = self._schema.get(relation)
+            if sym is None:
+                return frozenset()
+            relation = sym
+        return self._by_relation.get(relation, frozenset())
+
+    def has_fact(self, relation: RelationSymbol, arguments: Sequence) -> bool:
+        return Fact(relation, tuple(arguments)) in self._facts
+
+    def facts_with_constant(self, constant: Constant) -> frozenset[Fact]:
+        return frozenset(f for f in self._facts if constant in f.arguments)
+
+    # -- construction ----------------------------------------------------------
+
+    def with_facts(self, facts: Iterable[Fact]) -> "Instance":
+        return Instance(self._facts | set(facts), schema=None)
+
+    def without_facts(self, facts: Iterable[Fact]) -> "Instance":
+        return Instance(self._facts - set(facts))
+
+    def union(self, other: "Instance") -> "Instance":
+        return Instance(self._facts | other._facts)
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return self.union(other)
+
+    def restrict_to_schema(self, schema: Schema) -> "Instance":
+        """The reduct of this instance to the given schema."""
+        return Instance(
+            (f for f in self._facts if f.relation in schema), schema=schema
+        )
+
+    def restrict_to_domain(self, elements: Iterable[Constant]) -> "Instance":
+        """The induced sub-instance on the given elements."""
+        kept = set(elements)
+        return Instance(
+            f for f in self._facts if all(a in kept for a in f.arguments)
+        )
+
+    def rename(self, mapping: Mapping[Constant, Constant]) -> "Instance":
+        """Apply a renaming of constants (identity outside the mapping)."""
+        return Instance(f.map(lambda a: mapping.get(a, a)) for f in self._facts)
+
+    def disjoint_union(self, other: "Instance") -> "Instance":
+        """Disjoint union; elements are tagged with 0 / 1 to force disjointness."""
+        left = self.rename({a: (0, a) for a in self._adom})
+        right = other.rename({a: (1, a) for a in other._adom})
+        return left.union(right)
+
+    def subinstances(self, max_size: int | None = None) -> Iterator["Instance"]:
+        """All sub-instances (subsets of facts), optionally capped in fact count."""
+        facts = sorted(self._facts, key=str)
+        upper = len(facts) if max_size is None else min(max_size, len(facts))
+        for size in range(upper + 1):
+            for subset in itertools.combinations(facts, size):
+                yield Instance(subset)
+
+    # -- convenience builders --------------------------------------------------
+
+    @classmethod
+    def from_tuples(
+        cls,
+        schema: Schema,
+        data: Mapping[str, Iterable[Sequence]],
+    ) -> "Instance":
+        """Build an instance from ``{relation name: iterable of tuples}``."""
+        facts = []
+        for name, rows in data.items():
+            sym = schema[name]
+            for row in rows:
+                row = tuple(row) if not isinstance(row, tuple) else row
+                facts.append(Fact(sym, row))
+        return cls(facts, schema=schema)
+
+
+@dataclass(frozen=True)
+class MarkedInstance:
+    """An n-ary marked instance ``(D, d1, ..., dn)`` (Section 4.2).
+
+    Every marked element must belong to the active domain of ``D``.
+    """
+
+    instance: Instance
+    marks: tuple
+
+    def __post_init__(self) -> None:
+        for mark in self.marks:
+            if mark not in self.instance.active_domain:
+                raise ValueError(f"marked element {mark!r} is not in adom(D)")
+
+    @property
+    def arity(self) -> int:
+        return len(self.marks)
+
+    @property
+    def schema(self) -> Schema:
+        return self.instance.schema
+
+    def to_unmarked(self, mark_symbols: Sequence[RelationSymbol]) -> Instance:
+        """The instance ``(D, d)^c`` of Section 5.3: replace marks by fresh unary facts."""
+        if len(mark_symbols) != len(self.marks):
+            raise ValueError("need one unary symbol per marked element")
+        extra = []
+        for sym, mark in zip(mark_symbols, self.marks):
+            if sym.arity != 1:
+                raise ValueError(f"mark symbol {sym} must be unary")
+            extra.append(Fact(sym, (mark,)))
+        return self.instance.with_facts(extra)
+
+    def __str__(self) -> str:
+        return f"({self.instance!r}, {self.marks})"
+
+
+def singleton_instance(facts_by_name: Mapping[str, int], element: Constant = "a") -> Instance:
+    """A singleton instance: one element carrying the given relations reflexively.
+
+    ``facts_by_name`` maps relation names to arities; each relation holds on the
+    all-``element`` tuple.  Useful for the singleton-instance arguments of
+    Theorems 3.5 and 3.8.
+    """
+    facts = []
+    for name, arity in facts_by_name.items():
+        sym = RelationSymbol(name, arity)
+        facts.append(Fact(sym, tuple([element] * arity)))
+    return Instance(facts)

@@ -1,0 +1,152 @@
+"""Schemas: finite collections of relation symbols with associated arities.
+
+A schema in the paper (Section 2) is a finite collection ``S = (S1, ..., Sk)``
+of relation symbols, each with an arity.  Description logics use *binary*
+schemas, whose relation symbols are unary (*concept names*) or binary
+(*role names*).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True, order=True)
+class RelationSymbol:
+    """A relation symbol with a fixed arity.
+
+    Two symbols are equal iff they have the same name and arity; using a
+    symbol with conflicting arities in one schema is rejected by
+    :class:`Schema`.
+    """
+
+    name: str
+    arity: int
+
+    def __post_init__(self) -> None:
+        if self.arity < 0:
+            raise ValueError(f"arity must be non-negative, got {self.arity}")
+        if not self.name:
+            raise ValueError("relation symbol name must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+    def __call__(self, *args):
+        """Build a fact (or atom) over this symbol: ``R(a, b)``."""
+        from .instance import Fact
+
+        return Fact(self, tuple(args))
+
+
+class Schema:
+    """A finite set of relation symbols.
+
+    Schemas behave as immutable collections.  They support union,
+    membership tests by symbol or by name, and lookups by name.
+    """
+
+    def __init__(self, symbols: Iterable[RelationSymbol] = ()) -> None:
+        by_name: dict[str, RelationSymbol] = {}
+        for sym in symbols:
+            if not isinstance(sym, RelationSymbol):
+                raise TypeError(f"expected RelationSymbol, got {sym!r}")
+            existing = by_name.get(sym.name)
+            if existing is not None and existing.arity != sym.arity:
+                raise ValueError(
+                    f"conflicting arities for symbol {sym.name}: "
+                    f"{existing.arity} vs {sym.arity}"
+                )
+            by_name[sym.name] = sym
+        self._by_name: Mapping[str, RelationSymbol] = dict(sorted(by_name.items()))
+
+    @classmethod
+    def binary(
+        cls,
+        concept_names: Iterable[str] = (),
+        role_names: Iterable[str] = (),
+    ) -> "Schema":
+        """Build a binary schema from concept names (unary) and role names (binary)."""
+        symbols = [RelationSymbol(name, 1) for name in concept_names]
+        symbols += [RelationSymbol(name, 2) for name in role_names]
+        return cls(symbols)
+
+    # -- collection protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[RelationSymbol]:
+        return iter(self._by_name.values())
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, RelationSymbol):
+            return self._by_name.get(item.name) == item
+        if isinstance(item, str):
+            return item in self._by_name
+        return False
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._by_name == other._by_name
+
+    def __hash__(self) -> int:
+        return hash(tuple(self._by_name.values()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(str(sym) for sym in self)
+        return f"Schema({{{inner}}})"
+
+    # -- queries --------------------------------------------------------------
+
+    def __getitem__(self, name: str) -> RelationSymbol:
+        return self._by_name[name]
+
+    def get(self, name: str) -> RelationSymbol | None:
+        return self._by_name.get(name)
+
+    @property
+    def symbols(self) -> tuple[RelationSymbol, ...]:
+        return tuple(self._by_name.values())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._by_name.keys())
+
+    def of_arity(self, arity: int) -> tuple[RelationSymbol, ...]:
+        return tuple(sym for sym in self if sym.arity == arity)
+
+    @property
+    def concept_names(self) -> tuple[RelationSymbol, ...]:
+        """Unary symbols (concept names of a binary schema)."""
+        return self.of_arity(1)
+
+    @property
+    def role_names(self) -> tuple[RelationSymbol, ...]:
+        """Binary symbols (role names of a binary schema)."""
+        return self.of_arity(2)
+
+    def is_binary(self) -> bool:
+        """True if every symbol has arity one or two."""
+        return all(sym.arity in (1, 2) for sym in self)
+
+    def max_arity(self) -> int:
+        return max((sym.arity for sym in self), default=0)
+
+    # -- constructors ---------------------------------------------------------
+
+    def union(self, other: "Schema | Iterable[RelationSymbol]") -> "Schema":
+        return Schema(list(self) + list(other))
+
+    def __or__(self, other: "Schema") -> "Schema":
+        return self.union(other)
+
+    def restrict(self, names: Iterable[str]) -> "Schema":
+        wanted = set(names)
+        return Schema(sym for sym in self if sym.name in wanted)
+
+    def without(self, names: Iterable[str]) -> "Schema":
+        excluded = set(names)
+        return Schema(sym for sym in self if sym.name not in excluded)

@@ -1,0 +1,162 @@
+"""Operations on relational structures: products, powers, quotients, expansions.
+
+These constructions are used by the CSP machinery (polymorphism detection
+works on powers ``B^k``, the Larose–Loten–Tardif FO-definability test works
+on ``B x B``) and by the obstruction-set reasoning of Section 5.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from .instance import Fact, Instance
+from .schema import RelationSymbol, Schema
+
+Element = Hashable
+
+
+def direct_product(first: Instance, second: Instance) -> Instance:
+    """The direct (categorical) product of two instances over a common schema.
+
+    The domain is the Cartesian product of the active domains; a fact
+    ``R((a1,b1), ..., (an,bn))`` holds iff ``R(a)`` holds in the first and
+    ``R(b)`` in the second instance.
+    """
+    schema = first.schema | second.schema
+    facts = []
+    for symbol in schema:
+        left = first.tuples(symbol)
+        right = second.tuples(symbol)
+        for tuple_left in left:
+            for tuple_right in right:
+                combined = tuple(zip(tuple_left, tuple_right))
+                facts.append(Fact(symbol, combined))
+    return Instance(facts, schema=schema)
+
+
+def power(instance: Instance, exponent: int) -> Instance:
+    """The ``exponent``-th direct power ``B^k`` with k-tuples as elements."""
+    if exponent < 1:
+        raise ValueError("exponent must be at least 1")
+    schema = instance.schema
+    facts = []
+    for symbol in schema:
+        base_tuples = list(instance.tuples(symbol))
+        for combination in itertools.product(base_tuples, repeat=exponent):
+            # combination is a k-tuple of arity-n tuples; transpose it to an
+            # arity-n tuple of k-tuples.
+            arity = symbol.arity
+            transposed = tuple(
+                tuple(combination[j][i] for j in range(exponent)) for i in range(arity)
+            )
+            facts.append(Fact(symbol, transposed))
+    return Instance(facts, schema=schema)
+
+
+def diagonal(instance: Instance, exponent: int = 2) -> frozenset:
+    """The diagonal elements of ``B^exponent``: constant tuples."""
+    return frozenset(tuple([a] * exponent) for a in instance.active_domain)
+
+
+def quotient(instance: Instance, classes: Mapping[Element, Element]) -> Instance:
+    """The quotient of an instance under a map to class representatives."""
+    return instance.rename(dict(classes))
+
+
+def disjoint_union(instances: Sequence[Instance]) -> Instance:
+    """Disjoint union of a family of instances (elements tagged by index)."""
+    facts = []
+    for index, instance in enumerate(instances):
+        tagged = instance.rename({a: (index, a) for a in instance.active_domain})
+        facts.extend(tagged.facts)
+    return Instance(facts)
+
+
+def expansion_with_constants(
+    instance: Instance,
+    marks: Sequence[Element],
+    mark_prefix: str = "P",
+) -> tuple[Instance, tuple[RelationSymbol, ...]]:
+    """The expansion ``(B, b)^c`` of Section 5.3.
+
+    Marked elements are replaced by fresh unary relation symbols ``P1 ... Pn``
+    holding exactly at the respective mark.  Returns the expanded instance and
+    the tuple of fresh symbols used.
+    """
+    symbols = tuple(
+        RelationSymbol(f"{mark_prefix}{i + 1}", 1) for i in range(len(marks))
+    )
+    extra = [Fact(sym, (mark,)) for sym, mark in zip(symbols, marks)]
+    return instance.with_facts(extra), symbols
+
+
+def collapse_marked_expansion(
+    instance: Instance,
+    mark_symbols: Sequence[RelationSymbol],
+) -> tuple[Instance, tuple, bool]:
+    """The collapse of an S_P-instance (Appendix C of the paper).
+
+    Elements carrying the same mark symbol ``Pi`` are identified; the result is
+    the collapsed instance over the original schema, the tuple of collapsed
+    marks, and a flag telling whether the collapse is defined (every ``Pi``
+    non-empty).
+    """
+    mark_set = set(mark_symbols)
+    groups: dict[RelationSymbol, set] = {sym: set() for sym in mark_symbols}
+    for fact in instance:
+        if fact.relation in mark_set:
+            groups[fact.relation].add(fact.arguments[0])
+    if any(not members for members in groups.values()):
+        return instance, (), False
+
+    # Union-find over elements identified through shared marks.
+    parent: dict = {}
+
+    def find(x):
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x, y):
+        root_x, root_y = find(x), find(y)
+        if root_x != root_y:
+            parent[root_x] = root_y
+
+    for members in groups.values():
+        members = sorted(members, key=repr)
+        for other in members[1:]:
+            union(members[0], other)
+
+    mapping = {a: find(a) for a in instance.active_domain}
+    kept_facts = [f for f in instance if f.relation not in mark_set]
+    collapsed = Instance(kept_facts).rename(mapping)
+    marks = tuple(find(next(iter(sorted(groups[sym], key=repr)))) for sym in mark_symbols)
+    return collapsed, marks, True
+
+
+def reduct(instance: Instance, schema: Schema) -> Instance:
+    """The reduct of an instance to a sub-schema."""
+    return instance.restrict_to_schema(schema)
+
+
+def all_instances_over(
+    schema: Schema,
+    domain: Sequence[Element],
+    max_facts: int | None = None,
+) -> Iterable[Instance]:
+    """Enumerate all instances over a schema with elements from ``domain``.
+
+    Used by exhaustive equivalence checks in tests; the number of instances is
+    doubly exponential, so keep ``domain`` and ``schema`` tiny.
+    """
+    possible_facts = []
+    for symbol in schema:
+        for args in itertools.product(domain, repeat=symbol.arity):
+            possible_facts.append(Fact(symbol, args))
+    upper = len(possible_facts) if max_facts is None else min(max_facts, len(possible_facts))
+    for size in range(upper + 1):
+        for subset in itertools.combinations(possible_facts, size):
+            yield Instance(subset, schema=schema)

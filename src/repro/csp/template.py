@@ -1,0 +1,176 @@
+"""CSP templates and the coCSP query languages of Section 4.2.
+
+Each instance ``B`` over a schema induces the constraint satisfaction problem
+``CSP(B)``: decide whether a given instance maps homomorphically into ``B``.
+The paper's query-language view flips this around:
+
+* ``coCSP(B)`` — the Boolean query that is true on ``D`` iff ``D ↛ B``;
+* *generalized* coCSP — a finite set of templates, true iff no template
+  receives a homomorphism;
+* generalized coCSP *with marked elements* — templates carry distinguished
+  elements and homomorphisms must respect the marks (this is the non-Boolean
+  case capturing atomic queries, Theorem 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from ..core.homomorphism import (
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_incomparable,
+    marked_homomorphism_exists,
+)
+from ..core.instance import Instance, MarkedInstance
+from ..core.schema import Schema
+
+Element = Hashable
+
+
+@dataclass(frozen=True)
+class Template:
+    """A CSP template: an instance over a schema (the instance *is* the template)."""
+
+    instance: Instance
+
+    @property
+    def schema(self) -> Schema:
+        return self.instance.schema
+
+    def domain(self) -> frozenset:
+        return self.instance.active_domain
+
+    def admits(self, data: Instance) -> bool:
+        """``data → B``: does the input belong to CSP(B)?"""
+        return has_homomorphism(data, self.instance)
+
+    def homomorphism_from(self, data: Instance):
+        return find_homomorphism(data, self.instance)
+
+    def size(self) -> int:
+        return len(self.instance)
+
+
+class CoCspQuery:
+    """The Boolean query ``coCSP(B)``: true iff the data does not map to B."""
+
+    def __init__(self, template: Template | Instance):
+        self.template = template if isinstance(template, Template) else Template(template)
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def evaluate(self, data: Instance) -> bool:
+        return not self.template.admits(data)
+
+    def holds_in(self, data: Instance, answer: Sequence = ()) -> bool:
+        return self.evaluate(data)
+
+
+class GeneralizedCoCspQuery:
+    """``coCSP(F)`` for a finite set of (unmarked) templates: true iff the data
+    maps into none of them."""
+
+    def __init__(self, templates: Iterable[Template | Instance]):
+        self.templates = tuple(
+            t if isinstance(t, Template) else Template(t) for t in templates
+        )
+        if not self.templates:
+            raise ValueError("need at least one template")
+
+    @property
+    def arity(self) -> int:
+        return 0
+
+    def evaluate(self, data: Instance) -> bool:
+        return not any(t.admits(data) for t in self.templates)
+
+    def holds_in(self, data: Instance, answer: Sequence = ()) -> bool:
+        return self.evaluate(data)
+
+
+class MarkedCoCspQuery:
+    """Generalized coCSP with marked elements (the n-ary case of Section 4.2).
+
+    ``evaluate`` returns the set of tuples ``d`` over the data's active domain
+    such that ``(D, d)`` maps to none of the marked templates.
+    """
+
+    def __init__(self, templates: Iterable[MarkedInstance]):
+        self.templates = tuple(templates)
+        if not self.templates:
+            raise ValueError("need at least one marked template")
+        arities = {t.arity for t in self.templates}
+        if len(arities) != 1:
+            raise ValueError(f"templates disagree on arity: {arities}")
+        self._arity = next(iter(arities))
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def admits(self, data: Instance, marks: Sequence[Element]) -> bool:
+        source = MarkedInstance(data, tuple(marks))
+        return any(
+            marked_homomorphism_exists(source, template) for template in self.templates
+        )
+
+    def evaluate(self, data: Instance) -> frozenset[tuple]:
+        import itertools
+
+        domain = sorted(data.active_domain, key=repr)
+        answers = set()
+        for marks in itertools.product(domain, repeat=self._arity):
+            if not self.admits(data, marks):
+                answers.add(marks)
+        return frozenset(answers)
+
+    def holds_in(self, data: Instance, answer: Sequence = ()) -> bool:
+        return not self.admits(data, tuple(answer))
+
+
+def prune_to_incomparable(templates: Sequence[Instance]) -> list[Instance]:
+    """Keep one representative per homomorphic-equivalence class and drop
+    templates subsumed by another (used before Proposition 5.11 style tests)."""
+    kept: list[Instance] = []
+    for candidate in templates:
+        if any(has_homomorphism(candidate, other) for other in kept):
+            continue
+        kept = [other for other in kept if not has_homomorphism(other, candidate)]
+        kept.append(candidate)
+    return kept
+
+
+def equivalent_as_cocsp(first: Sequence[Instance], second: Sequence[Instance]) -> bool:
+    """Do two template sets define the same generalized coCSP query?
+
+    By the homomorphism characterisation used in Section 5.2, the answers of
+    ``coCSP(F)`` are contained in those of ``coCSP(F')`` iff every template of
+    ``F`` maps into some template of ``F'``; equality is mutual containment.
+    """
+    forward = all(
+        any(has_homomorphism(b, b2) for b2 in second) for b in first
+    )
+    backward = all(
+        any(has_homomorphism(b2, b) for b in first) for b2 in second
+    )
+    return forward and backward
+
+
+def incomparable_marked(templates: Sequence[MarkedInstance]) -> list[MarkedInstance]:
+    """Prune a set of marked templates to pairwise homomorphically incomparable
+    ones defining the same query (the reduction used before Theorem 5.15)."""
+    kept: list[MarkedInstance] = []
+    for candidate in templates:
+        if any(marked_homomorphism_exists(candidate, other) for other in kept):
+            continue
+        kept = [
+            other
+            for other in kept
+            if not marked_homomorphism_exists(other, candidate)
+        ]
+        kept.append(candidate)
+    return kept

@@ -1,0 +1,39 @@
+"""Disjunctive datalog: programs, fragments, and certain-answer evaluation."""
+
+from .ddlog import (
+    ADOM,
+    GOAL,
+    DisjunctiveDatalogProgram,
+    Rule,
+    adom_atom,
+    goal_atom,
+    mddlog_program,
+)
+from .evaluation import (
+    evaluate,
+    evaluate_boolean,
+    ground_clauses,
+    has_model_avoiding,
+    holds,
+    models,
+)
+from .plain import DatalogProgram, conjoin_datalog_queries, union_datalog_queries
+
+__all__ = [
+    "ADOM",
+    "GOAL",
+    "DatalogProgram",
+    "DisjunctiveDatalogProgram",
+    "Rule",
+    "adom_atom",
+    "conjoin_datalog_queries",
+    "evaluate",
+    "evaluate_boolean",
+    "goal_atom",
+    "ground_clauses",
+    "has_model_avoiding",
+    "holds",
+    "mddlog_program",
+    "models",
+    "union_datalog_queries",
+]

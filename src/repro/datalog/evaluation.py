@@ -1,0 +1,305 @@
+"""Certain-answer evaluation of disjunctive datalog programs.
+
+``qΠ(D)`` consists of the tuples ``a`` over ``adom(D)`` such that ``goal(a)``
+holds in *every* model of Π extending ``D`` (Section 3).  Because the
+programs are negation-free it suffices to consider models whose domain is
+``adom(D)``; the evaluator therefore grounds the program over the active
+domain and decides, per candidate tuple, the satisfiability of the ground
+clauses together with ``¬goal(a)`` using a small DPLL-style solver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol
+from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
+
+Element = Hashable
+GroundAtom = tuple  # (RelationSymbol, argument tuple)
+Clause = tuple[frozenset, frozenset]  # (negative ground atoms, positive ground atoms)
+
+
+def _ground_atom(atom: Atom, assignment: dict[Variable, Element]) -> GroundAtom:
+    arguments = tuple(
+        assignment[arg] if isinstance(arg, Variable) else arg for arg in atom.arguments
+    )
+    return (atom.relation, arguments)
+
+
+def _edb_lookup(instance: Instance, relation: RelationSymbol, arguments: tuple) -> bool:
+    if relation.name == ADOM:
+        return arguments[0] in instance.active_domain
+    return arguments in instance.tuples(relation)
+
+
+def ground_clauses(
+    program: DisjunctiveDatalogProgram, instance: Instance
+) -> list[Clause]:
+    """Ground the program over ``adom(D)``.
+
+    Each returned clause is a pair (negative IDB atoms, positive IDB atoms);
+    it is satisfied if some negative atom is false or some positive atom is
+    true.  Rules whose EDB body part is not matched by the data produce no
+    clause; EDB head atoms cannot occur (heads are IDB by definition).
+    """
+    domain = sorted(instance.active_domain, key=repr)
+    edb = program.edb_relations
+    idb_names = {sym.name for sym in program.idb_relations}
+    clauses: list[Clause] = []
+    for rule in program.rules:
+        variables = sorted(rule.variables, key=str)
+        # Seed candidate bindings from EDB atoms to avoid the full cartesian
+        # product whenever possible.
+        for assignment in _rule_assignments(rule, variables, domain, instance, edb):
+            negative: set[GroundAtom] = set()
+            positive: set[GroundAtom] = set()
+            satisfied = False
+            for atom in rule.body:
+                ground = _ground_atom(atom, assignment)
+                relation, arguments = ground
+                if relation in edb or (
+                    relation.name not in idb_names and relation.name != ADOM
+                ):
+                    if not _edb_lookup(instance, relation, arguments):
+                        satisfied = True
+                        break
+                elif relation.name == ADOM:
+                    if arguments[0] not in instance.active_domain:
+                        satisfied = True
+                        break
+                else:
+                    negative.add(ground)
+            if satisfied:
+                continue
+            for atom in rule.head:
+                positive.add(_ground_atom(atom, assignment))
+            clauses.append((frozenset(negative), frozenset(positive)))
+    return clauses
+
+
+def _rule_assignments(
+    rule: Rule,
+    variables: Sequence[Variable],
+    domain: Sequence[Element],
+    instance: Instance,
+    edb: frozenset[RelationSymbol],
+) -> Iterator[dict[Variable, Element]]:
+    """Enumerate variable assignments consistent with the EDB part of the body."""
+    if not variables:
+        yield {}
+        return
+    edb_atoms = [a for a in rule.body if a.relation in edb]
+    other_variables = set(variables)
+    partial_maps: list[dict[Variable, Element]] = [{}]
+    for atom in edb_atoms:
+        tuples = instance.tuples(atom.relation)
+        extended: list[dict[Variable, Element]] = []
+        for partial in partial_maps:
+            for row in tuples:
+                candidate = dict(partial)
+                ok = True
+                for term, value in zip(atom.arguments, row):
+                    if isinstance(term, Variable):
+                        if term in candidate and candidate[term] != value:
+                            ok = False
+                            break
+                        candidate[term] = value
+                    elif term != value:
+                        ok = False
+                        break
+                if ok:
+                    extended.append(candidate)
+        partial_maps = extended
+        if not partial_maps:
+            return
+    bound = set().union(*(set(p) for p in partial_maps)) if partial_maps else set()
+    free = sorted(other_variables - bound, key=str)
+    seen: set[tuple] = set()
+    for partial in partial_maps:
+        key = tuple(sorted(((v.name, partial[v]) for v in partial), key=repr))
+        if key in seen:
+            continue
+        seen.add(key)
+        for values in itertools.product(domain, repeat=len(free)):
+            assignment = dict(partial)
+            assignment.update(zip(free, values))
+            yield assignment
+
+
+def _dpll(clauses: list[Clause], forced_false: set[GroundAtom]) -> bool:
+    """Satisfiability of the ground clause set with the given atoms forced false.
+
+    An interpretation assigns true/false to ground IDB atoms; a clause
+    ``(neg, pos)`` is satisfied if some atom of ``neg`` is false or some atom of
+    ``pos`` is true.  Returns True iff a satisfying interpretation exists.
+    """
+    true_atoms: set[GroundAtom] = set()
+    false_atoms: set[GroundAtom] = set(forced_false)
+
+    def simplify(active: list[Clause]) -> tuple[list[Clause], bool]:
+        changed = True
+        current = active
+        while changed:
+            changed = False
+            remaining: list[Clause] = []
+            for negative, positive in current:
+                if negative & false_atoms or positive & true_atoms:
+                    continue  # clause already satisfied
+                negative = negative - true_atoms
+                positive = positive - false_atoms
+                if not negative and not positive:
+                    return [], False  # empty clause: conflict
+                if not negative and len(positive) == 1:
+                    atom = next(iter(positive))
+                    if atom in false_atoms:
+                        return [], False
+                    true_atoms.add(atom)
+                    changed = True
+                    continue
+                if not positive and len(negative) == 1:
+                    atom = next(iter(negative))
+                    if atom in true_atoms:
+                        return [], False
+                    false_atoms.add(atom)
+                    changed = True
+                    continue
+                remaining.append((negative, positive))
+            current = remaining
+        return current, True
+
+    def solve(active: list[Clause]) -> bool:
+        nonlocal true_atoms, false_atoms
+        simplified, consistent = simplify(active)
+        if not consistent:
+            return False
+        if not simplified:
+            return True
+        # Branch on an arbitrary undecided atom; prefer making atoms false,
+        # which heads towards minimal models.
+        negative, positive = simplified[0]
+        atom = next(iter(positive)) if positive else next(iter(negative))
+        saved_true, saved_false = set(true_atoms), set(false_atoms)
+        false_atoms.add(atom)
+        if solve(simplified):
+            return True
+        true_atoms, false_atoms = saved_true, saved_false
+        true_atoms.add(atom)
+        if solve(simplified):
+            return True
+        true_atoms, false_atoms = saved_true, saved_false
+        return False
+
+    return solve(clauses)
+
+
+def has_model_avoiding(
+    program: DisjunctiveDatalogProgram,
+    instance: Instance,
+    avoided_goal_tuples: Iterable[tuple],
+    clauses: list[Clause] | None = None,
+) -> bool:
+    """Is there a model of the program extending ``instance`` in which none of the
+    given goal tuples holds?"""
+    if clauses is None:
+        clauses = ground_clauses(program, instance)
+    forced_false = {
+        (program.goal_relation, tuple(args)) for args in avoided_goal_tuples
+    }
+    return _dpll(list(clauses), forced_false)
+
+
+def evaluate(
+    program: DisjunctiveDatalogProgram, instance: Instance
+) -> frozenset[tuple]:
+    """The certain answers ``qΠ(D)`` of a DDlog program on an instance."""
+    domain = sorted(instance.active_domain, key=repr)
+    clauses = ground_clauses(program, instance)
+    answers: set[tuple] = set()
+    for candidate in itertools.product(domain, repeat=program.arity):
+        if not has_model_avoiding(program, instance, [candidate], clauses):
+            answers.add(candidate)
+    return frozenset(answers)
+
+
+def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:
+    """Evaluate a Boolean (0-ary) program: ``qΠ(D) = 1``?"""
+    if program.arity != 0:
+        raise ValueError("program is not Boolean")
+    if not instance.active_domain:
+        return False
+    clauses = ground_clauses(program, instance)
+    return not has_model_avoiding(program, instance, [()], clauses)
+
+
+def holds(
+    program: DisjunctiveDatalogProgram, instance: Instance, answer: Sequence = ()
+) -> bool:
+    """Does the tuple ``answer`` belong to ``qΠ(D)``?"""
+    clauses = ground_clauses(program, instance)
+    return not has_model_avoiding(program, instance, [tuple(answer)], clauses)
+
+
+def models(
+    program: DisjunctiveDatalogProgram,
+    instance: Instance,
+    max_models: int | None = None,
+) -> Iterator[Instance]:
+    """Enumerate models of the program extending the instance (over ``adom(D)``).
+
+    Used by tests to validate the clause-based evaluator against the textbook
+    definition; exponential, so only for very small inputs.
+    """
+    domain = sorted(instance.active_domain, key=repr)
+    idb = [
+        sym
+        for sym in program.idb_relations
+        if sym.name != ADOM
+    ]
+    possible: list[Fact] = []
+    for symbol in idb:
+        for args in itertools.product(domain, repeat=symbol.arity):
+            possible.append(Fact(symbol, args))
+    count = 0
+    for size in range(len(possible) + 1):
+        for subset in itertools.combinations(possible, size):
+            candidate = instance.with_facts(subset)
+            if _satisfies_all_rules(program, candidate, instance):
+                yield candidate
+                count += 1
+                if max_models is not None and count >= max_models:
+                    return
+
+
+def _satisfies_all_rules(
+    program: DisjunctiveDatalogProgram, candidate: Instance, original: Instance
+) -> bool:
+    domain = sorted(original.active_domain, key=repr)
+    for rule in program.rules:
+        variables = sorted(rule.variables, key=str)
+        for values in itertools.product(domain, repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            body_holds = True
+            for atom in rule.body:
+                relation, arguments = _ground_atom(atom, assignment)
+                if relation.name == ADOM:
+                    if arguments[0] not in original.active_domain:
+                        body_holds = False
+                        break
+                elif arguments not in candidate.tuples(relation):
+                    body_holds = False
+                    break
+            if not body_holds:
+                continue
+            head_holds = False
+            for atom in rule.head:
+                relation, arguments = _ground_atom(atom, assignment)
+                if arguments in candidate.tuples(relation):
+                    head_holds = True
+                    break
+            if not head_holds:
+                return False
+    return True

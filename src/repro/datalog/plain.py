@@ -1,0 +1,190 @@
+"""Plain (disjunction-free) datalog with semi-naive bottom-up evaluation.
+
+Datalog queries are the rewriting target of Section 5.3; a *datalog query* in
+the paper is a DDlog query defined by a program whose rule heads are single
+atoms.  This module provides a least-fixpoint evaluator, which is what makes
+the datalog-rewritability experiments executable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol
+from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
+
+Element = Hashable
+
+
+class DatalogProgram(DisjunctiveDatalogProgram):
+    """A disjunction-free DDlog program evaluated via least fixpoint."""
+
+    def __init__(self, rules, goal_relation: RelationSymbol | None = None) -> None:
+        super().__init__(rules, goal_relation=goal_relation)
+        for rule in self.rules:
+            if len(rule.head) != 1:
+                raise ValueError(
+                    "datalog rules must have exactly one head atom; "
+                    f"offending rule: {rule}"
+                )
+
+    # -- evaluation --------------------------------------------------------------
+
+    def least_fixpoint(self, instance: Instance) -> Instance:
+        """The minimal model of the program extending the instance."""
+        adom_facts = [
+            Fact(RelationSymbol(ADOM, 1), (element,))
+            for element in instance.active_domain
+        ]
+        current = instance.with_facts(adom_facts)
+        changed = True
+        while changed:
+            changed = False
+            new_facts: set[Fact] = set()
+            for rule in self.rules:
+                for assignment in _body_matches(rule, current):
+                    head_atom = rule.head[0]
+                    arguments = tuple(
+                        assignment[a] if isinstance(a, Variable) else a
+                        for a in head_atom.arguments
+                    )
+                    fact = Fact(head_atom.relation, arguments)
+                    if fact not in current:
+                        new_facts.add(fact)
+            if new_facts:
+                current = current.with_facts(new_facts)
+                changed = True
+        return current
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        """The answers of the datalog query: goal facts in the least fixpoint."""
+        fixpoint = self.least_fixpoint(instance)
+        return frozenset(fixpoint.tuples(self.goal_relation))
+
+    def evaluate_boolean(self, instance: Instance) -> bool:
+        if self.arity != 0:
+            raise ValueError("program is not Boolean")
+        return () in self.evaluate(instance)
+
+    def holds(self, instance: Instance, answer: Sequence = ()) -> bool:
+        return tuple(answer) in self.evaluate(instance)
+
+
+def _body_matches(rule: Rule, instance: Instance):
+    """Enumerate assignments of body variables satisfying the body in ``instance``."""
+    atoms = sorted(rule.body, key=lambda a: len(instance.tuples(a.relation)))
+    variables = sorted(rule.variables, key=str)
+
+    def extend(index: int, assignment: dict):
+        if index == len(atoms):
+            if all(v in assignment for v in variables):
+                yield dict(assignment)
+            else:
+                # variables occurring only in the head are not allowed by Rule,
+                # so every variable is already bound here.
+                yield dict(assignment)
+            return
+        atom = atoms[index]
+        for row in instance.tuples(atom.relation):
+            candidate = dict(assignment)
+            consistent = True
+            for term, value in zip(atom.arguments, row):
+                if isinstance(term, Variable):
+                    if term in candidate and candidate[term] != value:
+                        consistent = False
+                        break
+                    candidate[term] = value
+                elif term != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield from extend(index + 1, candidate)
+
+    yield from extend(0, {})
+
+
+def conjoin_datalog_queries(
+    programs: Sequence[DatalogProgram],
+) -> DatalogProgram:
+    """The conjunction of datalog queries of the same arity (Lemma 5.14 uses
+    closure of datalog queries under conjunction).
+
+    Relation symbols of each program are renamed apart, and the combined goal
+    fires when every constituent goal fires on the same tuple.
+    """
+    if not programs:
+        raise ValueError("need at least one program")
+    arity = programs[0].arity
+    if any(p.arity != arity for p in programs):
+        raise ValueError("programs must share the goal arity")
+    renamed_rules: list[Rule] = []
+    component_goals: list[RelationSymbol] = []
+    for index, program in enumerate(programs):
+        idb_names = {s.name for s in program.idb_relations} - {ADOM}
+        renaming = {
+            name: f"{name}__c{index}" for name in idb_names
+        }
+        component_goals.append(RelationSymbol(renaming["goal"], arity))
+
+        def rename_atom(atom: Atom) -> Atom:
+            name = atom.relation.name
+            if name in renaming:
+                return Atom(
+                    RelationSymbol(renaming[name], atom.relation.arity), atom.arguments
+                )
+            return atom
+
+        for rule in program.rules:
+            renamed_rules.append(
+                Rule(
+                    tuple(rename_atom(a) for a in rule.head),
+                    tuple(rename_atom(a) for a in rule.body),
+                )
+            )
+    answer_vars = tuple(Variable(f"x{i}") for i in range(arity))
+    goal = RelationSymbol("goal", arity)
+    if arity == 0:
+        body = tuple(Atom(g, ()) for g in component_goals)
+    else:
+        body = tuple(Atom(g, answer_vars) for g in component_goals)
+    renamed_rules.append(Rule((Atom(goal, answer_vars),), body))
+    return DatalogProgram(renamed_rules, goal_relation=goal)
+
+
+def union_datalog_queries(programs: Sequence[DatalogProgram]) -> DatalogProgram:
+    """The union (disjunction) of datalog queries of the same arity."""
+    if not programs:
+        raise ValueError("need at least one program")
+    arity = programs[0].arity
+    if any(p.arity != arity for p in programs):
+        raise ValueError("programs must share the goal arity")
+    renamed_rules: list[Rule] = []
+    goal = RelationSymbol("goal", arity)
+    answer_vars = tuple(Variable(f"x{i}") for i in range(arity))
+    for index, program in enumerate(programs):
+        idb_names = {s.name for s in program.idb_relations} - {ADOM}
+        renaming = {name: f"{name}__u{index}" for name in idb_names}
+
+        def rename_atom(atom: Atom) -> Atom:
+            name = atom.relation.name
+            if name in renaming:
+                return Atom(
+                    RelationSymbol(renaming[name], atom.relation.arity), atom.arguments
+                )
+            return atom
+
+        for rule in program.rules:
+            renamed_rules.append(
+                Rule(
+                    tuple(rename_atom(a) for a in rule.head),
+                    tuple(rename_atom(a) for a in rule.body),
+                )
+            )
+        component_goal = RelationSymbol(renaming["goal"], arity)
+        renamed_rules.append(
+            Rule((Atom(goal, answer_vars),), (Atom(component_goal, answer_vars),))
+        )
+    return DatalogProgram(renamed_rules, goal_relation=goal)

@@ -1,0 +1,308 @@
+"""ALC concepts and the constructors of its standard extensions.
+
+The concept language follows Section 2 of the paper::
+
+    C, D ::= A | ⊤ | ⊥ | ¬C | C ⊓ D | C ⊔ D | ∃R.C | ∀R.C
+
+Extensions add inverse roles (``ALCI``), the universal role (``ALCU``), role
+hierarchies, transitive roles and functional roles at the ontology level.
+Concepts are immutable and hashable; negation normal form, syntactic
+subconcepts and size are provided because the translations of Section 3 are
+phrased in terms of ``sub(O)`` and ``|O|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from typing import Iterable, Iterator
+
+UNIVERSAL_ROLE_NAME = "__universal__"
+
+
+@dataclass(frozen=True, order=True)
+class Role:
+    """A role: a role name, possibly inverted, or the universal role."""
+
+    name: str
+    inverse: bool = False
+
+    def __post_init__(self) -> None:
+        if self.is_universal() and self.inverse:
+            raise ValueError("the universal role has no inverse")
+
+    def inverted(self) -> "Role":
+        if self.is_universal():
+            raise ValueError("the universal role has no inverse")
+        return Role(self.name, not self.inverse)
+
+    def is_universal(self) -> bool:
+        return self.name == UNIVERSAL_ROLE_NAME
+
+    def is_inverse(self) -> bool:
+        return self.inverse
+
+    def __str__(self) -> str:
+        if self.is_universal():
+            return "U"
+        return f"{self.name}-" if self.inverse else self.name
+
+
+UNIVERSAL_ROLE = Role(UNIVERSAL_ROLE_NAME)
+
+
+def role(name: str) -> Role:
+    return Role(name)
+
+
+def inverse(name_or_role: "str | Role") -> Role:
+    if isinstance(name_or_role, Role):
+        return name_or_role.inverted()
+    return Role(name_or_role, inverse=True)
+
+
+class Concept:
+    """Base class for ALC-family concepts."""
+
+    # -- constructors (operator sugar) ------------------------------------------
+
+    def __and__(self, other: "Concept") -> "Concept":
+        return And.of(self, other)
+
+    def __or__(self, other: "Concept") -> "Concept":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Concept":
+        return Not(self)
+
+    def implies(self, other: "Concept"):
+        """Build the concept inclusion ``self ⊑ other``."""
+        from .ontology import ConceptInclusion
+
+        return ConceptInclusion(self, other)
+
+    # -- structural API -----------------------------------------------------------
+
+    def children(self) -> tuple["Concept", ...]:
+        return ()
+
+    def subconcepts(self) -> Iterator["Concept"]:
+        """All syntactic subconcepts, including the concept itself."""
+        yield self
+        for child in self.children():
+            yield from child.subconcepts()
+
+    def concept_names(self) -> set[str]:
+        return {c.name for c in self.subconcepts() if isinstance(c, ConceptName)}
+
+    def roles(self) -> set[Role]:
+        result = set()
+        for sub in self.subconcepts():
+            if isinstance(sub, (Exists, Forall)):
+                result.add(sub.role)
+        return result
+
+    def role_names(self) -> set[str]:
+        return {r.name for r in self.roles() if not r.is_universal()}
+
+    def size(self) -> int:
+        """Syntactic size (symbols in the concept)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def uses_inverse_roles(self) -> bool:
+        return any(r.is_inverse() for r in self.roles())
+
+    def uses_universal_role(self) -> bool:
+        return any(r.is_universal() for r in self.roles())
+
+    # -- negation normal form ------------------------------------------------------
+
+    def nnf(self) -> "Concept":
+        """Negation normal form (negation only in front of concept names)."""
+        raise NotImplementedError
+
+    def negate(self) -> "Concept":
+        """The NNF of the negation of this concept."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Top(Concept):
+    def __str__(self) -> str:
+        return "⊤"
+
+    def nnf(self) -> Concept:
+        return self
+
+    def negate(self) -> Concept:
+        return Bottom()
+
+
+@dataclass(frozen=True)
+class Bottom(Concept):
+    def __str__(self) -> str:
+        return "⊥"
+
+    def nnf(self) -> Concept:
+        return self
+
+    def negate(self) -> Concept:
+        return Top()
+
+
+@dataclass(frozen=True)
+class ConceptName(Concept):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+    def nnf(self) -> Concept:
+        return self
+
+    def negate(self) -> Concept:
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Not(Concept):
+    operand: Concept
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+    def children(self) -> tuple[Concept, ...]:
+        return (self.operand,)
+
+    def nnf(self) -> Concept:
+        return self.operand.negate()
+
+    def negate(self) -> Concept:
+        return self.operand.nnf()
+
+
+@dataclass(frozen=True)
+class And(Concept):
+    left: Concept
+    right: Concept
+
+    @classmethod
+    def of(cls, *conjuncts: Concept) -> Concept:
+        """Left-associated conjunction of one or more concepts."""
+        if not conjuncts:
+            return Top()
+        return reduce(cls, conjuncts)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊓ {self.right})"
+
+    def children(self) -> tuple[Concept, ...]:
+        return (self.left, self.right)
+
+    def nnf(self) -> Concept:
+        return And(self.left.nnf(), self.right.nnf())
+
+    def negate(self) -> Concept:
+        return Or(self.left.negate(), self.right.negate())
+
+
+@dataclass(frozen=True)
+class Or(Concept):
+    left: Concept
+    right: Concept
+
+    @classmethod
+    def of(cls, *disjuncts: Concept) -> Concept:
+        if not disjuncts:
+            return Bottom()
+        return reduce(cls, disjuncts)
+
+    def __str__(self) -> str:
+        return f"({self.left} ⊔ {self.right})"
+
+    def children(self) -> tuple[Concept, ...]:
+        return (self.left, self.right)
+
+    def nnf(self) -> Concept:
+        return Or(self.left.nnf(), self.right.nnf())
+
+    def negate(self) -> Concept:
+        return And(self.left.negate(), self.right.negate())
+
+
+@dataclass(frozen=True)
+class Exists(Concept):
+    role: Role
+    filler: Concept
+
+    def __str__(self) -> str:
+        return f"∃{self.role}.{self.filler}"
+
+    def children(self) -> tuple[Concept, ...]:
+        return (self.filler,)
+
+    def nnf(self) -> Concept:
+        return Exists(self.role, self.filler.nnf())
+
+    def negate(self) -> Concept:
+        return Forall(self.role, self.filler.negate())
+
+
+@dataclass(frozen=True)
+class Forall(Concept):
+    role: Role
+    filler: Concept
+
+    def __str__(self) -> str:
+        return f"∀{self.role}.{self.filler}"
+
+    def children(self) -> tuple[Concept, ...]:
+        return (self.filler,)
+
+    def nnf(self) -> Concept:
+        return Forall(self.role, self.filler.nnf())
+
+    def negate(self) -> Concept:
+        return Exists(self.role, self.filler.negate())
+
+
+# -- convenience constructors -----------------------------------------------------
+
+TOP = Top()
+BOTTOM = Bottom()
+
+
+def concept(name: str) -> ConceptName:
+    return ConceptName(name)
+
+
+def concepts(*names: str) -> tuple[ConceptName, ...]:
+    return tuple(ConceptName(name) for name in names)
+
+
+def exists(role_: "str | Role", filler: Concept | None = None) -> Exists:
+    if isinstance(role_, str):
+        role_ = Role(role_)
+    return Exists(role_, filler if filler is not None else TOP)
+
+
+def forall(role_: "str | Role", filler: Concept) -> Forall:
+    if isinstance(role_, str):
+        role_ = Role(role_)
+    return Forall(role_, filler)
+
+
+def big_and(parts: Iterable[Concept]) -> Concept:
+    return And.of(*parts)
+
+
+def big_or(parts: Iterable[Concept]) -> Concept:
+    return Or.of(*parts)
+
+
+def is_in_nnf(c: Concept) -> bool:
+    """True if negation occurs only directly in front of concept names."""
+    for sub in c.subconcepts():
+        if isinstance(sub, Not) and not isinstance(sub.operand, ConceptName):
+            return False
+    return True

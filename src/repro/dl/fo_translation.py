@@ -1,0 +1,165 @@
+"""The standard first-order translation of ALC-family concepts (Table II).
+
+Each concept ``C`` translates to an FO formula ``C*(x)`` with one free
+variable; an ontology translates to the set of sentences
+``∀x (C*(x) → D*(x))`` for its concept inclusions, plus the obvious sentences
+for role hierarchy, transitivity and functionality statements.  The
+translation of an ``ALC`` ontology lands in UNFO and (via guarded
+quantification) in GFO, which the tests verify against the fragment checkers.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.cq import Variable
+from ..fo.formulas import (
+    AndF,
+    Equality,
+    ExistsF,
+    Falsity,
+    ForallF,
+    Formula,
+    Implies,
+    NotF,
+    OrF,
+    RelationalAtom,
+    Truth,
+    atom,
+    conjunction,
+)
+from .concepts import (
+    And,
+    Bottom,
+    Concept,
+    ConceptName,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    Top,
+)
+from .ontology import (
+    ConceptInclusion,
+    FunctionalRole,
+    Ontology,
+    RoleInclusion,
+    TransitiveRole,
+)
+
+_FRESH = itertools.count()
+
+
+def _fresh_variable() -> Variable:
+    return Variable(f"y{next(_FRESH)}")
+
+
+def _role_atom(role: Role, source: Variable, target: Variable) -> Formula:
+    """The atom for an ``R``-edge from ``source`` to ``target`` (inverses swap)."""
+    if role.is_universal():
+        return Truth()
+    if role.is_inverse():
+        return atom(role.name, target, source, arity=2)
+    return atom(role.name, source, target, arity=2)
+
+
+def concept_to_fo(concept: Concept, free: Variable | None = None) -> Formula:
+    """The translation ``C*(x)`` of Table II."""
+    x = free if free is not None else Variable("x")
+    if isinstance(concept, Top):
+        return Truth()
+    if isinstance(concept, Bottom):
+        return Falsity()
+    if isinstance(concept, ConceptName):
+        return atom(concept.name, x, arity=1)
+    if isinstance(concept, Not):
+        return NotF(concept_to_fo(concept.operand, x))
+    if isinstance(concept, And):
+        return AndF(
+            (concept_to_fo(concept.left, x), concept_to_fo(concept.right, x))
+        )
+    if isinstance(concept, Or):
+        return OrF((concept_to_fo(concept.left, x), concept_to_fo(concept.right, x)))
+    if isinstance(concept, Exists):
+        y = _fresh_variable()
+        if concept.role.is_universal():
+            return ExistsF((y,), concept_to_fo(concept.filler, y))
+        return ExistsF(
+            (y,),
+            AndF((_role_atom(concept.role, x, y), concept_to_fo(concept.filler, y))),
+        )
+    if isinstance(concept, Forall):
+        y = _fresh_variable()
+        if concept.role.is_universal():
+            return ForallF((y,), concept_to_fo(concept.filler, y))
+        return ForallF(
+            (y,),
+            Implies(_role_atom(concept.role, x, y), concept_to_fo(concept.filler, y)),
+        )
+    raise TypeError(f"unknown concept constructor: {concept!r}")
+
+
+def inclusion_to_fo(inclusion: ConceptInclusion) -> Formula:
+    """``∀x (C*(x) → D*(x))``."""
+    x = Variable("x")
+    return ForallF(
+        (x,), Implies(concept_to_fo(inclusion.lhs, x), concept_to_fo(inclusion.rhs, x))
+    )
+
+
+def ontology_to_fo(ontology: Ontology) -> list[Formula]:
+    """The FO theory ``O*`` of an ontology (one sentence per axiom)."""
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    sentences: list[Formula] = []
+    for axiom in ontology:
+        if isinstance(axiom, ConceptInclusion):
+            sentences.append(inclusion_to_fo(axiom))
+        elif isinstance(axiom, RoleInclusion):
+            sentences.append(
+                ForallF(
+                    (x, y),
+                    Implies(_role_atom(axiom.sub, x, y), _role_atom(axiom.sup, x, y)),
+                )
+            )
+        elif isinstance(axiom, TransitiveRole):
+            role = axiom.role
+            sentences.append(
+                ForallF(
+                    (x, y, z),
+                    Implies(
+                        AndF((_role_atom(role, x, y), _role_atom(role, y, z))),
+                        _role_atom(role, x, z),
+                    ),
+                )
+            )
+        elif isinstance(axiom, FunctionalRole):
+            role = axiom.role
+            sentences.append(
+                ForallF(
+                    (x, y, z),
+                    Implies(
+                        AndF((_role_atom(role, x, y), _role_atom(role, x, z))),
+                        Equality(y, z),
+                    ),
+                )
+            )
+        else:
+            raise TypeError(f"unknown axiom type: {axiom!r}")
+    return sentences
+
+
+def ontology_to_fo_sentence(ontology: Ontology) -> Formula:
+    """The conjunction of all axiom translations."""
+    return conjunction(ontology_to_fo(ontology))
+
+
+def fo_models_ontology(instance, ontology: Ontology) -> bool:
+    """Does a finite instance (viewed as a relational structure over its active
+    domain) satisfy the FO translation of the ontology?
+
+    This is the reference semantics used to cross-check the type-elimination
+    reasoner and the bounded counter-model search.
+    """
+    sentence = ontology_to_fo_sentence(ontology)
+    return sentence.evaluate(instance)

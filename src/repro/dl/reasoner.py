@@ -1,0 +1,456 @@
+"""Type-elimination reasoning for the ALC family.
+
+The reasoner implements the classical *type elimination* procedure that also
+underlies the proofs of Theorems 3.3 and 3.4: a *type* is a truth assignment
+to the subconcepts of the ontology (closed under negation normal form), a type
+is *good* if it can be realised at the root of a tree-shaped model, and an
+ABox (instance) is consistent with the ontology iff its elements can be
+labelled with good types compatible with the asserted facts.
+
+Supported natively: ``ALC``, role hierarchies (``H``) and the universal role
+(``U``).  Inverse roles and transitive roles are handled by the equivalence
+preserving rewritings of :mod:`repro.dl.rewritings` (Theorems 3.6 and 3.11);
+functional roles (``ALCF``) are outside the scope of this engine — the paper
+uses them for negative results — and are served by the bounded-model search in
+:mod:`repro.omq.bounded`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol
+from .concepts import (
+    And,
+    Bottom,
+    Concept,
+    ConceptName,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    Top,
+)
+from .ontology import Ontology
+
+Element = Hashable
+Type = frozenset  # frozenset of closure concepts that are true
+
+
+class UnsupportedOntologyError(ValueError):
+    """Raised when the type-elimination reasoner cannot handle the ontology."""
+
+
+def _check_supported(ontology: Ontology) -> None:
+    if ontology.uses_inverse_roles():
+        raise UnsupportedOntologyError(
+            "inverse roles are not supported natively; apply "
+            "repro.dl.rewritings.eliminate_inverse_roles first (Theorem 3.6)"
+        )
+    if ontology.uses_transitive_roles():
+        raise UnsupportedOntologyError(
+            "transitive roles are not supported natively; apply "
+            "repro.dl.rewritings.eliminate_transitive_roles first (Theorem 3.11)"
+        )
+    if ontology.uses_functional_roles():
+        raise UnsupportedOntologyError(
+            "functional roles are not supported by type elimination; use the "
+            "bounded-model engine in repro.omq.bounded"
+        )
+
+
+def negation_closure(concepts: Iterable[Concept]) -> frozenset[Concept]:
+    """Close a set of NNF concepts under subconcepts and NNF negation."""
+    result: set[Concept] = set()
+    frontier = [c.nnf() for c in concepts]
+    while frontier:
+        current = frontier.pop()
+        if current in result:
+            continue
+        result.add(current)
+        frontier.extend(current.children())
+        negated = current.negate()
+        if negated not in result:
+            frontier.append(negated)
+    return frozenset(result)
+
+
+class TypeSystem:
+    """Types over the closure of an ontology (plus extra tracked concepts).
+
+    A type is represented as the frozenset of closure concepts it makes true.
+    Truth of composite concepts is derived from *decision concepts*: concept
+    names and existential restrictions.  Universal restrictions are derived via
+    their existential duals, which keeps types semantically coherent by
+    construction (``∀R.C`` is true exactly when ``∃R.¬C`` is false).
+    """
+
+    def __init__(self, ontology: Ontology, extra_concepts: Iterable[Concept] = ()):
+        _check_supported(ontology)
+        self.ontology = ontology
+        seeds: list[Concept] = []
+        for inclusion in ontology.concept_inclusions():
+            seeds.append(inclusion.lhs.nnf())
+            seeds.append(inclusion.lhs.negate())
+            seeds.append(inclusion.rhs.nnf())
+            seeds.append(inclusion.rhs.negate())
+        seeds.extend(c.nnf() for c in extra_concepts)
+        seeds.extend(c.negate() for c in extra_concepts)
+        self.closure = negation_closure(seeds)
+        self._axioms = [
+            (ci.lhs.nnf(), ci.rhs.nnf()) for ci in ontology.concept_inclusions()
+        ]
+        self.concept_name_decisions = sorted(
+            {c for c in self.closure if isinstance(c, ConceptName)},
+            key=str,
+        )
+        self.existential_decisions = sorted(
+            {c for c in self.closure if isinstance(c, Exists)},
+            key=str,
+        )
+        self.u_existentials = [
+            c for c in self.existential_decisions if c.role.is_universal()
+        ]
+
+    # -- truth derivation ------------------------------------------------------------
+
+    def _truth(self, concept: Concept, true_decisions: frozenset[Concept]) -> bool:
+        if isinstance(concept, Top):
+            return True
+        if isinstance(concept, Bottom):
+            return False
+        if isinstance(concept, ConceptName):
+            return concept in true_decisions
+        if isinstance(concept, Not):
+            return not self._truth(concept.operand, true_decisions)
+        if isinstance(concept, And):
+            return self._truth(concept.left, true_decisions) and self._truth(
+                concept.right, true_decisions
+            )
+        if isinstance(concept, Or):
+            return self._truth(concept.left, true_decisions) or self._truth(
+                concept.right, true_decisions
+            )
+        if isinstance(concept, Exists):
+            return concept in true_decisions
+        if isinstance(concept, Forall):
+            dual = Exists(concept.role, concept.filler.negate())
+            return not self._truth(dual, true_decisions)
+        raise TypeError(f"unknown concept constructor: {concept!r}")
+
+    def type_from_decisions(self, true_decisions: frozenset[Concept]) -> Type | None:
+        """Build a type from a decision assignment; None if it violates an axiom."""
+        members = frozenset(
+            c for c in self.closure if self._truth(c, true_decisions)
+        )
+        for lhs, rhs in self._axioms:
+            if self._truth(lhs, true_decisions) and not self._truth(
+                rhs, true_decisions
+            ):
+                return None
+        return members
+
+    def all_types(self) -> list[Type]:
+        """All locally consistent types (axioms respected)."""
+        decisions = list(self.concept_name_decisions) + list(
+            self.existential_decisions
+        )
+        if len(decisions) > 18:
+            raise UnsupportedOntologyError(
+                f"closure too large for exhaustive type enumeration "
+                f"({len(decisions)} decision concepts)"
+            )
+        types: list[Type] = []
+        for bits in itertools.product((False, True), repeat=len(decisions)):
+            true_decisions = frozenset(
+                d for d, bit in zip(decisions, bits) if bit
+            )
+            candidate = self.type_from_decisions(true_decisions)
+            if candidate is not None:
+                types.append(candidate)
+        return types
+
+    # -- edge compatibility -------------------------------------------------------------
+
+    def super_roles(self, role: Role) -> frozenset[Role]:
+        return self.ontology.super_roles(role)
+
+    def compatible(self, source: Type, target: Type, base_role: Role) -> bool:
+        """May ``target`` label an R-successor of ``source`` (R = ``base_role``)?
+
+        The successor inherits value restrictions along all super-roles of
+        ``base_role`` and must not witness existential restrictions that the
+        source type declares false (types are semantically exact).
+        """
+        supers = self.super_roles(base_role)
+        for concept in self.closure:
+            if isinstance(concept, Forall) and concept in source:
+                if concept.role in supers or concept.role.is_universal():
+                    if concept.filler.nnf() not in target:
+                        return False
+            if isinstance(concept, Exists) and concept not in source:
+                if concept.role in supers:
+                    if concept.filler.nnf() in target:
+                        return False
+        return True
+
+    def u_compatible(self, first: Type, second: Type) -> bool:
+        """Types co-existing in one model must agree on universal-role concepts
+        and must not realise a concept whose ``∃U`` the other declares false."""
+        for concept in self.u_existentials:
+            if (concept in first) != (concept in second):
+                return False
+            if concept not in first and concept.filler.nnf() in second:
+                return False
+            if concept not in second and concept.filler.nnf() in first:
+                return False
+        for concept in self.closure:
+            if isinstance(concept, Forall) and concept.role.is_universal():
+                if concept in first and concept.filler.nnf() not in second:
+                    return False
+                if concept in second and concept.filler.nnf() not in first:
+                    return False
+        return True
+
+    # -- good types (tree realisability) ---------------------------------------------------
+
+    def good_types(self, types: Sequence[Type] | None = None) -> list[Type]:
+        """Types realisable at the root of a tree-shaped model (type elimination).
+
+        A type survives if each of its existential restrictions (over ordinary
+        roles) has a surviving witness type compatible with it.  Universal-role
+        existentials are handled globally by :meth:`globally_coherent_types`.
+        """
+        alive = list(types if types is not None else self.all_types())
+        changed = True
+        while changed:
+            changed = False
+            survivors = []
+            for candidate in alive:
+                if self._has_witnesses(candidate, alive):
+                    survivors.append(candidate)
+                else:
+                    changed = True
+            alive = survivors
+        return alive
+
+    def _has_witnesses(self, candidate: Type, alive: Sequence[Type]) -> bool:
+        for concept in candidate:
+            if not isinstance(concept, Exists) or concept.role.is_universal():
+                continue
+            witness_found = False
+            for witness in alive:
+                if concept.filler.nnf() in witness and self.compatible(
+                    candidate, witness, concept.role
+                ):
+                    witness_found = True
+                    break
+            if not witness_found:
+                return False
+        return True
+
+    def globally_coherent_families(self) -> Iterator[list[Type]]:
+        """Families of good types that agree on the universal role.
+
+        Each yielded family is a maximal set of good types that may jointly
+        populate one model: they agree on every ``∃U.C`` / ``∀U.C`` and every
+        positively asserted ``∃U.C`` has a witness inside the family.  Without
+        the universal role there is a single family: all good types.
+        """
+        if not self.uses_universal_role():
+            yield self.good_types()
+            return
+        u_decisions = self.u_existentials
+        for bits in itertools.product((False, True), repeat=len(u_decisions)):
+            valuation = {d: bit for d, bit in zip(u_decisions, bits)}
+            candidates = [
+                t
+                for t in self.all_types()
+                if all((d in t) == bit for d, bit in valuation.items())
+                and all(
+                    d.filler.nnf() not in t
+                    for d, bit in valuation.items()
+                    if not bit
+                )
+            ]
+            good = self.good_types(candidates)
+            # Every ∃U.C asserted true needs a witness type in the family.
+            if all(
+                (not bit) or any(d.filler.nnf() in t for t in good)
+                for d, bit in valuation.items()
+            ):
+                if good:
+                    yield good
+
+    def uses_universal_role(self) -> bool:
+        return bool(self.u_existentials) or any(
+            isinstance(c, Forall) and c.role.is_universal() for c in self.closure
+        )
+
+
+# -- high-level reasoning services ------------------------------------------------------
+
+
+def concept_satisfiable(concept: Concept, ontology: Ontology) -> bool:
+    """Is the concept satisfiable w.r.t. the ontology (in some model of O)?"""
+    system = TypeSystem(ontology, extra_concepts=[concept])
+    target = concept.nnf()
+    for family in system.globally_coherent_families():
+        if any(target in t for t in family):
+            return True
+    return False
+
+
+def concept_subsumed(sub: Concept, sup: Concept, ontology: Ontology) -> bool:
+    """Does ``O ⊨ sub ⊑ sup`` hold?"""
+    return not concept_satisfiable(And(sub, Not(sup)), ontology)
+
+
+def ontology_consistent(ontology: Ontology) -> bool:
+    """Is the ontology satisfiable at all (has a non-empty model)?"""
+    return concept_satisfiable(Top(), ontology)
+
+
+class AboxTypeAssignment:
+    """Search for assignments of good types to the elements of an instance.
+
+    The search is phrased as a homomorphism problem into a *type template*
+    whose elements are the good types, whose unary relations record concept
+    membership and whose binary relations record role compatibility — exactly
+    the template construction behind Theorem 4.6 — and is solved with the
+    arc-consistency-based homomorphism solver of :mod:`repro.core`.
+    """
+
+    _ADOM = RelationSymbol("__abox_adom", 1)
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        instance: Instance,
+        extra_concepts: Iterable[Concept] = (),
+    ) -> None:
+        self.ontology = ontology
+        self.instance = instance
+        extra = list(extra_concepts)
+        extra.extend(
+            ConceptName(symbol.name)
+            for symbol in instance.schema.concept_names
+        )
+        self.system = TypeSystem(ontology, extra_concepts=extra)
+        self._elements = sorted(instance.active_domain, key=repr)
+        self._concept_facts: dict[Element, set[ConceptName]] = {
+            e: set() for e in self._elements
+        }
+        self._role_facts: list[tuple[Element, Element, Role]] = []
+        for fact in instance:
+            if fact.relation.arity == 1:
+                name = ConceptName(fact.relation.name)
+                if name in self.system.closure:
+                    self._concept_facts[fact.arguments[0]].add(name)
+            elif fact.relation.arity == 2:
+                self._role_facts.append(
+                    (fact.arguments[0], fact.arguments[1], Role(fact.relation.name))
+                )
+        self._role_names = sorted({role.name for _s, _t, role in self._role_facts})
+        self._families = list(self.system.globally_coherent_families())
+        self._base_template_facts = [
+            list(self._template_for(family).facts) for family in self._families
+        ]
+
+    # -- template construction -----------------------------------------------------------
+
+    def _template_for(self, family: Sequence[Type]) -> Instance:
+        facts = [Fact(self._ADOM, (t,)) for t in family]
+        concept_names = sorted(
+            {c for c in self.system.closure if isinstance(c, ConceptName)},
+            key=str,
+        )
+        for name in concept_names:
+            symbol = RelationSymbol(name.name, 1)
+            facts.extend(Fact(symbol, (t,)) for t in family if name in t)
+        for role_name in self._role_names:
+            symbol = RelationSymbol(role_name, 2)
+            role = Role(role_name)
+            for source in family:
+                for target in family:
+                    if self.system.compatible(source, target, role):
+                        facts.append(Fact(symbol, (source, target)))
+        return Instance(facts)
+
+    def _data_for(
+        self,
+        forced: dict[Element, list[Concept]],
+        forbidden: dict[Element, list[Concept]],
+        family: Sequence[Type],
+        template_facts: list[Fact],
+    ) -> Instance:
+        facts = [Fact(self._ADOM, (e,)) for e in self._elements]
+        for element, names in self._concept_facts.items():
+            facts.extend(Fact(RelationSymbol(n.name, 1), (element,)) for n in names)
+        for source, target, role in self._role_facts:
+            facts.append(Fact(RelationSymbol(role.name, 2), (source, target)))
+        for index, (element, concepts_) in enumerate(sorted(forced.items(), key=repr)):
+            for concept_index, concept_ in enumerate(concepts_):
+                symbol = RelationSymbol(f"__forced_{index}_{concept_index}", 1)
+                facts.append(Fact(symbol, (element,)))
+                template_facts.extend(
+                    Fact(symbol, (t,)) for t in family if concept_ in t
+                )
+        for index, (element, concepts_) in enumerate(sorted(forbidden.items(), key=repr)):
+            for concept_index, concept_ in enumerate(concepts_):
+                symbol = RelationSymbol(f"__forbidden_{index}_{concept_index}", 1)
+                facts.append(Fact(symbol, (element,)))
+                template_facts.extend(
+                    Fact(symbol, (t,)) for t in family if concept_ not in t
+                )
+        return Instance(facts)
+
+    # -- public API ------------------------------------------------------------------------
+
+    def assignments(
+        self,
+        forced: dict[Element, Iterable[Concept]] | None = None,
+        forbidden: dict[Element, Iterable[Concept]] | None = None,
+    ) -> Iterator[dict[Element, Type]]:
+        """Enumerate consistent type assignments.
+
+        ``forced[e]`` lists closure concepts that must be *true* at ``e``;
+        ``forbidden[e]`` lists closure concepts that must be *false* at ``e``.
+        """
+        from ..core.homomorphism import homomorphisms
+
+        forced = {k: [c.nnf() for c in v] for k, v in (forced or {}).items()}
+        forbidden = {k: [c.nnf() for c in v] for k, v in (forbidden or {}).items()}
+        for family, base_facts in zip(self._families, self._base_template_facts):
+            if not family:
+                continue
+            template_facts = list(base_facts)
+            data = self._data_for(forced, forbidden, family, template_facts)
+            template = Instance(template_facts)
+            for hom in homomorphisms(data, template):
+                yield {element: hom[element] for element in self._elements}
+
+    def exists(self, forced=None, forbidden=None) -> bool:
+        from ..core.homomorphism import has_homomorphism
+
+        forced = {k: [c.nnf() for c in v] for k, v in (forced or {}).items()}
+        forbidden = {k: [c.nnf() for c in v] for k, v in (forbidden or {}).items()}
+        for family, base_facts in zip(self._families, self._base_template_facts):
+            if not family:
+                continue
+            template_facts = list(base_facts)
+            data = self._data_for(forced, forbidden, family, template_facts)
+            if has_homomorphism(data, Instance(template_facts)):
+                return True
+        return False
+
+
+def instance_consistent(instance: Instance, ontology: Ontology) -> bool:
+    """Is the instance (viewed as an ABox under the standard name assumption)
+    consistent with the ontology — i.e. extendable to a model of O?"""
+    if not instance.active_domain:
+        return True
+    return AboxTypeAssignment(ontology, instance).exists()

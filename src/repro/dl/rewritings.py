@@ -1,0 +1,248 @@
+"""Equivalence-preserving ontology rewritings used in Section 3.1.
+
+* :func:`eliminate_inverse_roles` — the folklore translation used in the proof
+  of Theorem 3.6: inverse roles ``R⁻`` are replaced by fresh role names
+  ``R_inv`` whose interaction with ``R`` is axiomatised by
+  ``C' ⊑ ∀R_inv.∃R.C'`` / ``C' ⊑ ∀R.∃R_inv.C'`` for the existential
+  restrictions in the ontology.  UCQ atoms ``R(x, y)`` are replaced by the
+  disjunction ``R(x, y) ∨ R_inv(y, x)`` (distributed into a UCQ).
+* :func:`eliminate_transitive_roles` — the proof of Theorem 3.11: each
+  ``trans(R)`` is replaced by ``∀R.C ⊑ ∀R.∀R.C`` for every ``C ∈ sub(O)``
+  (complete for atomic queries).
+* :func:`eliminate_role_hierarchies` — for atomic queries, ``R ⊑ S`` can be
+  compiled away by adding ``∀S.C ⊑ ∀R.C`` for each ``C ∈ sub(O)``
+  (Theorem 3.11, second bullet).
+
+The certain answers over the *data schema* are preserved by each rewriting;
+fresh symbols never belong to the data schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, as_ucq
+from ..core.schema import RelationSymbol
+from .concepts import (
+    And,
+    Bottom,
+    Concept,
+    ConceptName,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Role,
+    Top,
+)
+from .ontology import ConceptInclusion, Ontology, RoleInclusion, TransitiveRole
+from .reasoner import negation_closure
+
+
+def _inverse_name(role_name: str) -> str:
+    return f"{role_name}__inv"
+
+
+def _replace_inverse_roles(concept: Concept) -> Concept:
+    """Replace every inverse role ``R⁻`` inside a concept by the fresh name ``R_inv``."""
+    if isinstance(concept, (Top, Bottom, ConceptName)):
+        return concept
+    if isinstance(concept, Not):
+        return Not(_replace_inverse_roles(concept.operand))
+    if isinstance(concept, And):
+        return And(
+            _replace_inverse_roles(concept.left), _replace_inverse_roles(concept.right)
+        )
+    if isinstance(concept, Or):
+        return Or(
+            _replace_inverse_roles(concept.left), _replace_inverse_roles(concept.right)
+        )
+    if isinstance(concept, Exists):
+        role = concept.role
+        new_role = Role(_inverse_name(role.name)) if role.is_inverse() else role
+        return Exists(new_role, _replace_inverse_roles(concept.filler))
+    if isinstance(concept, Forall):
+        role = concept.role
+        new_role = Role(_inverse_name(role.name)) if role.is_inverse() else role
+        return Forall(new_role, _replace_inverse_roles(concept.filler))
+    raise TypeError(f"unknown concept constructor: {concept!r}")
+
+
+def eliminate_inverse_roles(
+    ontology: Ontology,
+    query: "ConjunctiveQuery | UnionOfConjunctiveQueries | None" = None,
+) -> tuple[Ontology, UnionOfConjunctiveQueries | None]:
+    """Theorem 3.6 (Point 1): rewrite an ALCHI(U) OMQ into an ALCH(U) OMQ.
+
+    Returns the rewritten ontology and, when a UCQ is supplied, the rewritten
+    query with every role atom ``R(x, y)`` replaced by the two orientations
+    ``R(x, y)`` and ``R_inv(y, x)`` (conjunction distributed over disjunction).
+    Role-hierarchy statements are closed under inverse first.
+    """
+    # Close role hierarchy statements under inverse, then replace R⁻ by R_inv.
+    new_axioms: list = []
+    role_inclusions = list(ontology.role_inclusions())
+    closed_inclusions = set()
+    for axiom in role_inclusions:
+        closed_inclusions.add((axiom.sub, axiom.sup))
+        if not axiom.sub.is_universal() and not axiom.sup.is_universal():
+            closed_inclusions.add((axiom.sub.inverted(), axiom.sup.inverted()))
+
+    def translate_role(role: Role) -> Role:
+        if role.is_inverse():
+            return Role(_inverse_name(role.name))
+        return role
+
+    for sub, sup in sorted(closed_inclusions, key=str):
+        new_axioms.append(RoleInclusion(translate_role(sub), translate_role(sup)))
+
+    closure = negation_closure(
+        itertools.chain.from_iterable(
+            (ci.lhs.nnf(), ci.rhs.nnf()) for ci in ontology.concept_inclusions()
+        )
+    )
+    for inclusion in ontology.concept_inclusions():
+        new_axioms.append(
+            ConceptInclusion(
+                _replace_inverse_roles(inclusion.lhs),
+                _replace_inverse_roles(inclusion.rhs),
+            )
+        )
+    # Synchronise R and R_inv on the subconcepts of O (folklore; see proof of
+    # Theorem 3.6): C' ⊑ ∀R_inv.∃R.C' and C' ⊑ ∀R.∃R_inv.C' for ∃R.C / ∃R⁻.C in sub(O).
+    inverse_role_names = sorted(
+        {
+            r.name
+            for ci in ontology.concept_inclusions()
+            for r in ci.roles()
+            if r.is_inverse()
+        }
+        | {
+            r.name
+            for r in ontology.roles()
+            if r.is_inverse()
+        }
+    )
+    for existential in sorted(
+        (c for c in closure if isinstance(c, Exists)), key=str
+    ):
+        role = existential.role
+        if role.is_universal():
+            continue
+        filler = _replace_inverse_roles(existential.filler)
+        plain = Role(role.name)
+        inv = Role(_inverse_name(role.name))
+        if role.is_inverse():
+            # ∃R⁻.C in sub(O):  C' ⊑ ∀R.∃R_inv.C'
+            new_axioms.append(
+                ConceptInclusion(filler, Forall(plain, Exists(inv, filler)))
+            )
+        else:
+            # ∃R.C in sub(O):  C' ⊑ ∀R_inv.∃R.C'
+            if role.name in inverse_role_names or _uses_role_inverse(ontology, role.name):
+                new_axioms.append(
+                    ConceptInclusion(filler, Forall(inv, Exists(plain, filler)))
+                )
+    for transitive in ontology.transitive_roles():
+        new_axioms.append(TransitiveRole(Role(transitive)))
+    for functional in ontology.functional_roles():
+        raise ValueError("inverse-role elimination does not support functional roles")
+
+    rewritten_query = None
+    if query is not None:
+        rewritten_query = _rewrite_query_for_inverse(as_ucq(query), inverse_role_names)
+    return Ontology(new_axioms), rewritten_query
+
+
+def _uses_role_inverse(ontology: Ontology, role_name: str) -> bool:
+    return any(r.is_inverse() and r.name == role_name for r in ontology.roles())
+
+
+def _rewrite_query_for_inverse(
+    query: UnionOfConjunctiveQueries, inverse_role_names: list[str]
+) -> UnionOfConjunctiveQueries:
+    """Replace each role atom R(x,y) over a role with inverse usage by the two
+    orientations and distribute conjunction over disjunction."""
+    inverse_set = set(inverse_role_names)
+    disjuncts: list[ConjunctiveQuery] = []
+    for disjunct in query.disjuncts:
+        atom_options: list[list[Atom]] = []
+        for atom in sorted(disjunct.atoms, key=str):
+            options = [atom]
+            if atom.relation.arity == 2 and atom.relation.name in inverse_set:
+                flipped = Atom(
+                    RelationSymbol(_inverse_name(atom.relation.name), 2),
+                    (atom.arguments[1], atom.arguments[0]),
+                )
+                options = [atom, flipped]
+            atom_options.append(options)
+        for selection in itertools.product(*atom_options):
+            disjuncts.append(
+                ConjunctiveQuery(disjunct.answer_variables, selection)
+            )
+    return UnionOfConjunctiveQueries(disjuncts)
+
+
+def eliminate_transitive_roles(ontology: Ontology) -> Ontology:
+    """Theorem 3.11: compile ``trans(R)`` away (complete for atomic queries).
+
+    Each transitivity statement is replaced by the concept inclusions
+    ``∀R.C ⊑ ∀R.∀R.C`` for every ``C ∈ sub(O)``.
+    """
+    transitive = ontology.transitive_roles()
+    if not transitive:
+        return ontology
+    closure = negation_closure(
+        itertools.chain.from_iterable(
+            (ci.lhs.nnf(), ci.rhs.nnf()) for ci in ontology.concept_inclusions()
+        )
+    )
+    new_axioms = [a for a in ontology.axioms if not isinstance(a, TransitiveRole)]
+    for role_name in sorted(transitive):
+        role = Role(role_name)
+        for concept in sorted(closure, key=str):
+            new_axioms.append(
+                ConceptInclusion(Forall(role, concept), Forall(role, Forall(role, concept)))
+            )
+    return Ontology(new_axioms)
+
+
+def eliminate_role_hierarchies(ontology: Ontology) -> Ontology:
+    """Theorem 3.11 (second bullet): compile ``R ⊑ S`` away for atomic queries.
+
+    Each role inclusion is replaced by ``∀S.C ⊑ ∀R.C`` for every ``C ∈ sub(O)``.
+    Complete for AQ/BAQ answering; *not* complete for UCQs with role atoms over
+    the super-roles, so UCQ pipelines keep role hierarchies instead.
+    """
+    inclusions = ontology.role_inclusions()
+    if not inclusions:
+        return ontology
+    closure = negation_closure(
+        itertools.chain.from_iterable(
+            (ci.lhs.nnf(), ci.rhs.nnf()) for ci in ontology.concept_inclusions()
+        )
+    )
+    new_axioms = [a for a in ontology.axioms if not isinstance(a, RoleInclusion)]
+    for axiom in inclusions:
+        if axiom.sub.is_inverse() or axiom.sup.is_inverse():
+            raise ValueError("eliminate inverse roles before role hierarchies")
+        for concept in sorted(closure, key=str):
+            new_axioms.append(
+                ConceptInclusion(
+                    Forall(axiom.sup, concept), Forall(axiom.sub, concept)
+                )
+            )
+    return Ontology(new_axioms)
+
+
+def shi_to_alch(ontology: Ontology) -> Ontology:
+    """Reduce an SHI ontology to ALCH, as in the proof of Theorem 3.11:
+    first eliminate transitivity, then inverse roles."""
+    without_transitivity = eliminate_transitive_roles(ontology)
+    rewritten, _ = eliminate_inverse_roles(without_transitivity)
+    return rewritten
+
+
+def shi_to_alc(ontology: Ontology) -> Ontology:
+    """Reduce an SHI ontology to plain ALC (for atomic queries)."""
+    return eliminate_role_hierarchies(shi_to_alch(ontology))

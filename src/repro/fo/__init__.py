@@ -1,0 +1,44 @@
+"""First-order formulas and the ontology-language fragments GFO / UNFO / GNFO."""
+
+from .formulas import (
+    AndF,
+    Equality,
+    ExistsF,
+    Falsity,
+    ForallF,
+    Formula,
+    Implies,
+    NotF,
+    OrF,
+    RelationalAtom,
+    Truth,
+    atom,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+)
+from .fragments import fragment_of, is_gfo, is_gnfo, is_unfo
+
+__all__ = [
+    "AndF",
+    "Equality",
+    "ExistsF",
+    "Falsity",
+    "ForallF",
+    "Formula",
+    "Implies",
+    "NotF",
+    "OrF",
+    "RelationalAtom",
+    "Truth",
+    "atom",
+    "conjunction",
+    "disjunction",
+    "exists",
+    "forall",
+    "fragment_of",
+    "is_gfo",
+    "is_gnfo",
+    "is_unfo",
+]

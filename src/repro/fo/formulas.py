@@ -1,0 +1,309 @@
+"""First-order formulas over relational schemas.
+
+This lightweight FO syntax tree supports the paper's uses of first-order
+logic: the standard translation of DL concepts and ontologies (Table II),
+membership tests for the guarded fragment (GFO), the unary-negation fragment
+(UNFO) and the guarded-negation fragment (GNFO), and evaluation over finite
+instances (used for FO-rewritings in Section 5.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from ..core.cq import Variable
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol
+
+Element = Hashable
+
+
+class Formula:
+    """Base class for FO formulas."""
+
+    def free_variables(self) -> frozenset[Variable]:
+        raise NotImplementedError
+
+    def subformulas(self) -> Iterator["Formula"]:
+        yield self
+        for child in self.children():
+            yield from child.subformulas()
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children())
+
+    def relation_symbols(self) -> set[RelationSymbol]:
+        result: set[RelationSymbol] = set()
+        for sub in self.subformulas():
+            if isinstance(sub, RelationalAtom):
+                result.add(sub.relation)
+        return result
+
+    def is_sentence(self) -> bool:
+        return not self.free_variables()
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def evaluate(
+        self,
+        instance: Instance,
+        assignment: Mapping[Variable, Element] | None = None,
+        domain: Iterable[Element] | None = None,
+    ) -> bool:
+        """Evaluate under the active-domain semantics (or a supplied domain)."""
+        domain_list = list(domain) if domain is not None else sorted(
+            instance.active_domain, key=repr
+        )
+        return self._eval(instance, dict(assignment or {}), domain_list)
+
+    def answers(self, instance: Instance, answer_variables) -> frozenset[tuple]:
+        """All tuples over ``adom(D)`` satisfying the formula (as an FO query)."""
+        domain = sorted(instance.active_domain, key=repr)
+        result = set()
+        for values in itertools.product(domain, repeat=len(answer_variables)):
+            assignment = dict(zip(answer_variables, values))
+            if self._eval(instance, assignment, domain):
+                result.add(values)
+        return frozenset(result)
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        raise NotImplementedError
+
+    # -- connective sugar -----------------------------------------------------------
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return AndF((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return OrF((self, other))
+
+    def __invert__(self) -> "Formula":
+        return NotF(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class RelationalAtom(Formula):
+    relation: RelationSymbol
+    arguments: tuple
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(a for a in self.arguments if isinstance(a, Variable))
+
+    def __str__(self) -> str:
+        return f"{self.relation.name}({', '.join(str(a) for a in self.arguments)})"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        values = tuple(
+            assignment[a] if isinstance(a, Variable) else a for a in self.arguments
+        )
+        return values in instance.tuples(self.relation)
+
+
+@dataclass(frozen=True)
+class Equality(Formula):
+    left: object
+    right: object
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset(
+            t for t in (self.left, self.right) if isinstance(t, Variable)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        left = assignment[self.left] if isinstance(self.left, Variable) else self.left
+        right = (
+            assignment[self.right] if isinstance(self.right, Variable) else self.right
+        )
+        return left == right
+
+
+@dataclass(frozen=True)
+class Truth(Formula):
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊤"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Falsity(Formula):
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "⊥"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class NotF(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.operand.free_variables()
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        return not self.operand._eval(instance, assignment, domain)
+
+
+@dataclass(frozen=True)
+class AndF(Formula):
+    conjuncts: tuple[Formula, ...]
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.conjuncts
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset().union(*(c.free_variables() for c in self.conjuncts)) if self.conjuncts else frozenset()
+
+    def __str__(self) -> str:
+        return " ∧ ".join(f"({c})" for c in self.conjuncts) if self.conjuncts else "⊤"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        return all(c._eval(instance, assignment, domain) for c in self.conjuncts)
+
+
+@dataclass(frozen=True)
+class OrF(Formula):
+    disjuncts: tuple[Formula, ...]
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.disjuncts
+
+    def free_variables(self) -> frozenset[Variable]:
+        return frozenset().union(*(c.free_variables() for c in self.disjuncts)) if self.disjuncts else frozenset()
+
+    def __str__(self) -> str:
+        return " ∨ ".join(f"({c})" for c in self.disjuncts) if self.disjuncts else "⊥"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        return any(c._eval(instance, assignment, domain) for c in self.disjuncts)
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.antecedent, self.consequent)
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.antecedent.free_variables() | self.consequent.free_variables()
+
+    def __str__(self) -> str:
+        return f"({self.antecedent}) → ({self.consequent})"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        if self.antecedent._eval(instance, assignment, domain):
+            return self.consequent._eval(instance, assignment, domain)
+        return True
+
+
+@dataclass(frozen=True)
+class ExistsF(Formula):
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.body.free_variables() - set(self.variables)
+
+    def __str__(self) -> str:
+        names = " ".join(str(v) for v in self.variables)
+        return f"∃{names} ({self.body})"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        for values in itertools.product(domain, repeat=len(self.variables)):
+            extended = dict(assignment)
+            extended.update(zip(self.variables, values))
+            if self.body._eval(instance, extended, domain):
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class ForallF(Formula):
+    variables: tuple[Variable, ...]
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def free_variables(self) -> frozenset[Variable]:
+        return self.body.free_variables() - set(self.variables)
+
+    def __str__(self) -> str:
+        names = " ".join(str(v) for v in self.variables)
+        return f"∀{names} ({self.body})"
+
+    def _eval(self, instance, assignment, domain) -> bool:
+        for values in itertools.product(domain, repeat=len(self.variables)):
+            extended = dict(assignment)
+            extended.update(zip(self.variables, values))
+            if not self.body._eval(instance, extended, domain):
+                return False
+        return True
+
+
+# -- convenience constructors ------------------------------------------------------
+
+
+def atom(name: str, *args, arity: int | None = None) -> RelationalAtom:
+    relation = RelationSymbol(name, arity if arity is not None else len(args))
+    return RelationalAtom(relation, tuple(args))
+
+
+def exists(variables, body: Formula) -> ExistsF:
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    return ExistsF(tuple(variables), body)
+
+
+def forall(variables, body: Formula) -> ForallF:
+    if isinstance(variables, Variable):
+        variables = (variables,)
+    return ForallF(tuple(variables), body)
+
+
+def conjunction(parts: Iterable[Formula]) -> Formula:
+    parts = tuple(parts)
+    if not parts:
+        return Truth()
+    if len(parts) == 1:
+        return parts[0]
+    return AndF(parts)
+
+
+def disjunction(parts: Iterable[Formula]) -> Formula:
+    parts = tuple(parts)
+    if not parts:
+        return Falsity()
+    if len(parts) == 1:
+        return parts[0]
+    return OrF(parts)

@@ -1,0 +1,192 @@
+"""Membership checkers for the FO fragments used as ontology languages.
+
+* **UNFO** (unary negation fragment): built from atoms by conjunction,
+  disjunction, existential quantification, and negation applied only to
+  formulas with at most one free variable.
+* **GFO** (guarded fragment): Boolean combinations of atoms, with
+  quantification guarded by an atom containing all free variables of the
+  quantified subformula; trivial guards ``x = x`` are allowed, matching the
+  paper's equality-free convention.
+* **GNFO** (guarded negation fragment): like UNFO but additionally allowing
+  guarded negation ``α ∧ ¬φ`` where the guard atom ``α`` contains all free
+  variables of ``φ``.
+
+These are syntactic fragments; membership depends on the shape of the
+formula, not on semantic equivalence to a formula of the right shape.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    AndF,
+    Equality,
+    ExistsF,
+    Falsity,
+    ForallF,
+    Formula,
+    Implies,
+    NotF,
+    OrF,
+    RelationalAtom,
+    Truth,
+)
+
+
+def _is_atomic(formula: Formula) -> bool:
+    return isinstance(formula, (RelationalAtom, Equality, Truth, Falsity))
+
+
+def _guards(formula: Formula, guarded: Formula) -> bool:
+    """Does ``formula`` (an atom or trivial equality) guard ``guarded``?"""
+    needed = guarded.free_variables()
+    if isinstance(formula, RelationalAtom):
+        return needed <= formula.free_variables()
+    if isinstance(formula, Equality):
+        # Only the trivial guard x = x is allowed (the paper's convention for
+        # unguarded quantification over at most one free variable).
+        if formula.left == formula.right:
+            return needed <= formula.free_variables()
+    return False
+
+
+def is_unfo(formula: Formula) -> bool:
+    """Is the formula in the unary negation fragment?"""
+    if _is_atomic(formula):
+        return True
+    if isinstance(formula, NotF):
+        return len(formula.operand.free_variables()) <= 1 and is_unfo(formula.operand)
+    if isinstance(formula, AndF):
+        return all(is_unfo(c) for c in formula.conjuncts)
+    if isinstance(formula, OrF):
+        return all(is_unfo(c) for c in formula.disjuncts)
+    if isinstance(formula, ExistsF):
+        return is_unfo(formula.body)
+    if isinstance(formula, Implies):
+        # φ → ψ abbreviates ¬φ ∨ ψ: only allowed when ¬φ is a unary negation.
+        return (
+            len(formula.antecedent.free_variables()) <= 1
+            and is_unfo(formula.antecedent)
+            and is_unfo(formula.consequent)
+        )
+    if isinstance(formula, ForallF):
+        # ∀x̄ φ abbreviates ¬∃x̄ ¬φ, so the whole formula may have at most one
+        # free variable (the outer negation must be unary).
+        outer_free = formula.body.free_variables() - set(formula.variables)
+        if len(outer_free) > 1:
+            return False
+        body = formula.body
+        if isinstance(body, Implies):
+            # ¬(ψ → χ) rewrites to ψ ∧ ¬χ: admissible when ψ is (positively) in
+            # UNFO and the negation of χ is unary.  This covers the Table II
+            # translation of ∀R.C, namely ∀y (R(x, y) → C*(y)).
+            return (
+                is_unfo(body.antecedent)
+                and len(body.consequent.free_variables()) <= 1
+                and is_unfo(body.consequent)
+            )
+        return len(body.free_variables()) <= 1 and is_unfo(body)
+    return False
+
+
+def is_gfo(formula: Formula) -> bool:
+    """Is the formula in the (equality-free) guarded fragment?"""
+    if _is_atomic(formula):
+        return True
+    if isinstance(formula, NotF):
+        return is_gfo(formula.operand)
+    if isinstance(formula, AndF):
+        return all(is_gfo(c) for c in formula.conjuncts)
+    if isinstance(formula, OrF):
+        return all(is_gfo(c) for c in formula.disjuncts)
+    if isinstance(formula, ExistsF):
+        if len(formula.body.free_variables()) <= 1 and is_gfo(formula.body):
+            # Unguarded quantification over at most one free variable is
+            # admitted via trivial ``x = x`` guards (the paper's convention).
+            return True
+        return _guarded_quantification(formula.body, conjunction_guard=True)
+    if isinstance(formula, ForallF):
+        if len(formula.body.free_variables()) <= 1 and is_gfo(formula.body):
+            return True
+        return _guarded_quantification(formula.body, conjunction_guard=False)
+    if isinstance(formula, Implies):
+        return is_gfo(formula.antecedent) and is_gfo(formula.consequent)
+    return False
+
+
+def _guarded_quantification(body: Formula, conjunction_guard: bool) -> bool:
+    """Check ``∃x (α ∧ φ)`` / ``∀x (α → φ)`` guardedness of the quantifier body."""
+    if conjunction_guard:
+        if isinstance(body, AndF) and len(body.conjuncts) >= 2:
+            guard, rest = body.conjuncts[0], body.conjuncts[1:]
+            remainder: Formula = rest[0] if len(rest) == 1 else AndF(rest)
+            return _guards(guard, remainder) and is_gfo(remainder)
+        # ∃x α with α atomic is trivially guarded by itself.
+        return _is_atomic(body)
+    if isinstance(body, Implies):
+        return _guards(body.antecedent, body.consequent) and is_gfo(body.consequent)
+    return False
+
+
+def is_gnfo(formula: Formula) -> bool:
+    """Is the formula in the guarded negation fragment?"""
+    if _is_atomic(formula):
+        return True
+    if isinstance(formula, NotF):
+        return len(formula.operand.free_variables()) <= 1 and is_gnfo(formula.operand)
+    if isinstance(formula, AndF):
+        # Allow guarded negation: α ∧ ¬φ with α guarding φ.
+        conjuncts = formula.conjuncts
+        negations = [c for c in conjuncts if isinstance(c, NotF)]
+        others = [c for c in conjuncts if not isinstance(c, NotF)]
+        for negation in negations:
+            if len(negation.operand.free_variables()) <= 1:
+                if not is_gnfo(negation.operand):
+                    return False
+                continue
+            if not any(_guards(o, negation.operand) for o in others if _is_atomic(o)):
+                return False
+            if not is_gnfo(negation.operand):
+                return False
+        return all(is_gnfo(o) for o in others)
+    if isinstance(formula, OrF):
+        return all(is_gnfo(c) for c in formula.disjuncts)
+    if isinstance(formula, ExistsF):
+        return is_gnfo(formula.body)
+    if isinstance(formula, Implies):
+        return is_gnfo(NotF(formula.antecedent)) and is_gnfo(formula.consequent)
+    if isinstance(formula, ForallF):
+        inner_free = formula.body.free_variables()
+        if len(inner_free) <= 1 and is_gnfo(formula.body):
+            # ∀x φ abbreviates ¬∃x ¬φ; with at most one free variable the inner
+            # negation is unary, hence in GNFO.
+            return True
+        # ∀x̄ (ψ → χ) abbreviates ¬∃x̄ (ψ ∧ ¬χ): admissible when ψ is in GNFO and
+        # the negated consequent is either unary or guarded by an atomic
+        # conjunct of ψ.
+        if isinstance(formula.body, Implies):
+            antecedent, consequent = formula.body.antecedent, formula.body.consequent
+            if not (is_gnfo(antecedent) and is_gnfo(consequent)):
+                return False
+            if len(consequent.free_variables()) <= 1:
+                return True
+            conjuncts = (
+                antecedent.conjuncts if isinstance(antecedent, AndF) else (antecedent,)
+            )
+            return any(
+                _is_atomic(conjunct) and _guards(conjunct, consequent)
+                for conjunct in conjuncts
+            )
+        return False
+    return False
+
+
+def fragment_of(formula: Formula) -> set[str]:
+    """The set of fragments (by name) that syntactically contain the formula."""
+    result = set()
+    if is_unfo(formula):
+        result.add("UNFO")
+    if is_gfo(formula):
+        result.add("GFO")
+    if is_gnfo(formula):
+        result.add("GNFO")
+    return result

@@ -1,0 +1,286 @@
+"""Grounding first-order formulas over a finite domain and a small SAT search.
+
+Certain-answer semantics quantifies over *all* models of the ontology that
+extend the data.  Over a fixed finite domain this becomes a propositional
+problem: ground every quantifier over the domain, treat ground facts as
+propositional variables, and search for a truth assignment satisfying the
+ontology, the data, and the negation of the query.  The resulting solver is
+the engine behind :class:`repro.omq.bounded.BoundedModelEngine` and the
+first-order OMQs of Theorem 3.17 — a genuinely usable counter-model finder,
+unlike naive enumeration of all fact subsets.
+
+Ground formulas are plain nested tuples:
+
+* ``("lit", fact, positive)`` — a (possibly negated) ground fact;
+* ``("and", children)`` / ``("or", children)`` — propositional connectives;
+* ``True`` / ``False`` — constants.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
+from ..core.instance import Fact, Instance
+from .formulas import (
+    AndF,
+    Equality,
+    ExistsF,
+    Falsity,
+    ForallF,
+    Formula,
+    Implies,
+    NotF,
+    OrF,
+    RelationalAtom,
+    Truth,
+)
+
+Element = Hashable
+GroundFormula = "bool | tuple"
+
+
+# ---------------------------------------------------------------------------
+# Grounding
+# ---------------------------------------------------------------------------
+
+
+def _resolve(term, assignment: Mapping) -> Element:
+    if isinstance(term, Variable):
+        if term not in assignment:
+            raise KeyError(f"unbound variable {term} during grounding")
+        return assignment[term]
+    return term
+
+
+def _simplify_junction(kind: str, children: list) -> GroundFormula:
+    absorbing = kind == "or"
+    flat = []
+    for child in children:
+        if child is absorbing:
+            return absorbing
+        if child is (not absorbing):
+            continue
+        if isinstance(child, tuple) and child[0] == kind:
+            flat.extend(child[1])
+            continue
+        flat.append(child)
+    if not flat:
+        return not absorbing
+    if len(flat) == 1:
+        return flat[0]
+    return (kind, tuple(flat))
+
+
+def ground(
+    formula: Formula,
+    domain: Sequence[Element],
+    assignment: Mapping | None = None,
+    positive: bool = True,
+) -> GroundFormula:
+    """Ground a first-order formula over a finite domain.
+
+    ``positive=False`` grounds the negation (negations are pushed to the
+    literals, so the result is always in negation normal form).
+    """
+    assignment = dict(assignment or {})
+    if isinstance(formula, Truth):
+        return positive
+    if isinstance(formula, Falsity):
+        return not positive
+    if isinstance(formula, Equality):
+        equal = _resolve(formula.left, assignment) == _resolve(formula.right, assignment)
+        return equal if positive else not equal
+    if isinstance(formula, RelationalAtom):
+        fact = Fact(
+            formula.relation,
+            tuple(_resolve(a, assignment) for a in formula.arguments),
+        )
+        return ("lit", fact, positive)
+    if isinstance(formula, NotF):
+        return ground(formula.operand, domain, assignment, not positive)
+    if isinstance(formula, AndF):
+        kind = "and" if positive else "or"
+        children = [ground(c, domain, assignment, positive) for c in formula.conjuncts]
+        return _simplify_junction(kind, children)
+    if isinstance(formula, OrF):
+        kind = "or" if positive else "and"
+        children = [ground(c, domain, assignment, positive) for c in formula.disjuncts]
+        return _simplify_junction(kind, children)
+    if isinstance(formula, Implies):
+        rewritten = OrF((NotF(formula.antecedent), formula.consequent))
+        return ground(rewritten, domain, assignment, positive)
+    if isinstance(formula, (ExistsF, ForallF)):
+        existential = isinstance(formula, ExistsF)
+        kind = ("or" if existential else "and") if positive else ("and" if existential else "or")
+        variables = list(formula.variables)
+        children = []
+        for values in itertools.product(domain, repeat=len(variables)):
+            extended = dict(assignment)
+            extended.update(zip(variables, values))
+            children.append(ground(formula.body, domain, extended, positive))
+            if children[-1] is (kind == "or"):
+                return kind == "or"
+        return _simplify_junction(kind, children)
+    raise TypeError(f"cannot ground formula {formula!r}")
+
+
+def ground_cq(
+    query: ConjunctiveQuery,
+    domain: Sequence[Element],
+    answer: Sequence[Element],
+    positive: bool = True,
+) -> GroundFormula:
+    """Ground ``q(answer)`` (or its negation) over the domain."""
+    assignment = dict(zip(query.answer_variables, answer))
+    existential = sorted(query.variables - set(query.answer_variables), key=str)
+    kind = "or" if positive else "and"
+    children = []
+    for values in itertools.product(domain, repeat=len(existential)):
+        extended = dict(assignment)
+        extended.update(zip(existential, values))
+        lits = []
+        for atom in sorted(query.atoms, key=str):
+            fact = Fact(atom.relation, tuple(_resolve(a, extended) for a in atom.arguments))
+            lits.append(("lit", fact, positive))
+        children.append(_simplify_junction("and" if positive else "or", lits))
+    return _simplify_junction(kind, children)
+
+
+def ground_ucq(
+    query: UnionOfConjunctiveQueries,
+    domain: Sequence[Element],
+    answer: Sequence[Element],
+    positive: bool = True,
+) -> GroundFormula:
+    """Ground a UCQ at a candidate answer (or its negation)."""
+    kind = "or" if positive else "and"
+    children = [ground_cq(cq, domain, answer, positive) for cq in query.disjuncts]
+    return _simplify_junction(kind, children)
+
+
+# ---------------------------------------------------------------------------
+# Propositional search over ground formulas
+# ---------------------------------------------------------------------------
+
+
+def _substitute(formula: GroundFormula, assignment: Mapping[Fact, bool]) -> GroundFormula:
+    if isinstance(formula, bool):
+        return formula
+    kind = formula[0]
+    if kind == "lit":
+        _tag, fact, positive = formula
+        if fact in assignment:
+            return assignment[fact] if positive else not assignment[fact]
+        return formula
+    children = [_substitute(child, assignment) for child in formula[1]]
+    return _simplify_junction(kind, children)
+
+
+def _node_count(formula: GroundFormula) -> int:
+    if isinstance(formula, bool):
+        return 1
+    if formula[0] == "lit":
+        return 1
+    return 1 + sum(_node_count(child) for child in formula[1])
+
+
+def _first_literal(formula: GroundFormula):
+    if isinstance(formula, bool):
+        return None
+    if formula[0] == "lit":
+        return formula[1], formula[2]
+    for child in formula[1]:
+        found = _first_literal(child)
+        if found is not None:
+            return found
+    return None
+
+
+def _pick_literal(formula: GroundFormula):
+    """Choose a branching literal and the polarity to try first.
+
+    The search focuses on the smallest unresolved conjunct of the root
+    conjunction and tries the polarity that satisfies the literal's own
+    occurrence there, which steers the search towards satisfying one
+    constraint at a time instead of wandering through irrelevant facts.
+    """
+    if isinstance(formula, bool):
+        return None
+    if formula[0] == "lit":
+        return formula[1], formula[2]
+    if formula[0] == "and":
+        target = min(
+            (child for child in formula[1] if not isinstance(child, bool)),
+            key=_node_count,
+            default=None,
+        )
+        if target is None:
+            return None
+        return _pick_literal(target)
+    return _first_literal(formula)
+
+
+def _unit_literals(formula: GroundFormula) -> dict[Fact, bool]:
+    """Literals forced by a top-level conjunction (a light unit-propagation step)."""
+    units: dict[Fact, bool] = {}
+    if isinstance(formula, tuple) and formula[0] == "and":
+        children = formula[1]
+    else:
+        children = (formula,)
+    for child in children:
+        if isinstance(child, tuple) and child[0] == "lit":
+            _tag, fact, positive = child
+            if fact in units and units[fact] != positive:
+                return {}
+            units[fact] = positive
+    return units
+
+
+def satisfying_assignment(
+    constraints: Iterable[GroundFormula],
+    forced: Mapping[Fact, bool] | None = None,
+) -> dict[Fact, bool] | None:
+    """A truth assignment over ground facts satisfying every constraint, or None.
+
+    Facts not mentioned by the returned assignment are "don't care"; callers
+    that need a concrete instance may treat them as false.
+    """
+    formula = _simplify_junction("and", list(constraints))
+    assignment: dict[Fact, bool] = dict(forced or {})
+    formula = _substitute(formula, assignment)
+    return _search(formula, assignment)
+
+
+def _search(formula: GroundFormula, assignment: dict[Fact, bool]) -> dict[Fact, bool] | None:
+    while True:
+        if formula is True:
+            return assignment
+        if formula is False:
+            return None
+        units = _unit_literals(formula)
+        pending = {f: v for f, v in units.items() if f not in assignment}
+        if not pending:
+            break
+        assignment = {**assignment, **pending}
+        formula = _substitute(formula, pending)
+    choice = _pick_literal(formula)
+    if choice is None:
+        return assignment if formula is True else None
+    pivot, preferred = choice
+    for value in (preferred, not preferred):
+        attempt = _search(
+            _substitute(formula, {pivot: value}), {**assignment, pivot: value}
+        )
+        if attempt is not None:
+            return attempt
+    return None
+
+
+def model_from_assignment(
+    assignment: Mapping[Fact, bool], base: Instance
+) -> Instance:
+    """The instance consisting of the base facts plus every fact set to true."""
+    extra = [fact for fact, value in assignment.items() if value]
+    return base.with_facts(extra)

@@ -1,0 +1,15 @@
+"""Forbidden patterns problems (coFPP) and coloured instances."""
+
+from .problems import (
+    ColouredInstance,
+    ForbiddenPatternsProblem,
+    colour_instance,
+    make_palette,
+)
+
+__all__ = [
+    "ColouredInstance",
+    "ForbiddenPatternsProblem",
+    "colour_instance",
+    "make_palette",
+]

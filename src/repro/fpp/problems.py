@@ -1,0 +1,111 @@
+"""Forbidden patterns problems (Section 3, before Proposition 3.2).
+
+A C-coloured S-instance assigns exactly one colour (from a finite palette of
+fresh unary symbols) to every element.  A forbidden patterns problem is given
+by a finite set F of coloured instances; an S-instance belongs to ``Forb(F)``
+iff it admits a colouring into which no forbidden pattern maps.  ``coFPP``
+queries are the complements, and Proposition 3.2 identifies them with Boolean
+MDDlog — the translation lives in :mod:`repro.translations.fpp_mddlog`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.homomorphism import has_homomorphism
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+
+
+@dataclass(frozen=True)
+class ColouredInstance:
+    """An S ∪ C-instance in which every element carries exactly one colour."""
+
+    instance: Instance
+    colours: tuple[RelationSymbol, ...]
+
+    def __post_init__(self) -> None:
+        palette = set(self.colours)
+        for element in self.instance.active_domain:
+            count = sum(
+                1
+                for fact in self.instance.facts_with_constant(element)
+                if fact.relation in palette and fact.arguments == (element,)
+            )
+            if count != 1:
+                raise ValueError(
+                    f"element {element!r} carries {count} colours, expected exactly 1"
+                )
+
+    def data_part(self) -> Instance:
+        """The restriction to the data schema (colours removed)."""
+        return Instance(
+            fact for fact in self.instance if fact.relation not in set(self.colours)
+        )
+
+
+class ForbiddenPatternsProblem:
+    """A forbidden patterns problem given by a palette and a set of patterns."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        colours: Sequence[RelationSymbol],
+        patterns: Iterable[ColouredInstance],
+    ) -> None:
+        self.schema = schema
+        self.colours = tuple(colours)
+        self.patterns = tuple(patterns)
+        for colour in self.colours:
+            if colour.arity != 1:
+                raise ValueError("colours must be unary relation symbols")
+        for pattern in self.patterns:
+            if tuple(pattern.colours) != self.colours:
+                raise ValueError("patterns must use the problem's palette")
+
+    # -- semantics -------------------------------------------------------------------
+
+    def colourings(self, data: Instance) -> Iterable[Instance]:
+        """All colourings of a data instance (every element gets one colour)."""
+        elements = sorted(data.active_domain, key=repr)
+        for choice in itertools.product(self.colours, repeat=len(elements)):
+            extra = [
+                Fact(colour, (element,))
+                for element, colour in zip(elements, choice)
+            ]
+            yield data.with_facts(extra)
+
+    def admits_good_colouring(self, data: Instance) -> bool:
+        """Is the instance in ``Forb(F)``: some colouring avoids all patterns?"""
+        for coloured in self.colourings(data):
+            if not any(
+                has_homomorphism(pattern.instance, coloured)
+                for pattern in self.patterns
+            ):
+                return True
+        return False
+
+    def in_forb(self, data: Instance) -> bool:
+        return self.admits_good_colouring(data)
+
+    def co_fpp_query(self, data: Instance) -> bool:
+        """The coFPP query: true iff the instance is *not* in Forb(F)."""
+        if not data.active_domain:
+            return False
+        return not self.admits_good_colouring(data)
+
+
+def make_palette(size: int, prefix: str = "C") -> tuple[RelationSymbol, ...]:
+    return tuple(RelationSymbol(f"{prefix}{i + 1}", 1) for i in range(size))
+
+
+def colour_instance(
+    data: Instance,
+    colours: Sequence[RelationSymbol],
+    assignment: dict,
+) -> ColouredInstance:
+    """Build a coloured instance from a data instance and a colour assignment."""
+    extra = [Fact(assignment[element], (element,)) for element in data.active_domain]
+    return ColouredInstance(data.with_facts(extra), tuple(colours))

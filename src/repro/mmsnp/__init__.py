@@ -1,0 +1,56 @@
+"""MMSNP, GMSNP and MMSNP2 formulas, the coMMSNP query language, normal forms
+and containment (Sections 4.1 and 5.2)."""
+
+from .formulas import (
+    CoMMSNPQuery,
+    EqualityAtom,
+    FactSOAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+    SOVariable,
+)
+from .normal_forms import (
+    eliminate_equalities,
+    formula_to_sentence,
+    mark_symbols,
+    marked_expansion,
+    saturate_free_variables,
+    substitute_implication,
+)
+from .containment import (
+    ContainmentWitness,
+    common_schema,
+    comsnp_contained_in,
+    containment_counterexample,
+    formulas_equivalent_bounded,
+    reduce_to_sentence_containment,
+    sentences_equivalent_on,
+    suggested_domain_size,
+)
+
+__all__ = [
+    "CoMMSNPQuery",
+    "ContainmentWitness",
+    "EqualityAtom",
+    "FactSOAtom",
+    "Implication",
+    "MMSNPFormula",
+    "SOAtom",
+    "SOVariable",
+    "SchemaAtom",
+    "common_schema",
+    "comsnp_contained_in",
+    "containment_counterexample",
+    "eliminate_equalities",
+    "formula_to_sentence",
+    "formulas_equivalent_bounded",
+    "mark_symbols",
+    "marked_expansion",
+    "reduce_to_sentence_containment",
+    "saturate_free_variables",
+    "sentences_equivalent_on",
+    "substitute_implication",
+    "suggested_domain_size",
+]

@@ -1,0 +1,370 @@
+"""MMSNP, GMSNP and MMSNP2 formulas (Section 4).
+
+An MMSNP formula has the shape ``∃X1..Xn ∀x1..xm ϕ`` where the ``Xi`` are
+monadic second-order variables and ϕ is a conjunction of implications
+
+    α1 ∧ ... ∧ αk  →  β1 ∨ ... ∨ βl
+
+whose body atoms are SO atoms ``Xi(x)``, relational atoms ``R(x̄)`` or
+equalities between free variables, and whose head atoms are SO atoms.  GMSNP
+allows SO variables of arbitrary arity provided every head atom is *guarded*
+by a body atom containing its variables; MMSNP2 lets monadic SO variables
+range over facts as well as elements.  Free first-order variables turn a
+formula into a query: ``coMMSNP`` queries return the tuples on which the
+formula is *false* (matching the paper's convention).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+from ..core.cq import Variable
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+
+Element = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class SOVariable:
+    """A second-order variable; monadic unless ``arity`` says otherwise."""
+
+    name: str
+    arity: int = 1
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SOAtom:
+    """``X(x1, ..., xk)`` for a second-order variable X."""
+
+    variable: SOVariable
+    arguments: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.variable.arity:
+            raise ValueError(
+                f"SO variable {self.variable} expects {self.variable.arity} arguments"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.variable}({', '.join(map(str, self.arguments))})"
+
+
+@dataclass(frozen=True)
+class SchemaAtom:
+    """A relational atom ``R(x1, ..., xk)`` over the data schema."""
+
+    relation: RelationSymbol
+    arguments: tuple
+
+    def __post_init__(self) -> None:
+        if len(self.arguments) != self.relation.arity:
+            raise ValueError(f"atom over {self.relation} has the wrong arity")
+
+    def __str__(self) -> str:
+        return f"{self.relation.name}({', '.join(map(str, self.arguments))})"
+
+
+@dataclass(frozen=True)
+class EqualityAtom:
+    """An equality ``x = y`` between first-order variables."""
+
+    left: Variable
+    right: Variable
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class FactSOAtom:
+    """An MMSNP2 atom ``X(R(x1, ..., xk))``: the fact belongs to the set X."""
+
+    variable: SOVariable
+    relation: RelationSymbol
+    arguments: tuple
+
+    def __str__(self) -> str:
+        inner = f"{self.relation.name}({', '.join(map(str, self.arguments))})"
+        return f"{self.variable}({inner})"
+
+
+BodyAtom = "SOAtom | SchemaAtom | EqualityAtom | FactSOAtom"
+HeadAtom = "SOAtom | FactSOAtom"
+
+
+@dataclass(frozen=True)
+class Implication:
+    """``body → head`` with conjunctive body and disjunctive head."""
+
+    body: tuple
+    head: tuple
+
+    def variables(self) -> set[Variable]:
+        result: set[Variable] = set()
+        for atom in itertools.chain(self.body, self.head):
+            if isinstance(atom, EqualityAtom):
+                result.update({atom.left, atom.right})
+            else:
+                result.update(a for a in atom.arguments if isinstance(a, Variable))
+        return result
+
+    def __str__(self) -> str:
+        body = " ∧ ".join(map(str, self.body)) if self.body else "⊤"
+        head = " ∨ ".join(map(str, self.head)) if self.head else "⊥"
+        return f"{body} → {head}"
+
+    def size(self) -> int:
+        return sum(1 + len(getattr(a, "arguments", (0, 0))) for a in self.body) + sum(
+            1 + len(getattr(a, "arguments", (0, 0))) for a in self.head
+        )
+
+
+class MMSNPFormula:
+    """An MMSNP / GMSNP / MMSNP2 formula with optional free FO variables."""
+
+    def __init__(
+        self,
+        so_variables: Sequence[SOVariable],
+        implications: Iterable[Implication],
+        free_variables: Sequence[Variable] = (),
+    ) -> None:
+        self.so_variables = tuple(so_variables)
+        self.implications = tuple(implications)
+        self.free_variables = tuple(free_variables)
+        self._validate()
+
+    def _validate(self) -> None:
+        declared = set(self.so_variables)
+        for implication in self.implications:
+            for atom in itertools.chain(implication.body, implication.head):
+                if isinstance(atom, (SOAtom, FactSOAtom)) and atom.variable not in declared:
+                    raise ValueError(f"undeclared SO variable {atom.variable}")
+            for atom in implication.head:
+                if isinstance(atom, (SchemaAtom, EqualityAtom)):
+                    raise ValueError("head atoms must be second-order atoms")
+
+    # -- classification --------------------------------------------------------------
+
+    def is_monadic(self) -> bool:
+        return all(v.arity == 1 for v in self.so_variables)
+
+    def uses_fact_atoms(self) -> bool:
+        return any(
+            isinstance(atom, FactSOAtom)
+            for implication in self.implications
+            for atom in itertools.chain(implication.body, implication.head)
+        )
+
+    def is_mmsnp(self) -> bool:
+        """Monadic, no fact atoms: plain MMSNP."""
+        return self.is_monadic() and not self.uses_fact_atoms()
+
+    def is_gmsnp(self) -> bool:
+        """Guarded monotone strict NP: every head atom is guarded by a body atom
+        containing all of its variables (Section 4.1)."""
+        if self.uses_fact_atoms():
+            return False
+        for implication in self.implications:
+            for head_atom in implication.head:
+                head_vars = {
+                    a for a in head_atom.arguments if isinstance(a, Variable)
+                }
+                if not head_vars:
+                    continue
+                guarded = any(
+                    head_vars
+                    <= {
+                        a
+                        for a in body_atom.arguments
+                        if isinstance(a, Variable)
+                    }
+                    for body_atom in implication.body
+                    if isinstance(body_atom, (SchemaAtom, SOAtom))
+                )
+                if not guarded:
+                    return False
+        return True
+
+    def is_mmsnp2(self) -> bool:
+        """MMSNP2: monadic SO variables over elements and facts, with the
+        guardedness condition on fact atoms in heads."""
+        if not self.is_monadic():
+            return False
+        for implication in self.implications:
+            for head_atom in implication.head:
+                if isinstance(head_atom, FactSOAtom):
+                    guard = SchemaAtom(head_atom.relation, head_atom.arguments)
+                    if not any(
+                        isinstance(body_atom, SchemaAtom)
+                        and body_atom.relation == head_atom.relation
+                        and body_atom.arguments == head_atom.arguments
+                        for body_atom in implication.body
+                    ):
+                        return False
+                    del guard
+        return True
+
+    def schema(self) -> Schema:
+        symbols = set()
+        for implication in self.implications:
+            for atom in itertools.chain(implication.body, implication.head):
+                if isinstance(atom, SchemaAtom):
+                    symbols.add(atom.relation)
+                elif isinstance(atom, FactSOAtom):
+                    symbols.add(atom.relation)
+        return Schema(symbols)
+
+    def size(self) -> int:
+        return sum(i.size() for i in self.implications) + len(self.so_variables)
+
+    def is_sentence(self) -> bool:
+        return not self.free_variables
+
+    def __repr__(self) -> str:
+        so = " ".join(f"∃{v}" for v in self.so_variables)
+        body = " ∧ ".join(f"({i})" for i in self.implications)
+        return f"{so} ∀* {body}"
+
+    # -- semantics -----------------------------------------------------------------------
+
+    def _fo_variables(self) -> list[Variable]:
+        result: set[Variable] = set()
+        for implication in self.implications:
+            result.update(implication.variables())
+        return sorted(result - set(self.free_variables), key=str)
+
+    def holds(
+        self,
+        instance: Instance,
+        assignment: Sequence[Element] = (),
+    ) -> bool:
+        """Does ``(adom(D), D) ⊨ Φ[assignment]``?
+
+        The empty instance satisfies every MMSNP sentence by the paper's
+        convention.  Evaluation enumerates second-order witnesses, which is
+        exponential and intended for the small instances used in tests; large
+        scale evaluation goes through the MDDlog translation (Proposition 4.1).
+        """
+        domain = sorted(instance.active_domain, key=repr)
+        if not domain:
+            return self.is_sentence()
+        free_map = dict(zip(self.free_variables, assignment))
+        fact_universe = sorted(instance.facts, key=str)
+        for so_assignment in self._so_assignments(domain, fact_universe):
+            if self._check_implications(instance, domain, so_assignment, free_map):
+                return True
+        return False
+
+    def _so_assignments(self, domain, fact_universe):
+        element_sets = list(_powerset(domain))
+        fact_sets = list(_powerset(fact_universe)) if self.uses_fact_atoms() else [()]
+        spaces = []
+        for variable in self.so_variables:
+            if variable.arity == 1:
+                if self.uses_fact_atoms():
+                    spaces.append(
+                        [
+                            (frozenset(e), frozenset(f))
+                            for e in element_sets
+                            for f in fact_sets
+                        ]
+                    )
+                else:
+                    spaces.append([(frozenset(e), frozenset()) for e in element_sets])
+            else:
+                tuples = list(itertools.product(domain, repeat=variable.arity))
+                spaces.append(
+                    [(frozenset(s), frozenset()) for s in _powerset(tuples)]
+                )
+        for choice in itertools.product(*spaces):
+            yield dict(zip(self.so_variables, choice))
+
+    def _check_implications(self, instance, domain, so_assignment, free_map) -> bool:
+        fo_variables = self._fo_variables()
+        for values in itertools.product(domain, repeat=len(fo_variables)):
+            mapping = dict(free_map)
+            mapping.update(zip(fo_variables, values))
+            for implication in self.implications:
+                if self._body_holds(instance, implication, mapping, so_assignment):
+                    if not self._head_holds(implication, mapping, so_assignment):
+                        return False
+        return True
+
+    def _body_holds(self, instance, implication, mapping, so_assignment) -> bool:
+        for atom in implication.body:
+            if isinstance(atom, EqualityAtom):
+                if mapping[atom.left] != mapping[atom.right]:
+                    return False
+            elif isinstance(atom, SchemaAtom):
+                args = tuple(mapping.get(a, a) for a in atom.arguments)
+                if args not in instance.tuples(atom.relation):
+                    return False
+            elif isinstance(atom, SOAtom):
+                elements, _facts = so_assignment[atom.variable]
+                args = tuple(mapping.get(a, a) for a in atom.arguments)
+                value = args[0] if atom.variable.arity == 1 else args
+                if value not in elements:
+                    return False
+            elif isinstance(atom, FactSOAtom):
+                _elements, facts = so_assignment[atom.variable]
+                args = tuple(mapping.get(a, a) for a in atom.arguments)
+                from ..core.instance import Fact
+
+                if Fact(atom.relation, args) not in facts:
+                    return False
+        return True
+
+    def _head_holds(self, implication, mapping, so_assignment) -> bool:
+        for atom in implication.head:
+            if isinstance(atom, SOAtom):
+                elements, _facts = so_assignment[atom.variable]
+                args = tuple(mapping.get(a, a) for a in atom.arguments)
+                value = args[0] if atom.variable.arity == 1 else args
+                if value in elements:
+                    return True
+            elif isinstance(atom, FactSOAtom):
+                _elements, facts = so_assignment[atom.variable]
+                args = tuple(mapping.get(a, a) for a in atom.arguments)
+                from ..core.instance import Fact
+
+                if Fact(atom.relation, args) in facts:
+                    return True
+        return False
+
+
+class CoMMSNPQuery:
+    """The query defined by the *complement* of an MMSNP formula.
+
+    ``q_Φ(D)`` consists of the tuples on which the formula is false; Boolean
+    for sentences.  This matches the paper's coMMSNP / coGMSNP convention.
+    """
+
+    def __init__(self, formula: MMSNPFormula):
+        self.formula = formula
+
+    @property
+    def arity(self) -> int:
+        return len(self.formula.free_variables)
+
+    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+        domain = sorted(instance.active_domain, key=repr)
+        answers = set()
+        for values in itertools.product(domain, repeat=self.arity):
+            if not self.formula.holds(instance, values):
+                answers.add(values)
+        return frozenset(answers)
+
+    def holds_in(self, instance: Instance, answer: Sequence = ()) -> bool:
+        return not self.formula.holds(instance, tuple(answer))
+
+
+def _powerset(items):
+    items = list(items)
+    for size in range(len(items) + 1):
+        yield from itertools.combinations(items, size)

@@ -1,0 +1,242 @@
+"""Normal forms for MMSNP formulas (Section 4.1 and Proposition 5.2).
+
+Three transformations are provided:
+
+* **equality elimination** for sentences — the paper's remark that equality
+  atoms can be removed from MMSNP sentences by identifying co-occurring
+  variables;
+* **free-variable saturation** — conditions (i) and (ii) used in the proof of
+  Proposition 4.1: every free variable occurs in a non-equality atom of every
+  implication, and equality atoms only relate free variables;
+* **sentence encoding of formulas** (Proposition 5.2) — an MMSNP formula with
+  free variables ``y1 ... yn`` over schema ``S`` is polynomially equivalent to
+  an MMSNP *sentence* over ``S ∪ {P1 ... Pn}``: the formula holds of ``(D, d)``
+  exactly when the sentence holds of the expansion ``(D, d)^c`` that marks each
+  ``di`` with the fresh unary symbol ``Pi``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..core.cq import Variable, var
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol
+from .formulas import (
+    EqualityAtom,
+    FactSOAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+)
+
+
+def _substitute_atom(atom, mapping):
+    if isinstance(atom, EqualityAtom):
+        return EqualityAtom(mapping.get(atom.left, atom.left), mapping.get(atom.right, atom.right))
+    if isinstance(atom, SchemaAtom):
+        return SchemaAtom(atom.relation, tuple(mapping.get(a, a) for a in atom.arguments))
+    if isinstance(atom, SOAtom):
+        return SOAtom(atom.variable, tuple(mapping.get(a, a) for a in atom.arguments))
+    if isinstance(atom, FactSOAtom):
+        return FactSOAtom(
+            atom.variable, atom.relation, tuple(mapping.get(a, a) for a in atom.arguments)
+        )
+    raise TypeError(f"unexpected atom {atom!r}")
+
+
+def substitute_implication(implication: Implication, mapping) -> Implication:
+    """Apply a variable substitution to every atom of an implication."""
+    return Implication(
+        tuple(_substitute_atom(a, mapping) for a in implication.body),
+        tuple(_substitute_atom(a, mapping) for a in implication.head),
+    )
+
+
+def _equality_classes(implication: Implication) -> dict[Variable, Variable]:
+    """Union-find representative map induced by the implication's equality atoms."""
+    parent: dict[Variable, Variable] = {}
+
+    def find(x: Variable) -> Variable:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for atom in implication.body:
+        if isinstance(atom, EqualityAtom):
+            left, right = find(atom.left), find(atom.right)
+            if left != right:
+                parent[left] = right
+    return {v: find(v) for v in parent}
+
+
+def eliminate_equalities(formula: MMSNPFormula) -> MMSNPFormula:
+    """Remove equality atoms from an MMSNP *sentence* by identifying variables.
+
+    This is the paper's observation that equality atoms are syntactic sugar in
+    sentences.  Free variables are kept as representatives of their classes so
+    the transformation is also usable on formulas whose equalities only relate
+    free variables (it then leaves those equalities in place).
+    """
+    free = set(formula.free_variables)
+    new_implications = []
+    for implication in formula.implications:
+        mapping = _equality_classes(implication)
+        # Prefer free variables as representatives so they never disappear.
+        adjusted: dict[Variable, Variable] = {}
+        classes: dict[Variable, list[Variable]] = {}
+        for variable, representative in mapping.items():
+            classes.setdefault(representative, []).append(variable)
+        for representative, members in classes.items():
+            group = sorted(set(members) | {representative}, key=str)
+            free_members = [v for v in group if v in free]
+            target = free_members[0] if free_members else group[0]
+            for member in group:
+                adjusted[member] = target
+        substituted = substitute_implication(implication, adjusted)
+        kept_body = []
+        for atom in substituted.body:
+            if isinstance(atom, EqualityAtom):
+                if atom.left == atom.right:
+                    continue
+                if atom.left in free and atom.right in free:
+                    kept_body.append(atom)
+                    continue
+                # Equalities between bound variables were resolved by the
+                # substitution above; anything left relates a bound and a free
+                # variable and is resolved by substituting the bound one.
+                raise AssertionError("unresolved equality after identification")
+            kept_body.append(atom)
+        if not kept_body:
+            # An implication with an empty body is only meaningful if its head
+            # is also empty (then the formula is unsatisfiable); keep a trivial
+            # tautology out of the result.
+            if not substituted.head:
+                new_implications.append(Implication((), ()))
+            continue
+        new_implications.append(Implication(tuple(kept_body), substituted.head))
+    return MMSNPFormula(formula.so_variables, new_implications, formula.free_variables)
+
+
+def saturate_free_variables(formula: MMSNPFormula) -> MMSNPFormula:
+    """Enforce conditions (i) and (ii) from the proof of Proposition 4.1.
+
+    (i) every free variable occurs in some non-equality atom of every
+        implication — implications violating this are replaced by the set of
+        implications obtained by adding a schema atom that mentions the
+        missing variable (one per relation symbol and position);
+    (ii) every equality atom relates two free variables — equalities involving
+        a bound variable are removed by substituting it away.
+    """
+    schema = formula.schema()
+    free = list(formula.free_variables)
+    fresh_counter = itertools.count()
+
+    def fresh() -> Variable:
+        return var(f"_s{next(fresh_counter)}")
+
+    result: list[Implication] = []
+    for implication in formula.implications:
+        # -- condition (ii): substitute away equalities with bound variables.
+        mapping: dict[Variable, Variable] = {}
+        for atom in implication.body:
+            if isinstance(atom, EqualityAtom):
+                left_free, right_free = atom.left in free, atom.right in free
+                if left_free and right_free:
+                    continue
+                if left_free:
+                    mapping[atom.right] = atom.left
+                elif right_free:
+                    mapping[atom.left] = atom.right
+                else:
+                    mapping[atom.right] = atom.left
+        adjusted = substitute_implication(implication, mapping)
+        body = tuple(
+            atom
+            for atom in adjusted.body
+            if not (
+                isinstance(atom, EqualityAtom)
+                and (atom.left == atom.right or atom.left not in free or atom.right not in free)
+            )
+        )
+        adjusted = Implication(body, adjusted.head)
+
+        # -- condition (i): every free variable occurs in a non-equality atom.
+        missing = [y for y in free if not _occurs_in_non_equality(adjusted, y)]
+        variants = [adjusted]
+        for variable in missing:
+            padded: list[Implication] = []
+            for candidate in variants:
+                for symbol in sorted(schema, key=lambda s: (s.name, s.arity)):
+                    for position in range(symbol.arity):
+                        arguments = tuple(
+                            variable if index == position else fresh()
+                            for index in range(symbol.arity)
+                        )
+                        padded.append(
+                            Implication(
+                                candidate.body + (SchemaAtom(symbol, arguments),),
+                                candidate.head,
+                            )
+                        )
+            variants = padded if padded else variants
+        result.extend(variants)
+    return MMSNPFormula(formula.so_variables, result, formula.free_variables)
+
+
+def _occurs_in_non_equality(implication: Implication, variable: Variable) -> bool:
+    for atom in itertools.chain(implication.body, implication.head):
+        if isinstance(atom, EqualityAtom):
+            continue
+        if variable in atom.arguments:
+            return True
+    return False
+
+
+def mark_symbols(arity: int, prefix: str = "P") -> tuple[RelationSymbol, ...]:
+    """The fresh unary symbols ``P1 ... Pn`` used by the sentence encoding."""
+    return tuple(RelationSymbol(f"{prefix}{i + 1}", 1) for i in range(arity))
+
+
+def formula_to_sentence(
+    formula: MMSNPFormula, prefix: str = "P"
+) -> tuple[MMSNPFormula, tuple[RelationSymbol, ...]]:
+    """The sentence encoding of Proposition 5.2.
+
+    Returns an MMSNP sentence ``Φ'`` over ``S ∪ {P1 ... Pn}`` together with the
+    marker symbols, such that for every ``S``-instance ``D`` and tuple ``d``:
+
+        ``(adom(D), D) ⊨ Φ[d]``   iff   ``(adom(D), (D, d)^c) ⊨ Φ'``.
+
+    Each implication receives guard atoms ``Pi(yi)`` for the free variables it
+    mentions, which relativises it to the marked elements.
+    """
+    free = formula.free_variables
+    markers = mark_symbols(len(free), prefix=prefix)
+    for symbol in markers:
+        if symbol in formula.schema():
+            raise ValueError(f"marker symbol {symbol} clashes with the formula schema")
+    guard_of = dict(zip(free, markers))
+    sentence_implications = []
+    for implication in formula.implications:
+        mentioned = [y for y in free if y in implication.variables()]
+        guards = tuple(SchemaAtom(guard_of[y], (y,)) for y in mentioned)
+        sentence_implications.append(
+            Implication(guards + tuple(implication.body), tuple(implication.head))
+        )
+    sentence = MMSNPFormula(formula.so_variables, sentence_implications, ())
+    return sentence, markers
+
+
+def marked_expansion(
+    instance: Instance, answer: Sequence, markers: Sequence[RelationSymbol]
+) -> Instance:
+    """The expansion ``(D, d)^c`` matching :func:`formula_to_sentence`."""
+    if len(answer) != len(markers):
+        raise ValueError("answer tuple and marker symbols must have the same length")
+    extra = [Fact(symbol, (element,)) for symbol, element in zip(markers, answer)]
+    return instance.with_facts(extra)

@@ -1,0 +1,212 @@
+"""Schema-free ontology-mediated queries (Section 6).
+
+In the schema-free setting the data may use *any* relation symbol, so the
+constructions that introduce fresh "working" symbols (template-element
+concepts, goal markers) must be shielded from interference by the data.  The
+paper's device is to replace a working concept name ``A_d`` by the compound
+concept ``H_d = ∀R_d.A_d`` for a fresh role ``R_d``: whatever the data says
+about ``R_d`` and ``A_d``, a model can always re-interpret ``H_d`` freely
+(Fact 1 in the proof of Theorem 6.1).
+
+This module implements:
+
+* Theorem 6.1 — the schema-free (ALC, BAQ) query polynomially equivalent to a
+  given CSP template;
+* Theorem 6.2 — the reduction of fixed-schema query containment to schema-free
+  query containment via emptiness axioms;
+* Theorem 6.3 — the shielding transformation applied to an arbitrary ontology
+  (replace selected concept names by ``∀R_G.G``), which is how the
+  rewritability lower bounds are transferred to the schema-free case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.cq import boolean_atomic_query
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+from ..dl.concepts import And, Bottom, Concept, ConceptName, Exists, Forall, Role, Top, big_or
+from ..dl.ontology import Axiom, ConceptInclusion, FunctionalRole, Ontology, RoleInclusion, TransitiveRole
+from ..omq.query import OntologyMediatedQuery
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.1: CSP templates as schema-free (ALC, BAQ) queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchemaFreeCspEncoding:
+    """The schema-free OMQ of Theorem 6.1 together with its bookkeeping."""
+
+    omq: OntologyMediatedQuery
+    template: Instance
+    template_schema: Schema
+    goal_concept: str
+
+    def reduces_like_template(self, data: Instance) -> bool:
+        """The polynomial equivalence of Theorem 6.1 on a concrete instance:
+        the schema-free query evaluates to 0 exactly when the S-reduct of the
+        data (after the trivial pre-check for asserted goal facts) maps to the
+        template."""
+        from ..core.homomorphism import has_homomorphism
+
+        goal_symbol = RelationSymbol(self.goal_concept, 1)
+        if data.tuples(goal_symbol):
+            return True
+        reduct = data.restrict_to_schema(self.template_schema)
+        answer = self.omq.certain_answers(data)
+        return bool(answer == frozenset({()})) == (
+            not has_homomorphism(reduct, self.template)
+        )
+
+
+def csp_to_schema_free_omq(template: Instance, goal_name: str = "A") -> SchemaFreeCspEncoding:
+    """Theorem 6.1: a schema-free (ALC, BAQ) query polynomially equivalent to
+    ``coCSP(B)``.
+
+    The fixed-schema construction introduces one concept name per template
+    element; here each such name is shielded as ``H_d = ∀R_d.A_d`` so that data
+    mentioning ``A_d`` or ``R_d`` cannot constrain it.
+    """
+    elements = sorted(template.active_domain, key=repr)
+    schema = template.schema
+    goal = ConceptName(goal_name)
+    shield: dict = {}
+    for index, element in enumerate(elements):
+        shield[element] = Forall(Role(f"R_elem_{index}"), ConceptName(f"A_elem_{index}"))
+
+    axioms: list[ConceptInclusion] = [
+        ConceptInclusion(Top(), big_or([shield[e] for e in elements]))
+    ]
+    for first, second in itertools.combinations(elements, 2):
+        axioms.append(ConceptInclusion(And(shield[first], shield[second]), goal))
+    for symbol in schema.concept_names:
+        held = {t[0] for t in template.tuples(symbol)}
+        for element in elements:
+            if element not in held:
+                axioms.append(
+                    ConceptInclusion(And(shield[element], ConceptName(symbol.name)), goal)
+                )
+    for symbol in schema.role_names:
+        pairs = template.tuples(symbol)
+        role = Role(symbol.name)
+        for source, target in itertools.product(elements, repeat=2):
+            if (source, target) not in pairs:
+                axioms.append(
+                    ConceptInclusion(
+                        And(shield[source], Exists(role, shield[target])), goal
+                    )
+                )
+    omq = OntologyMediatedQuery(
+        ontology=Ontology(axioms),
+        query=boolean_atomic_query(goal_name),
+        data_schema=None,
+        schema_free=True,
+    )
+    return SchemaFreeCspEncoding(
+        omq=omq, template=template, template_schema=schema, goal_concept=goal_name
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.2: containment transfers to the schema-free case
+# ---------------------------------------------------------------------------
+
+
+def emptiness_axioms(symbols: "Schema | list[RelationSymbol]") -> list[ConceptInclusion]:
+    """ALC axioms expressing that each given relation symbol is empty.
+
+    Unary symbols become ``A ⊑ ⊥``; binary symbols become ``∃R.⊤ ⊑ ⊥``.  These
+    are the sentences ``ϕ_{R=∅}`` used in the proof of Theorem 6.2.
+    """
+    axioms = []
+    for symbol in symbols:
+        if symbol.arity == 1:
+            axioms.append(ConceptInclusion(ConceptName(symbol.name), Bottom()))
+        elif symbol.arity == 2:
+            axioms.append(ConceptInclusion(Exists(Role(symbol.name), Top()), Bottom()))
+        else:
+            raise ValueError("description logics only speak about unary/binary symbols")
+    return axioms
+
+
+def containment_to_schema_free(
+    first: OntologyMediatedQuery, second: OntologyMediatedQuery
+) -> tuple[OntologyMediatedQuery, OntologyMediatedQuery]:
+    """Theorem 6.2: produce schema-free queries whose containment coincides
+    with fixed-schema containment of the inputs.
+
+    The second ontology is extended with emptiness axioms for every non-data
+    symbol of the first query, so a schema-free counterexample can never use
+    the first query's private symbols.
+    """
+    shared = first.data_schema
+    private_first = [
+        symbol
+        for symbol in (first.ontology.signature() | first.ucq().schema())
+        if symbol not in shared
+    ]
+    second_ontology = second.ontology.extended(emptiness_axioms(private_first))
+    schema_free_first = OntologyMediatedQuery(
+        ontology=first.ontology, query=first.query, data_schema=None, schema_free=True
+    )
+    schema_free_second = OntologyMediatedQuery(
+        ontology=second_ontology, query=second.query, data_schema=None, schema_free=True
+    )
+    return schema_free_first, schema_free_second
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6.3: shielding concept names for the schema-free lower bounds
+# ---------------------------------------------------------------------------
+
+
+def shield_concept_names(ontology: Ontology, names: "set[str] | list[str]") -> Ontology:
+    """Replace every occurrence of each given concept name ``G`` by ``∀R_G.G``.
+
+    This is the transformation used in the proofs of Theorems 6.1 and 6.3: the
+    compound concept can take arbitrary values in some model extending any
+    data instance, so the construction keeps working even when the data
+    mentions ``G`` or ``R_G``.
+    """
+    shielded = {name: Forall(Role(f"R_{name}"), ConceptName(name)) for name in names}
+
+    def rewrite(concept: Concept) -> Concept:
+        if isinstance(concept, ConceptName) and concept.name in shielded:
+            return shielded[concept.name]
+        children = concept.children()
+        if not children:
+            return concept
+        rewritten = [rewrite(child) for child in children]
+        return _rebuild(concept, rewritten)
+
+    axioms: list[Axiom] = []
+    for axiom in ontology:
+        if isinstance(axiom, ConceptInclusion):
+            axioms.append(ConceptInclusion(rewrite(axiom.lhs), rewrite(axiom.rhs)))
+        else:
+            axioms.append(axiom)
+    return Ontology(axioms)
+
+
+def _rebuild(concept: Concept, children: list[Concept]) -> Concept:
+    from ..dl.concepts import And as AndC
+    from ..dl.concepts import Exists as ExistsC
+    from ..dl.concepts import Forall as ForallC
+    from ..dl.concepts import Not as NotC
+    from ..dl.concepts import Or as OrC
+
+    if isinstance(concept, NotC):
+        return NotC(children[0])
+    if isinstance(concept, AndC):
+        return AndC(*children) if len(children) == 2 else AndC.of(*children)
+    if isinstance(concept, OrC):
+        return OrC(*children) if len(children) == 2 else OrC.of(*children)
+    if isinstance(concept, ExistsC):
+        return ExistsC(concept.role, children[0])
+    if isinstance(concept, ForallC):
+        return ForallC(concept.role, children[0])
+    raise TypeError(f"unexpected compound concept {concept!r}")

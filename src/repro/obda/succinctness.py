@@ -1,0 +1,203 @@
+"""Succinctness measurements (Theorems 3.5, 3.7 and 3.8).
+
+The paper's succinctness results are asymptotic lower bounds; what a
+reproduction can exhibit is the *growth shape* of the constructive
+translations on parameterised query families:
+
+* the (ALC, AQ) → MDDlog and (ALC, UCQ) → MDDlog translations of Theorems 3.3
+  and 3.4 are exponential in the ontology because the target program guesses
+  subsets of ``sub(O)`` (Theorem 3.5 says this is unavoidable unless
+  EXPTIME ⊆ coNP/poly);
+* the inverse-role elimination of Theorem 3.6 is exponential in the query;
+* the (ALCI, UCQ) vs inverse-free succinctness gap of Theorem 3.7 is measured
+  on the counting workload (:mod:`repro.workloads.counting`).
+
+This module provides the measurement harness shared by the succinctness
+benchmarks: parameterised families of ontology-mediated queries, curve
+recording, and a simple growth-shape classifier used by the assertions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..core.cq import atomic_query
+from ..dl.concepts import ConceptName, Exists, Role, big_or
+from ..dl.ontology import ConceptInclusion, Ontology
+from ..dl.rewritings import eliminate_inverse_roles
+from ..omq.query import OntologyMediatedQuery
+from ..translations.alc_aq_mddlog import alc_aq_to_mddlog
+from ..translations.alc_ucq_mddlog import alc_ucq_to_mddlog
+
+
+@dataclass(frozen=True)
+class SuccinctnessPoint:
+    """One point of a translation-blowup curve."""
+
+    parameter: int
+    source_size: int
+    target_size: int
+
+    @property
+    def ratio(self) -> float:
+        return self.target_size / max(self.source_size, 1)
+
+
+def translation_curve(
+    family: Callable[[int], OntologyMediatedQuery],
+    translate: Callable[[OntologyMediatedQuery], object],
+    parameters: Iterable[int],
+) -> list[SuccinctnessPoint]:
+    """Measure source vs target sizes of a translation along a query family."""
+    points = []
+    for parameter in parameters:
+        omq = family(parameter)
+        target = translate(omq)
+        points.append(
+            SuccinctnessPoint(
+                parameter=parameter,
+                source_size=omq.size(),
+                target_size=target.size(),
+            )
+        )
+    return points
+
+
+def classify_growth(points: Sequence[SuccinctnessPoint]) -> str:
+    """A coarse growth-shape label for a curve: ``exponential`` when the target
+    size multiplies by an (at least) roughly constant factor per step,
+    ``polynomial`` otherwise.  Used only for reporting and shape assertions."""
+    if len(points) < 3:
+        return "insufficient-data"
+    ratios = [
+        points[i + 1].target_size / max(points[i].target_size, 1)
+        for i in range(len(points) - 1)
+    ]
+    geometric_mean = math.exp(sum(math.log(max(r, 1e-9)) for r in ratios) / len(ratios))
+    return "exponential" if geometric_mean >= 1.5 else "polynomial"
+
+
+# ---------------------------------------------------------------------------
+# Query families driving the blowup measurements
+# ---------------------------------------------------------------------------
+
+
+def disjunctive_cover_family(i: int) -> OntologyMediatedQuery:
+    """An (ALC, AQ) family with ``i`` independent binary choices.
+
+    The ontology asserts ``⊤ ⊑ A_j ⊔ B_j`` for each ``j`` and derives the goal
+    when all ``A_j`` hold; the ontology grows linearly in ``i`` while the
+    type space (and hence the MDDlog program of Theorem 3.4) grows with the
+    number of subsets of ``sub(O)`` — the Theorem 3.5 shape.
+    """
+    from ..dl.concepts import And, Top
+
+    axioms = []
+    conjuncts = []
+    for j in range(i):
+        a, b = ConceptName(f"A{j}"), ConceptName(f"B{j}")
+        axioms.append(ConceptInclusion(Top(), a | b))
+        conjuncts.append(a)
+    chosen = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        chosen = And(chosen, conjunct)
+    axioms.append(ConceptInclusion(chosen, ConceptName("Goal")))
+    return OntologyMediatedQuery(
+        ontology=Ontology(axioms), query=atomic_query("Goal")
+    )
+
+
+def role_chain_family(i: int) -> OntologyMediatedQuery:
+    """An (ALC, AQ) family whose ontology chains ``i`` existential axioms."""
+    role = Role("R")
+    axioms = [
+        ConceptInclusion(Exists(role, ConceptName(f"C{j}")), ConceptName(f"C{j + 1}"))
+        for j in range(i)
+    ]
+    return OntologyMediatedQuery(
+        ontology=Ontology(axioms), query=atomic_query(f"C{i}")
+    )
+
+
+def simple_mddlog_family(i: int):
+    """A unary connected simple MDDlog family with ``i`` propagation rules,
+    used to measure the *linear* reverse translation of Theorem 3.4 (2)."""
+    from ..core.cq import Atom, Variable
+    from ..core.schema import RelationSymbol
+    from ..datalog.ddlog import DisjunctiveDatalogProgram, Rule, goal_atom
+
+    x, y = Variable("x"), Variable("y")
+    R = RelationSymbol("R", 2)
+    rules = [
+        Rule(
+            (Atom(RelationSymbol(f"P{j + 1}", 1), (x,)),),
+            (Atom(R, (x, y)), Atom(RelationSymbol(f"P{j}", 1), (y,))),
+        )
+        for j in range(i)
+    ]
+    rules.append(
+        Rule((Atom(RelationSymbol("P0", 1), (x,)),), (Atom(RelationSymbol("A", 1), (x,)),))
+    )
+    rules.append(Rule((goal_atom(x),), (Atom(RelationSymbol(f"P{i}", 1), (x,)),)))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def inverse_role_family(i: int) -> OntologyMediatedQuery:
+    """An (ALCI, AQ) family used to measure the inverse-role elimination of
+    Theorem 3.6: each axiom walks one step backwards along ``R``."""
+    axioms = [
+        ConceptInclusion(
+            Exists(Role("R").inverted(), ConceptName(f"D{j}")), ConceptName(f"D{j + 1}")
+        )
+        for j in range(i)
+    ]
+    return OntologyMediatedQuery(
+        ontology=Ontology(axioms), query=atomic_query(f"D{i}")
+    )
+
+
+def aq_to_mddlog_curve(parameters: Iterable[int]) -> list[SuccinctnessPoint]:
+    """Theorem 3.4 / 3.5: size of the MDDlog program versus the (ALC, AQ) query."""
+    return translation_curve(disjunctive_cover_family, alc_aq_to_mddlog, parameters)
+
+
+def ucq_to_mddlog_curve(parameters: Iterable[int]) -> list[SuccinctnessPoint]:
+    """Theorem 3.3: size of the MDDlog program versus the (ALC, UCQ) query."""
+    return translation_curve(disjunctive_cover_family, alc_ucq_to_mddlog, parameters)
+
+
+def mddlog_to_omq_curve(parameters: Iterable[int]) -> list[SuccinctnessPoint]:
+    """Theorem 3.4 (2): the reverse translation MDDlog → (ALC, AQ) is linear —
+    the control curve contrasting with the exponential forward direction."""
+    from ..translations.alc_aq_mddlog import mddlog_to_alc_aq
+
+    points = []
+    for parameter in parameters:
+        program = simple_mddlog_family(parameter)
+        omq = mddlog_to_alc_aq(program)
+        points.append(
+            SuccinctnessPoint(
+                parameter=parameter,
+                source_size=program.size(),
+                target_size=omq.size(),
+            )
+        )
+    return points
+
+
+def inverse_elimination_curve(parameters: Iterable[int]) -> list[SuccinctnessPoint]:
+    """Theorem 3.6: size of the inverse-free ontology versus the ALCI original."""
+    points = []
+    for parameter in parameters:
+        omq = inverse_role_family(parameter)
+        rewritten, _query = eliminate_inverse_roles(omq.ontology)
+        points.append(
+            SuccinctnessPoint(
+                parameter=parameter,
+                source_size=omq.ontology.size(),
+                target_size=rewritten.size(),
+            )
+        )
+    return points

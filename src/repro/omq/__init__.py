@@ -1,0 +1,17 @@
+"""Ontology-mediated queries and certain-answer engines."""
+
+from .query import OntologyMediatedQuery
+from .certain import ENGINES, certain_answers, is_certain_answer
+from .atomic import AtomicEngine
+from .bounded import BoundedModelEngine
+from .forest import ForestEngine
+
+__all__ = [
+    "ENGINES",
+    "AtomicEngine",
+    "BoundedModelEngine",
+    "ForestEngine",
+    "OntologyMediatedQuery",
+    "certain_answers",
+    "is_certain_answer",
+]

@@ -1,0 +1,76 @@
+"""Certain answers for atomic and Boolean atomic queries (AQ / BAQ).
+
+For an atomic query ``A0(x)``, a data element ``a`` is a certain answer iff
+there is no model of the ontology extending the data in which ``A0`` fails at
+``a`` — i.e. no labelling of the data with good types that makes ``A0`` false
+at ``a``.  This reduces directly to the type-assignment search of
+:class:`repro.dl.reasoner.AboxTypeAssignment` and supports ALC, role
+hierarchies and the universal role (``ALCHU`` / ``SHIU`` after the rewritings
+of Theorems 3.6 and 3.11).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.cq import ConjunctiveQuery
+from ..core.instance import Instance
+from ..dl.concepts import ConceptName
+from ..dl.reasoner import AboxTypeAssignment
+from .query import OntologyMediatedQuery
+
+
+def _query_concept(omq: OntologyMediatedQuery) -> ConceptName:
+    query = omq.query
+    if not isinstance(query, ConjunctiveQuery) or len(query.atoms) != 1:
+        raise ValueError("the atomic engine requires an AQ or BAQ")
+    atom = next(iter(query.atoms))
+    if atom.relation.arity != 1:
+        raise ValueError("the atomic engine requires a unary query relation")
+    return ConceptName(atom.relation.name)
+
+
+class AtomicEngine:
+    """Certain answers for (L, AQ) and (L, BAQ) ontology-mediated queries."""
+
+    def __init__(self, omq: OntologyMediatedQuery):
+        if not (omq.is_atomic() or omq.is_boolean_atomic()):
+            raise ValueError("the atomic engine requires an AQ or BAQ")
+        self.omq = omq
+        self.concept = _query_concept(omq)
+
+    def _assignment_search(self, instance: Instance) -> AboxTypeAssignment:
+        return AboxTypeAssignment(
+            self.omq.ontology, instance, extra_concepts=[self.concept]
+        )
+
+    def is_certain(self, instance: Instance, answer: Sequence = ()) -> bool:
+        answer = tuple(answer)
+        if not instance.active_domain:
+            return False
+        if any(value not in instance.active_domain for value in answer):
+            return False
+        search = self._assignment_search(instance)
+        if self.omq.is_atomic():
+            element = answer[0]
+            # a is certain unless some model makes A0 false at a.
+            return not search.exists(forbidden={element: [self.concept]})
+        # BAQ: certain unless some model makes A0 false everywhere.
+        forbidden = {
+            element: [self.concept] for element in instance.active_domain
+        }
+        return not search.exists(forbidden=forbidden)
+
+    def certain_answers(self, instance: Instance) -> frozenset[tuple]:
+        domain = sorted(instance.active_domain, key=repr)
+        if not domain:
+            return frozenset()
+        search = self._assignment_search(instance)
+        if self.omq.is_boolean_atomic():
+            forbidden = {element: [self.concept] for element in domain}
+            return frozenset() if search.exists(forbidden=forbidden) else frozenset({()})
+        answers = set()
+        for element in domain:
+            if not search.exists(forbidden={element: [self.concept]}):
+                answers.add((element,))
+        return frozenset(answers)

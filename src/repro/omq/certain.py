@@ -1,0 +1,92 @@
+"""Dispatcher for certain-answer computation over ontology-mediated queries.
+
+The ``auto`` engine picks the strongest applicable complete procedure:
+
+1. ``atomic`` — type-assignment search for AQ / BAQ (ALC, H, U; I, trans via
+   the rewritings of Theorems 3.6 and 3.11, applied automatically);
+2. ``forest`` — the forest counter-model engine for UCQs (ALC, H; I and trans
+   via the same rewritings);
+3. ``bounded`` — the bounded counter-model reference engine (used for
+   functional roles, or on request as an independent cross-check).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.instance import Instance
+from ..dl.rewritings import (
+    eliminate_inverse_roles,
+    eliminate_transitive_roles,
+)
+from .atomic import AtomicEngine
+from .bounded import BoundedModelEngine
+from .forest import ForestEngine
+from .query import OntologyMediatedQuery
+
+ENGINES = ("auto", "atomic", "forest", "bounded")
+
+
+def _normalise(omq: OntologyMediatedQuery) -> OntologyMediatedQuery:
+    """Compile away transitive and inverse roles when present (Thms 3.6 / 3.11)."""
+    ontology = omq.ontology
+    query = omq.query
+    if ontology.uses_functional_roles():
+        return omq
+    if ontology.uses_transitive_roles():
+        if omq.is_atomic() or omq.is_boolean_atomic():
+            ontology = eliminate_transitive_roles(ontology)
+        else:
+            return omq  # (S, UCQ) is strictly more expressive; keep as-is
+    if ontology.uses_inverse_roles():
+        ontology, rewritten = eliminate_inverse_roles(ontology, omq.ucq())
+        if not (omq.is_atomic() or omq.is_boolean_atomic()):
+            query = rewritten
+    if ontology is omq.ontology and query is omq.query:
+        return omq
+    return OntologyMediatedQuery(
+        ontology=ontology,
+        query=query,
+        data_schema=omq.data_schema,
+        schema_free=omq.schema_free,
+    )
+
+
+def _select_engine(omq: OntologyMediatedQuery, engine: str):
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if engine == "bounded":
+        return BoundedModelEngine(omq)
+    if engine == "atomic":
+        return AtomicEngine(_normalise(omq))
+    if engine == "forest":
+        return ForestEngine(_normalise(omq))
+    # auto
+    normalised = _normalise(omq)
+    ontology = normalised.ontology
+    if ontology.uses_functional_roles():
+        return BoundedModelEngine(normalised)
+    if normalised.is_atomic() or normalised.is_boolean_atomic():
+        return AtomicEngine(normalised)
+    if ontology.uses_transitive_roles() or ontology.uses_universal_role():
+        return BoundedModelEngine(normalised)
+    return ForestEngine(normalised)
+
+
+def certain_answers(
+    omq: OntologyMediatedQuery, instance: Instance, engine: str = "auto"
+) -> frozenset[tuple]:
+    """The certain answers ``cert_{q,O}(D)`` of the OMQ on the instance."""
+    omq.check_instance_schema(instance)
+    return _select_engine(omq, engine).certain_answers(instance)
+
+
+def is_certain_answer(
+    omq: OntologyMediatedQuery,
+    instance: Instance,
+    answer: Sequence = (),
+    engine: str = "auto",
+) -> bool:
+    """Does the tuple belong to the certain answers?"""
+    omq.check_instance_schema(instance)
+    return _select_engine(omq, engine).is_certain(instance, tuple(answer))

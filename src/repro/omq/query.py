@@ -1,0 +1,110 @@
+"""Ontology-mediated queries (Section 2).
+
+An ontology-mediated query (OMQ) is a triple ``(S, O, q)``: a data schema, an
+ontology, and a query over ``S ∪ sig(O)``.  Its semantics ``q_Q`` maps an
+``S``-instance to the certain answers ``cert_{q,O}(D)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.cq import (
+    ConjunctiveQuery,
+    UnionOfConjunctiveQueries,
+    as_ucq,
+    is_atomic_query,
+    is_boolean_atomic_query,
+)
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..dl.ontology import Ontology, data_schema_of
+
+
+@dataclass(frozen=True)
+class OntologyMediatedQuery:
+    """An ontology-mediated query ``(S, O, q)``.
+
+    ``query`` may be a CQ or a UCQ; ``data_schema`` defaults to the full
+    schema ``sig(O) ∪ sig(q)``.  When ``schema_free`` is set, the query is a
+    *schema-free* OMQ in the sense of Section 6: any relation symbol may occur
+    in the data.
+    """
+
+    ontology: Ontology
+    query: "ConjunctiveQuery | UnionOfConjunctiveQueries"
+    data_schema: Schema | None = None
+    schema_free: bool = False
+
+    def __post_init__(self) -> None:
+        if self.data_schema is None:
+            object.__setattr__(
+                self, "data_schema", data_schema_of(self.ontology, self.ucq())
+            )
+
+    # -- views -------------------------------------------------------------------
+
+    def ucq(self) -> UnionOfConjunctiveQueries:
+        return as_ucq(self.query)
+
+    @property
+    def arity(self) -> int:
+        return self.ucq().arity
+
+    def is_atomic(self) -> bool:
+        """Is the actual query an AQ (``A(x)``)?"""
+        return isinstance(self.query, ConjunctiveQuery) and is_atomic_query(self.query)
+
+    def is_boolean_atomic(self) -> bool:
+        """Is the actual query a BAQ (``∃x A(x)``)?"""
+        return isinstance(self.query, ConjunctiveQuery) and is_boolean_atomic_query(
+            self.query
+        )
+
+    def omq_language(self) -> str:
+        """The OBDA language ``(L, Q)`` this query syntactically belongs to."""
+        dialect = self.ontology.dialect()
+        if self.is_atomic():
+            query_language = "AQ"
+        elif self.is_boolean_atomic():
+            query_language = "BAQ"
+        elif isinstance(self.query, ConjunctiveQuery):
+            query_language = "CQ"
+        else:
+            query_language = "UCQ"
+        return f"({dialect}, {query_language})"
+
+    def size(self) -> int:
+        return self.ontology.size() + self.ucq().size()
+
+    # -- semantics -----------------------------------------------------------------
+
+    def check_instance_schema(self, instance: Instance) -> None:
+        if self.schema_free:
+            return
+        for symbol in instance.schema:
+            if symbol not in self.data_schema:
+                raise ValueError(
+                    f"instance uses symbol {symbol} outside the data schema; "
+                    "declare the OMQ schema_free or extend the data schema"
+                )
+
+    def certain_answers(self, instance: Instance, engine: str = "auto") -> frozenset[tuple]:
+        """The certain answers ``cert_{q,O}(D)`` (delegates to :mod:`repro.omq.certain`)."""
+        from .certain import certain_answers
+
+        return certain_answers(self, instance, engine=engine)
+
+    def is_certain(
+        self, instance: Instance, answer: Sequence = (), engine: str = "auto"
+    ) -> bool:
+        from .certain import is_certain_answer
+
+        return is_certain_answer(self, instance, tuple(answer), engine=engine)
+
+    def consistent(self, instance: Instance) -> bool:
+        """Is the instance consistent with the ontology?"""
+        from ..dl.reasoner import instance_consistent
+
+        return instance_consistent(instance, self.ontology)

@@ -1,0 +1,55 @@
+"""The paper's translation theorems as executable constructions."""
+
+from .alc_aq_mddlog import alc_aq_to_mddlog, mddlog_to_alc_aq
+from .alc_ucq_mddlog import alc_ucq_to_mddlog, mddlog_to_alc_ucq
+from .csp_templates import (
+    CspEncoding,
+    csp_to_mddlog,
+    csp_to_omq,
+    marked_csp_to_omq,
+    omq_to_csp,
+)
+from .fpp_mddlog import fpp_to_mddlog, mddlog_to_fpp
+from .mmsnp_mddlog import mddlog_to_mmsnp, mmsnp_to_mddlog
+from .gmsnp_frontier import (
+    close_under_identification,
+    frontier_ddlog_to_gmsnp,
+    gmsnp_to_frontier_ddlog,
+    gmsnp_to_mmsnp2,
+    mmsnp2_to_gmsnp,
+    mmsnp_as_gmsnp,
+)
+from .frontier_gnfo import (
+    FirstOrderOntologyMediatedQuery,
+    frontier_ddlog_to_gnfo_omq,
+    proposition_3_15_omq,
+    proposition_3_15_schema,
+    rule_to_gnfo_sentence,
+)
+
+__all__ = [
+    "CspEncoding",
+    "FirstOrderOntologyMediatedQuery",
+    "alc_aq_to_mddlog",
+    "alc_ucq_to_mddlog",
+    "close_under_identification",
+    "csp_to_mddlog",
+    "csp_to_omq",
+    "fpp_to_mddlog",
+    "frontier_ddlog_to_gmsnp",
+    "frontier_ddlog_to_gnfo_omq",
+    "gmsnp_to_frontier_ddlog",
+    "gmsnp_to_mmsnp2",
+    "marked_csp_to_omq",
+    "mddlog_to_alc_aq",
+    "mddlog_to_alc_ucq",
+    "mddlog_to_fpp",
+    "mddlog_to_mmsnp",
+    "mmsnp2_to_gmsnp",
+    "mmsnp_as_gmsnp",
+    "mmsnp_to_mddlog",
+    "omq_to_csp",
+    "proposition_3_15_omq",
+    "proposition_3_15_schema",
+    "rule_to_gnfo_sentence",
+]

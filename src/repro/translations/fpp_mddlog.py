@@ -1,0 +1,127 @@
+"""Proposition 3.2: coFPP ≡ Boolean MDDlog.
+
+* FPP → MDDlog: colours become IDB predicates; every element takes at least
+  one colour, no element takes two, and a goal rule per forbidden pattern
+  fires whenever the pattern maps into the coloured instance.
+* MDDlog → FPP: colours are the subsets of IDB predicates; forbidden patterns
+  are read off the rules as in the paper's proof (goal rules forbid their body
+  being realised, non-goal rules forbid their violation).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
+from ..fpp.problems import ColouredInstance, ForbiddenPatternsProblem
+
+
+def fpp_to_mddlog(problem: ForbiddenPatternsProblem) -> DisjunctiveDatalogProgram:
+    """Translate a forbidden patterns problem into a Boolean MDDlog program
+    defining the corresponding coFPP query."""
+    x = Variable("x")
+    rules: list[Rule] = [
+        Rule(tuple(Atom(colour, (x,)) for colour in problem.colours), (adom_atom(x),))
+    ]
+    for first, second in itertools.combinations(problem.colours, 2):
+        rules.append(Rule((), (Atom(first, (x,)), Atom(second, (x,)))))
+    for pattern in problem.patterns:
+        variables = {
+            element: Variable(f"v{i}")
+            for i, element in enumerate(sorted(pattern.instance.active_domain, key=repr))
+        }
+        body = tuple(
+            Atom(fact.relation, tuple(variables[a] for a in fact.arguments))
+            for fact in sorted(pattern.instance.facts, key=str)
+        )
+        rules.append(Rule((goal_atom(),), body))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def mddlog_to_fpp(program: DisjunctiveDatalogProgram) -> ForbiddenPatternsProblem:
+    """Translate a Boolean MDDlog program into an equivalent forbidden patterns
+    problem (Proposition 3.2, second half)."""
+    if not program.is_monadic() or not program.is_boolean():
+        raise ValueError("Proposition 3.2 applies to Boolean MDDlog programs")
+    idb = sorted(
+        {
+            symbol
+            for symbol in program.idb_relations
+            if symbol.arity == 1 and symbol.name not in ("goal", ADOM)
+        },
+        key=str,
+    )
+    edb = program.edb_relations
+    schema = Schema(edb)
+    subsets = [
+        frozenset(c)
+        for size in range(len(idb) + 1)
+        for c in itertools.combinations(idb, size)
+    ]
+    colour_of = {
+        subset: RelationSymbol(
+            "Colour_" + "_".join(sorted(s.name for s in subset)) if subset else "Colour_none",
+            1,
+        )
+        for subset in subsets
+    }
+    colours = tuple(colour_of[s] for s in subsets)
+
+    patterns: list[ColouredInstance] = []
+    for rule in program.rules:
+        patterns.extend(_patterns_from_rule(rule, idb, edb, subsets, colour_of, colours))
+    return ForbiddenPatternsProblem(schema, colours, patterns)
+
+
+def _patterns_from_rule(
+    rule: Rule, idb, edb, subsets, colour_of, colours
+) -> list[ColouredInstance]:
+    """The coloured forbidden patterns obtained from one MDDlog rule.
+
+    Following the proof of Proposition 3.2: take the EDB atoms of the body as
+    facts over fresh constants, then colour each variable with a subset that
+    contains all IDB predicates asserted of it in the body and, for non-goal
+    rules, omits at least... — more precisely, every colouring that makes the
+    body true and the head false is a forbidden pattern.
+    """
+    variables = sorted(rule.variables, key=str)
+    constant_of = {v: f"d_{v.name}" for v in variables}
+    base_facts = []
+    for atom in rule.body:
+        if atom.relation in edb:
+            base_facts.append(
+                Fact(atom.relation, tuple(constant_of[a] for a in atom.arguments))
+            )
+    body_idb: dict[Variable, set] = {v: set() for v in variables}
+    for atom in rule.body:
+        if atom.relation in idb:
+            body_idb[atom.arguments[0]].add(atom.relation)
+    head_idb: dict[Variable, set] = {v: set() for v in variables}
+    is_goal = rule.is_goal_rule()
+    if not is_goal:
+        for atom in rule.head:
+            head_idb[atom.arguments[0]].add(atom.relation)
+
+    patterns = []
+    per_variable_choices = []
+    for variable in variables:
+        options = []
+        for subset in subsets:
+            if not body_idb[variable] <= subset:
+                continue
+            if not is_goal and (head_idb[variable] & subset):
+                continue
+            options.append(subset)
+        per_variable_choices.append(options)
+    for choice in itertools.product(*per_variable_choices):
+        facts = list(base_facts)
+        for variable, subset in zip(variables, choice):
+            facts.append(Fact(colour_of[subset], (constant_of[variable],)))
+        try:
+            patterns.append(ColouredInstance(Instance(facts), colours))
+        except ValueError:
+            continue
+    return patterns

@@ -1,0 +1,242 @@
+"""Theorem 3.17: frontier-guarded DDlog and ontologies in GFO / GNFO.
+
+The paper shows that (GFO, UCQ) and (GNFO, UCQ) have the same expressive power
+as frontier-guarded disjunctive datalog.  This module implements
+
+* the *easy* direction constructively (Theorem 3.17 (2)): a frontier-guarded
+  DDlog program is turned into an ontology-mediated query whose ontology is
+  the set of non-goal rules read as GNFO sentences and whose query is the UCQ
+  of goal-rule bodies;
+* a first-order flavoured OMQ container (:class:`FirstOrderOntologyMediatedQuery`)
+  with certain-answer semantics evaluated by bounded counter-model search, so
+  the two sides of the theorem can be compared on concrete instances;
+* the GFO ontology of Proposition 3.15 (the ternary-relation reachability
+  query separating (GFO, UCQ) from MDDlog), built as explicit FO sentences.
+
+The hard direction (GNFO, UCQ) → frontier-guarded DDlog goes through the
+type-based construction of the appendix and is exponential even to write down;
+its role in the reproduction is covered by the GMSNP route of Theorem 4.2
+(:mod:`repro.translations.gmsnp_frontier`), which produces the same target
+language from the logical side.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule
+from ..fo.formulas import (
+    Formula,
+    RelationalAtom,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+)
+from ..fo.fragments import is_gfo, is_gnfo
+
+
+# ---------------------------------------------------------------------------
+# FO-ontology OMQs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FirstOrderOntologyMediatedQuery:
+    """An ontology-mediated query whose ontology is a set of FO sentences.
+
+    This is the (L, UCQ) shape for L ∈ {GFO, UNFO, GNFO}: the data schema, a
+    tuple of FO sentences, and a UCQ over the joint signature.  Certain answers
+    are evaluated by bounded counter-model search (every ``False`` verdict is a
+    genuine counter-model; ``True`` verdicts are exhaustive relative to the
+    ``extra_elements`` bound), which is sufficient for the instance families
+    used in the tests and benchmarks.
+    """
+
+    data_schema: Schema
+    sentences: tuple[Formula, ...]
+    query: UnionOfConjunctiveQueries
+
+    @property
+    def arity(self) -> int:
+        return self.query.arity
+
+    def ontology_fragments(self) -> set[str]:
+        """The FO fragments every ontology sentence belongs to."""
+        fragments = {"GFO", "GNFO", "UNFO"}
+        from ..fo.fragments import fragment_of
+
+        for sentence in self.sentences:
+            fragments &= fragment_of(sentence)
+        return fragments
+
+    def _signature(self) -> Schema:
+        symbols = set(self.data_schema)
+        for sentence in self.sentences:
+            symbols |= sentence.relation_symbols()
+        symbols |= set(self.query.schema())
+        return Schema(symbols)
+
+    def countermodel(
+        self, instance: Instance, answer: Sequence = (), extra_elements: int = 0
+    ) -> Instance | None:
+        """A model of the sentences extending the data that falsifies ``q(answer)``.
+
+        The search grounds the sentences and the negated query over the data
+        domain (plus up to ``extra_elements`` fresh elements) and hands the
+        propositional problem to :mod:`repro.fo.grounding`.
+        """
+        from ..fo.grounding import ground, ground_ucq, model_from_assignment, satisfying_assignment
+
+        answer = tuple(answer)
+        base_domain = sorted(instance.active_domain, key=repr)
+        forced = {fact: True for fact in instance}
+        for extra in range(extra_elements + 1):
+            domain = base_domain + [f"__fresh{i}" for i in range(extra)]
+            constraints = [ground(sentence, domain) for sentence in self.sentences]
+            constraints.append(ground_ucq(self.query, domain, answer, positive=False))
+            assignment = satisfying_assignment(constraints, forced)
+            if assignment is not None:
+                return model_from_assignment(assignment, instance)
+        return None
+
+    def certain_answers(
+        self, instance: Instance, extra_elements: int = 0
+    ) -> frozenset[tuple]:
+        """Certain answers via bounded counter-model search."""
+        domain = sorted(instance.active_domain, key=repr)
+        if not domain:
+            return frozenset()
+        candidates = itertools.product(domain, repeat=self.arity)
+        return frozenset(
+            answer
+            for answer in candidates
+            if self.countermodel(instance, answer, extra_elements) is None
+        )
+
+    def is_certain(
+        self, instance: Instance, answer: Sequence = (), extra_elements: int = 0
+    ) -> bool:
+        return self.countermodel(instance, tuple(answer), extra_elements) is None
+
+
+# ---------------------------------------------------------------------------
+# Frontier-guarded DDlog  ->  (GNFO, UCQ)
+# ---------------------------------------------------------------------------
+
+
+def _atom_to_fo(atom: Atom) -> RelationalAtom:
+    return RelationalAtom(atom.relation, atom.arguments)
+
+
+def rule_to_gnfo_sentence(rule: Rule) -> Formula:
+    """A non-goal DDlog rule as the universally quantified implication it denotes."""
+    body = conjunction([_atom_to_fo(atom) for atom in rule.body])
+    if rule.head:
+        head = disjunction([_atom_to_fo(atom) for atom in rule.head])
+        matrix = body.implies(head)
+    else:
+        matrix = ~body
+    variables = sorted(rule.variables, key=str)
+    return forall(variables, matrix) if variables else matrix
+
+
+def _goal_rule_to_cq(rule: Rule) -> ConjunctiveQuery:
+    goal_head = rule.head[0]
+    answers = tuple(goal_head.arguments)
+    atoms = [atom for atom in rule.body if atom.relation.name != ADOM]
+    if not atoms:
+        atoms = list(rule.body)
+    return ConjunctiveQuery(answers, atoms)
+
+
+def frontier_ddlog_to_gnfo_omq(
+    program: DisjunctiveDatalogProgram,
+) -> FirstOrderOntologyMediatedQuery:
+    """Theorem 3.17 (2): a frontier-guarded DDlog program as a (GNFO, UCQ) query.
+
+    The ontology consists of the non-goal rules read as GNFO sentences; the
+    query is the union of the goal-rule bodies.  The data schema is the
+    program's EDB schema.
+    """
+    if not program.is_frontier_guarded():
+        raise ValueError("the program must be frontier-guarded")
+    if any(
+        atom.relation.name == ADOM
+        for rule in program.non_goal_rules()
+        for atom in rule.body
+    ):
+        raise ValueError(
+            "non-goal rules using the adom shorthand are not in GNFO shape; "
+            "expand adom over the EDB relations first"
+        )
+    sentences = tuple(rule_to_gnfo_sentence(rule) for rule in program.non_goal_rules())
+    for sentence in sentences:
+        if not is_gnfo(sentence):
+            raise AssertionError(f"produced sentence is not in GNFO: {sentence}")
+    disjuncts = [_goal_rule_to_cq(rule) for rule in program.goal_rules()]
+    if not disjuncts:
+        raise ValueError("the program has no goal rules")
+    return FirstOrderOntologyMediatedQuery(
+        data_schema=program.edb_schema(),
+        sentences=sentences,
+        query=UnionOfConjunctiveQueries(disjuncts),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Proposition 3.15: a (GFO, UCQ) query not expressible in MDDlog
+# ---------------------------------------------------------------------------
+
+
+def proposition_3_15_schema() -> Schema:
+    """Unary ``A``, ``B`` and ternary ``P`` — the schema of Proposition 3.15."""
+    return Schema(
+        [RelationSymbol("A", 1), RelationSymbol("B", 1), RelationSymbol("P", 3)]
+    )
+
+
+def proposition_3_15_omq() -> FirstOrderOntologyMediatedQuery:
+    """The (GFO, UCQ) query of Proposition 3.15.
+
+    The ontology propagates a reachability relation ``R`` along the ternary
+    relation ``P`` starting from ``A``-elements and raises ``U`` when a
+    ``B``-element is reached; the query asks for ``∃x U(x)``.
+    """
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    A = RelationSymbol("A", 1)
+    B = RelationSymbol("B", 1)
+    P = RelationSymbol("P", 3)
+    R = RelationSymbol("R", 2)
+    U = RelationSymbol("U", 1)
+
+    p_atom = RelationalAtom(P, (x, z, y))
+    first = forall(
+        [x, y, z],
+        p_atom.implies(RelationalAtom(A, (x,)).implies(RelationalAtom(R, (z, x)))),
+    )
+    second = forall(
+        [x, y, z],
+        p_atom.implies(RelationalAtom(R, (z, x)).implies(RelationalAtom(R, (z, y)))),
+    )
+    third = forall(
+        [x, y],
+        RelationalAtom(R, (x, y)).implies(
+            RelationalAtom(B, (y,)).implies(RelationalAtom(U, (y,)))
+        ),
+    )
+    sentences = (first, second, third)
+    for sentence in sentences:
+        if not is_gfo(sentence):
+            raise AssertionError(f"Proposition 3.15 sentence is not guarded: {sentence}")
+    query = ConjunctiveQuery((), [Atom(U, (Variable("u"),))])
+    return FirstOrderOntologyMediatedQuery(
+        data_schema=proposition_3_15_schema(),
+        sentences=sentences,
+        query=UnionOfConjunctiveQueries([query]),
+    )

@@ -1,0 +1,388 @@
+"""Theorem 4.2 and 4.3: GMSNP, frontier-guarded DDlog, and MMSNP2.
+
+* **Theorem 4.2** — coGMSNP has the same expressive power as frontier-guarded
+  disjunctive datalog.  Both directions mirror Proposition 4.1, except that the
+  "guess" rules are guarded by schema atoms rather than ``adom``:
+  ``X(z) ∨ X̄(z) ← R(u)`` for every schema relation ``R`` and every tuple ``z``
+  of variables drawn from ``u``.
+* **Theorem 4.3** — GMSNP has the same expressive power as MMSNP2 (monadic SO
+  variables ranging over elements *and facts*).  The MMSNP2 → GMSNP direction
+  introduces one SO variable per (monadic variable, schema relation) pair; the
+  converse direction follows the paper's guard-selection construction and
+  expects its input in the paper's normal form (heads guarded by schema atoms,
+  implications closed under identification of FO variables) — helpers to put a
+  formula into that shape are provided.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.cq import Atom, Variable
+from ..core.schema import RelationSymbol, Schema
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
+from ..mmsnp.formulas import (
+    EqualityAtom,
+    FactSOAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+    SOVariable,
+)
+from ..mmsnp.normal_forms import substitute_implication
+from .mmsnp_mddlog import _equality_substitution
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.2: GMSNP  <->  frontier-guarded DDlog
+# ---------------------------------------------------------------------------
+
+
+def gmsnp_to_frontier_ddlog(formula: MMSNPFormula) -> DisjunctiveDatalogProgram:
+    """Translate a GMSNP formula into an equivalent frontier-guarded DDlog
+    program (Theorem 4.2, first part)."""
+    if formula.uses_fact_atoms():
+        raise ValueError("GMSNP formulas do not use fact atoms; convert from MMSNP2 first")
+    if not formula.is_gmsnp():
+        raise ValueError("the formula is not guarded (GMSNP)")
+    schema = formula.schema()
+    free = formula.free_variables
+    positives = {
+        v: RelationSymbol(v.name, v.arity) for v in formula.so_variables
+    }
+    complements = {
+        v: RelationSymbol(f"{v.name}__comp", v.arity) for v in formula.so_variables
+    }
+    rules: list[Rule] = []
+
+    # Guess rules: X(z) ∨ X̄(z) ← R(u) with every variable of z drawn from u.
+    for variable in formula.so_variables:
+        for symbol in sorted(schema, key=lambda s: (s.name, s.arity)):
+            guard_vars = tuple(Variable(f"u{i}") for i in range(symbol.arity))
+            guard = Atom(symbol, guard_vars)
+            for z in itertools.product(guard_vars, repeat=variable.arity):
+                rules.append(
+                    Rule(
+                        (
+                            Atom(positives[variable], z),
+                            Atom(complements[variable], z),
+                        ),
+                        (guard,),
+                    )
+                )
+        # Exclusivity: no tuple is in both X and its complement.
+        z = tuple(Variable(f"z{i}") for i in range(variable.arity))
+        rules.append(
+            Rule((), (Atom(positives[variable], z), Atom(complements[variable], z)))
+        )
+
+    for implication in formula.implications:
+        rules.extend(_implication_to_rules(implication, positives, complements, free))
+    program = DisjunctiveDatalogProgram(rules)
+    if not program.is_frontier_guarded():
+        raise AssertionError("the produced program must be frontier-guarded")
+    return program
+
+
+def _implication_to_rules(implication, positives, complements, free) -> list[Rule]:
+    """Shared with Proposition 4.1's proof, generalised to non-monadic SO atoms."""
+    body: list[Atom] = []
+    equalities: list[tuple[Variable, Variable]] = []
+    for atom in implication.body:
+        if isinstance(atom, SchemaAtom):
+            body.append(Atom(atom.relation, atom.arguments))
+        elif isinstance(atom, SOAtom):
+            body.append(Atom(positives[atom.variable], atom.arguments))
+        elif isinstance(atom, EqualityAtom):
+            equalities.append((atom.left, atom.right))
+        else:
+            raise ValueError(f"unsupported body atom {atom!r}")
+    for atom in implication.head:
+        if not isinstance(atom, SOAtom):
+            raise ValueError("GMSNP head atoms must be SO atoms")
+        body.append(Atom(complements[atom.variable], atom.arguments))
+
+    if not free:
+        if equalities:
+            substitution = _equality_substitution(equalities)
+            body = [a.substitute(substitution) for a in body]
+        if not body:
+            body = [adom_atom(Variable("x"))]
+        return [Rule((goal_atom(),), tuple(body))]
+
+    substitution = _equality_substitution(equalities, restrict_to=set(free))
+    goal_arguments = tuple(substitution.get(v, v) for v in free)
+    body = [a.substitute(substitution) for a in body]
+    bound = {v for atom in body for v in atom.variables}
+    for variable in goal_arguments:
+        if variable not in bound:
+            body.append(adom_atom(variable))
+            bound.add(variable)
+    if not body:
+        body = [adom_atom(goal_arguments[0])]
+    return [Rule((goal_atom(*goal_arguments),), tuple(body))]
+
+
+def frontier_ddlog_to_gmsnp(program: DisjunctiveDatalogProgram) -> MMSNPFormula:
+    """Translate a frontier-guarded DDlog program into an equivalent GMSNP
+    formula (Theorem 4.2, converse direction)."""
+    if not program.is_frontier_guarded():
+        raise ValueError("the program must be frontier-guarded")
+    so_variables = {
+        symbol.name: SOVariable(symbol.name, symbol.arity)
+        for symbol in program.idb_relations
+        if symbol.name not in ("goal", ADOM)
+    }
+    arity = program.arity
+    free = tuple(Variable(f"y{i}") for i in range(arity))
+    edb = program.edb_relations
+    implications: list[Implication] = []
+
+    def convert(atom: Atom):
+        if atom.relation.name == ADOM:
+            return None
+        if atom.relation in edb or atom.relation.name not in so_variables:
+            return SchemaAtom(atom.relation, atom.arguments)
+        return SOAtom(so_variables[atom.relation.name], atom.arguments)
+
+    for rule in program.non_goal_rules():
+        body = [a for a in (convert(atom) for atom in rule.body) if a is not None]
+        head = [SOAtom(so_variables[a.relation.name], a.arguments) for a in rule.head]
+        implications.append(Implication(tuple(body), tuple(head)))
+    for rule in program.goal_rules():
+        goal_head = rule.head[0]
+        substitution: dict[Variable, Variable] = {}
+        equalities: list[EqualityAtom] = []
+        for position, argument in enumerate(goal_head.arguments):
+            if argument in substitution:
+                equalities.append(EqualityAtom(free[position], substitution[argument]))
+            else:
+                substitution[argument] = free[position]
+        body = []
+        for atom in rule.body:
+            converted = convert(atom)
+            if converted is None:
+                continue
+            arguments = tuple(substitution.get(a, a) for a in converted.arguments)
+            if isinstance(converted, SchemaAtom):
+                body.append(SchemaAtom(converted.relation, arguments))
+            else:
+                body.append(SOAtom(converted.variable, arguments))
+        body.extend(equalities)
+        implications.append(Implication(tuple(body), ()))
+    return MMSNPFormula(
+        so_variables=tuple(so_variables.values()),
+        implications=tuple(implications),
+        free_variables=free,
+    )
+
+
+def mmsnp_as_gmsnp(formula: MMSNPFormula) -> MMSNPFormula:
+    """Every MMSNP formula is (syntactically, after saturation) a GMSNP formula.
+
+    The inclusion used in Theorem 4.2's second statement: head atoms of an
+    MMSNP implication are monadic, so any body atom mentioning the head
+    variable acts as a guard.  Implications whose head variable does not occur
+    in the body at all are rejected (they are not well-formed MMSNP either).
+    """
+    if not formula.is_mmsnp():
+        raise ValueError("expected a plain MMSNP formula")
+    if not formula.is_gmsnp():
+        raise ValueError(
+            "the formula violates guardedness; apply saturate_free_variables first"
+        )
+    return formula
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4.3: GMSNP  <->  MMSNP2
+# ---------------------------------------------------------------------------
+
+
+def mmsnp2_to_gmsnp(formula: MMSNPFormula) -> MMSNPFormula:
+    """Theorem 4.3 (⊆): replace element atoms ``X(x)`` by ``X¹(x)`` and fact
+    atoms ``X(R(x̄))`` by ``X^R(x̄)``."""
+    if not formula.is_monadic():
+        raise ValueError("MMSNP2 formulas have monadic SO variables")
+    element_variables: dict[SOVariable, SOVariable] = {}
+    fact_variables: dict[tuple[SOVariable, RelationSymbol], SOVariable] = {}
+
+    def element_variable(variable: SOVariable) -> SOVariable:
+        return element_variables.setdefault(
+            variable, SOVariable(f"{variable.name}__elem", 1)
+        )
+
+    def fact_variable(variable: SOVariable, relation: RelationSymbol) -> SOVariable:
+        key = (variable, relation)
+        return fact_variables.setdefault(
+            key, SOVariable(f"{variable.name}__{relation.name}", relation.arity)
+        )
+
+    def convert(atom):
+        if isinstance(atom, SOAtom):
+            return SOAtom(element_variable(atom.variable), atom.arguments)
+        if isinstance(atom, FactSOAtom):
+            return SOAtom(fact_variable(atom.variable, atom.relation), atom.arguments)
+        return atom
+
+    implications = [
+        Implication(
+            tuple(convert(a) for a in implication.body),
+            tuple(convert(a) for a in implication.head),
+        )
+        for implication in formula.implications
+    ]
+    so_variables = tuple(element_variables.values()) + tuple(fact_variables.values())
+    return MMSNPFormula(so_variables, implications, formula.free_variables)
+
+
+def close_under_identification(formula: MMSNPFormula) -> MMSNPFormula:
+    """Close the implications of a formula under identification of FO variables.
+
+    This is the normal-form step used in the proof of Theorem 4.3 (GMSNP →
+    MMSNP2): whenever two FO variables of an implication are identified, the
+    resulting implication is added.  The closure is finite because each
+    identification strictly decreases the number of distinct variables.
+    """
+    seen: set[str] = set()
+    result: list[Implication] = []
+    frontier = list(formula.implications)
+    while frontier:
+        implication = frontier.pop()
+        key = str(implication)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(implication)
+        variables = sorted(implication.variables(), key=str)
+        for first, second in itertools.combinations(variables, 2):
+            frontier.append(substitute_implication(implication, {second: first}))
+    return MMSNPFormula(formula.so_variables, tuple(result), formula.free_variables)
+
+
+def gmsnp_to_mmsnp2(formula: MMSNPFormula) -> MMSNPFormula:
+    """Theorem 4.3 (⊇): translate a GMSNP formula into an MMSNP2 formula.
+
+    Follows the paper's construction on formulas in normal form: for every SO
+    atom ``A = X(z)`` occurring in a head, a fresh monadic fact variable
+    ``X_A`` is introduced together with a schema guard ``R_A(y_A)`` chosen from
+    the body of the implication containing ``A``; head occurrences become
+    ``X_A(R_A(y_A))`` and body occurrences of ``X`` are replaced by matching
+    guarded fact atoms.  The input should be closed under identification of FO
+    variables (:func:`close_under_identification`) for the translation to be
+    exact on all instances.
+    """
+    if formula.uses_fact_atoms():
+        raise ValueError("the formula is already an MMSNP2 formula")
+    if not formula.is_gmsnp():
+        raise ValueError("the formula is not guarded (GMSNP)")
+
+    # Select one schema guard per head atom.
+    head_entries: list[tuple[Implication, SOAtom, SchemaAtom]] = []
+    for implication in formula.implications:
+        for atom in implication.head:
+            guard = _select_guard(implication, atom)
+            head_entries.append((implication, atom, guard))
+
+    fact_variable_of: dict[tuple[str, SOVariable], SOVariable] = {}
+
+    def fact_variable(atom: SOAtom, guard: SchemaAtom) -> SOVariable:
+        key = (f"{atom}|{guard}", atom.variable)
+        label = f"{atom.variable.name}__f{len(fact_variable_of)}"
+        return fact_variable_of.setdefault(key, SOVariable(label, 1))
+
+    entry_index = [
+        (atom, guard, fact_variable(atom, guard)) for (_imp, atom, guard) in head_entries
+    ]
+
+    implications: list[Implication] = []
+    for implication in formula.implications:
+        new_heads: list[FactSOAtom] = []
+        guard_atoms: list[SchemaAtom] = []
+        for atom in implication.head:
+            guard = _select_guard(implication, atom)
+            variable = fact_variable(atom, guard)
+            new_heads.append(FactSOAtom(variable, guard.relation, guard.arguments))
+            guard_atoms.append(guard)
+
+        # Replace body occurrences of each SO variable by the disjunctionless
+        # approximation: every body atom X(x̄) is replaced by the guarded fact
+        # atoms of all head entries for X whose argument pattern matches under
+        # a variable renaming.  Each choice yields one implication.
+        body_so = [a for a in implication.body if isinstance(a, SOAtom)]
+        other_body = [a for a in implication.body if not isinstance(a, SOAtom)]
+        choices: list[list[FactSOAtom]] = [[]]
+        for atom in body_so:
+            replacements = _matching_replacements(atom, entry_index)
+            if not replacements:
+                # No head ever asserts this SO variable with a compatible
+                # pattern, so the body can never be satisfied: drop the
+                # implication (it is vacuously true).
+                choices = []
+                break
+            choices = [
+                existing + [replacement]
+                for existing in choices
+                for replacement in replacements
+            ]
+        for choice in choices:
+            implications.append(
+                Implication(
+                    tuple(other_body) + tuple(choice),
+                    tuple(new_heads),
+                )
+            )
+
+    so_variables = tuple(dict.fromkeys(fact_variable_of.values()))
+    return MMSNPFormula(so_variables, tuple(implications), formula.free_variables)
+
+
+def _select_guard(implication: Implication, head_atom: SOAtom) -> SchemaAtom:
+    head_vars = {a for a in head_atom.arguments if isinstance(a, Variable)}
+    for atom in implication.body:
+        if isinstance(atom, SchemaAtom) and head_vars <= set(atom.arguments):
+            return atom
+    raise ValueError(
+        f"head atom {head_atom} has no schema guard in its implication body; "
+        "normalise the formula first"
+    )
+
+
+_FRESH_GUARD_COUNTER = itertools.count()
+
+
+def _matching_replacements(atom: SOAtom, entry_index) -> list[FactSOAtom]:
+    """Fact atoms that can stand in for a body occurrence of an SO variable.
+
+    Guard variables outside the head atom's arguments are renamed apart so they
+    cannot capture variables of the implication being rewritten.
+    """
+    replacements = []
+    for head_atom, guard, variable in entry_index:
+        if head_atom.variable != atom.variable:
+            continue
+        renaming = _unify_arguments(head_atom.arguments, atom.arguments)
+        if renaming is None:
+            continue
+        fresh: dict = {}
+        arguments = []
+        for argument in guard.arguments:
+            if argument in renaming:
+                arguments.append(renaming[argument])
+            else:
+                if argument not in fresh:
+                    fresh[argument] = Variable(f"_g{next(_FRESH_GUARD_COUNTER)}")
+                arguments.append(fresh[argument])
+        replacements.append(FactSOAtom(variable, guard.relation, tuple(arguments)))
+    return replacements
+
+
+def _unify_arguments(pattern, arguments):
+    """A variable renaming sending ``pattern`` onto ``arguments`` componentwise."""
+    renaming: dict = {}
+    for source, target in zip(pattern, arguments):
+        if source in renaming and renaming[source] != target:
+            return None
+        renaming[source] = target
+    return renaming

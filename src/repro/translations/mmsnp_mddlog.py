@@ -1,0 +1,184 @@
+"""Proposition 4.1: coMMSNP ≡ MDDlog (and the GMSNP analogue, Theorem 4.2).
+
+Both directions follow the paper's proof literally:
+
+* MMSNP → MDDlog: each monadic SO variable ``X`` becomes an IDB predicate with
+  a complement predicate ``X̄``; every element is forced into exactly one of
+  the two; implications with non-empty heads become constraints after moving
+  the head atoms (negated, i.e. as complements) into the body; implications
+  with empty heads become goal rules, with equality atoms compiled into
+  repeated answer positions.
+* MDDlog → MMSNP: IDB predicates become SO variables, non-goal rules become
+  implications, goal rules become implications with empty head whose answer
+  variables are renamed into the free variables of the formula.
+"""
+
+from __future__ import annotations
+
+from ..core.cq import Atom, Variable
+from ..core.schema import RelationSymbol
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
+from ..mmsnp.formulas import (
+    EqualityAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+    SOVariable,
+)
+
+
+def mmsnp_to_mddlog(formula: MMSNPFormula) -> DisjunctiveDatalogProgram:
+    """Proposition 4.1 (⊆): translate a (monadic) MMSNP formula into an MDDlog
+    program defining the corresponding coMMSNP query."""
+    if not formula.is_monadic() or formula.uses_fact_atoms():
+        raise ValueError("Proposition 4.1 applies to monadic MMSNP formulas")
+    free = formula.free_variables
+    rules: list[Rule] = []
+    x = Variable("x")
+    complements = {
+        v: RelationSymbol(f"{v.name}__comp", 1) for v in formula.so_variables
+    }
+    positives = {v: RelationSymbol(v.name, 1) for v in formula.so_variables}
+    for variable in formula.so_variables:
+        rules.append(
+            Rule(
+                (Atom(positives[variable], (x,)), Atom(complements[variable], (x,))),
+                (adom_atom(x),),
+            )
+        )
+        rules.append(
+            Rule(
+                (),
+                (Atom(positives[variable], (x,)), Atom(complements[variable], (x,))),
+            )
+        )
+    for implication in formula.implications:
+        rules.extend(_implication_to_rules(implication, positives, complements, free))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def _implication_to_rules(implication, positives, complements, free) -> list[Rule]:
+    body: list[Atom] = []
+    equalities: list[tuple[Variable, Variable]] = []
+    for atom in implication.body:
+        if isinstance(atom, SchemaAtom):
+            body.append(Atom(atom.relation, atom.arguments))
+        elif isinstance(atom, SOAtom):
+            body.append(Atom(positives[atom.variable], atom.arguments))
+        elif isinstance(atom, EqualityAtom):
+            equalities.append((atom.left, atom.right))
+        else:
+            raise ValueError(f"unsupported body atom {atom!r}")
+    # Move head atoms into the body as complements; the implication then says
+    # the (extended) body is contradictory.
+    for atom in implication.head:
+        if not isinstance(atom, SOAtom):
+            raise ValueError("MMSNP head atoms must be SO atoms")
+        body.append(Atom(complements[atom.variable], atom.arguments))
+
+    if not free:
+        if equalities:
+            substitution = _equality_substitution(equalities)
+            body = [a.substitute(substitution) for a in body]
+        if not body:
+            body = [adom_atom(Variable("x"))]
+        return [Rule((goal_atom(),), tuple(body))]
+
+    # Non-Boolean case: free variables become the goal arguments; equalities
+    # between free variables are realised by repeating arguments.
+    substitution: dict[Variable, Variable] = {}
+    classes = _equality_substitution(equalities, restrict_to=set(free))
+    substitution.update(classes)
+    goal_arguments = tuple(substitution.get(v, v) for v in free)
+    body = [a.substitute(substitution) for a in body]
+    bound = {v for atom in body for v in atom.variables}
+    for variable in goal_arguments:
+        if variable not in bound:
+            body.append(adom_atom(variable))
+            bound.add(variable)
+    if not body:
+        body = [adom_atom(goal_arguments[0])]
+    return [Rule((goal_atom(*goal_arguments),), tuple(body))]
+
+
+def _equality_substitution(equalities, restrict_to=None) -> dict[Variable, Variable]:
+    parent: dict[Variable, Variable] = {}
+
+    def find(v: Variable) -> Variable:
+        parent.setdefault(v, v)
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for left, right in equalities:
+        root_left, root_right = find(left), find(right)
+        if root_left != root_right:
+            parent[root_left] = root_right
+    return {v: find(v) for v in parent}
+
+
+def mddlog_to_mmsnp(program: DisjunctiveDatalogProgram) -> MMSNPFormula:
+    """Proposition 4.1 (⊇): translate an MDDlog program into an MMSNP formula
+    whose complement defines the same query."""
+    if not program.is_monadic():
+        raise ValueError("the program must be monadic")
+    so_variables = {
+        symbol.name: SOVariable(symbol.name, 1)
+        for symbol in program.idb_relations
+        if symbol.arity == 1 and symbol.name not in ("goal", ADOM)
+    }
+    arity = program.arity
+    free = tuple(Variable(f"y{i}") for i in range(arity))
+    implications: list[Implication] = []
+    edb = program.edb_relations
+
+    def convert_atom(atom: Atom):
+        if atom.relation.name == ADOM:
+            return None
+        if atom.relation in edb or atom.relation.name not in so_variables:
+            return SchemaAtom(atom.relation, atom.arguments)
+        return SOAtom(so_variables[atom.relation.name], atom.arguments)
+
+    for rule in program.non_goal_rules():
+        body = [a for a in (convert_atom(atom) for atom in rule.body) if a is not None]
+        head = []
+        for atom in rule.head:
+            head.append(SOAtom(so_variables[atom.relation.name], atom.arguments))
+        implications.append(Implication(tuple(body), tuple(head)))
+    for rule in program.goal_rules():
+        goal_head = rule.head[0]
+        substitution: dict[Variable, Variable] = {}
+        equalities: list[EqualityAtom] = []
+        for position, argument in enumerate(goal_head.arguments):
+            if argument in substitution:
+                equalities.append(EqualityAtom(free[position], substitution[argument]))
+            else:
+                substitution[argument] = free[position]
+        body = []
+        for atom in rule.body:
+            converted = convert_atom(atom)
+            if converted is None:
+                continue
+            if isinstance(converted, SchemaAtom):
+                body.append(
+                    SchemaAtom(
+                        converted.relation,
+                        tuple(substitution.get(a, a) for a in converted.arguments),
+                    )
+                )
+            else:
+                body.append(
+                    SOAtom(
+                        converted.variable,
+                        tuple(substitution.get(a, a) for a in converted.arguments),
+                    )
+                )
+        body.extend(equalities)
+        implications.append(Implication(tuple(body), ()))
+    return MMSNPFormula(
+        so_variables=tuple(so_variables.values()),
+        implications=tuple(implications),
+        free_variables=free,
+    )

@@ -1,0 +1,6 @@
+"""Workloads: the paper's worked examples, separating families, reductions and
+classic CSP templates used by the tests, examples and benchmarks."""
+
+from . import counting, csp_zoo, medical, qbf, separations, tiling
+
+__all__ = ["counting", "csp_zoo", "medical", "qbf", "separations", "tiling"]

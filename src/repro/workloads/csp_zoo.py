@@ -1,0 +1,192 @@
+"""Classic CSP templates used throughout Section 5's dichotomy discussion.
+
+The zoo pairs each template with its textbook complexity so the dichotomy
+classifier and the rewritability tests can be validated against ground truth:
+2-colourability (PTIME, datalog), 3-colourability (NP-hard), 2-SAT (PTIME),
+Horn-3-SAT (PTIME, datalog, not FO), linear equations mod 2 (PTIME via
+Gaussian elimination, *not* bounded width), and simple order/reachability
+templates with finite duality (FO-rewritable complements).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+
+EDGE = RelationSymbol("edge", 2)
+
+
+def clique_template(size: int) -> Instance:
+    """K_n: CSP(K_n) is n-colourability (PTIME for n ≤ 2, NP-hard for n ≥ 3)."""
+    facts = [
+        Fact(EDGE, (i, j))
+        for i, j in itertools.product(range(size), repeat=2)
+        if i != j
+    ]
+    return Instance(facts, schema=Schema([EDGE]))
+
+
+def two_colourability_template() -> Instance:
+    return clique_template(2)
+
+
+def three_colourability_template() -> Instance:
+    return clique_template(3)
+
+
+def reflexive_edge_template() -> Instance:
+    """A single reflexive vertex: every graph maps into it (trivial CSP)."""
+    return Instance([Fact(EDGE, (0, 0))], schema=Schema([EDGE]))
+
+
+def directed_path_template(length: int = 2) -> Instance:
+    """A directed path with ``length`` edges.
+
+    ``CSP(P_k)`` is solvable by arc consistency (bounded width, so the
+    complement is datalog-rewritable), but only the single edge ``P_1`` has
+    finite duality: for ``k ≥ 2`` the "short-cut" instance
+    ``{a→b, b→c, a→c}`` is a non-tree critical obstruction, so the complement
+    is not FO-rewritable.
+    """
+    facts = [Fact(EDGE, (i, i + 1)) for i in range(length)]
+    return Instance(facts, schema=Schema([EDGE]))
+
+
+def transitive_tournament_template(size: int = 3) -> Instance:
+    """The transitive tournament ``TT_n``.
+
+    By the Gallai–Roy theorem a digraph maps to ``TT_n`` iff it has no directed
+    path on ``n + 1`` vertices, so the single obstruction is a path (a tree):
+    ``CSP(TT_n)`` has finite duality and its complement is FO-rewritable.
+    """
+    facts = [Fact(EDGE, (i, j)) for i in range(size) for j in range(i + 1, size)]
+    return Instance(facts, schema=Schema([EDGE]))
+
+
+def two_sat_template() -> Instance:
+    """2-SAT as a CSP over the Boolean domain with one relation per clause type."""
+    domain = (0, 1)
+    or_00 = RelationSymbol("or_pp", 2)  # x ∨ y
+    or_01 = RelationSymbol("or_pn", 2)  # x ∨ ¬y
+    or_11 = RelationSymbol("or_nn", 2)  # ¬x ∨ ¬y
+    facts = []
+    for x, y in itertools.product(domain, repeat=2):
+        if x or y:
+            facts.append(Fact(or_00, (x, y)))
+        if x or (not y):
+            facts.append(Fact(or_01, (x, y)))
+        if (not x) or (not y):
+            facts.append(Fact(or_11, (x, y)))
+    return Instance(facts, schema=Schema([or_00, or_01, or_11]))
+
+
+def horn_sat_template() -> Instance:
+    """Horn-3-SAT: implications x ∧ y → z plus unary ``true`` / ``false``."""
+    domain = (0, 1)
+    implies = RelationSymbol("implies", 3)
+    is_true = RelationSymbol("is_true", 1)
+    is_false = RelationSymbol("is_false", 1)
+    facts = [Fact(is_true, (1,)), Fact(is_false, (0,))]
+    for x, y, z in itertools.product(domain, repeat=3):
+        if not (x and y) or z:
+            facts.append(Fact(implies, (x, y, z)))
+    return Instance(facts, schema=Schema([implies, is_true, is_false]))
+
+
+def linear_equations_template() -> Instance:
+    """x + y + z = 0 and = 1 over GF(2): PTIME but unbounded width
+    (datalog cannot express it), the classic separating example."""
+    domain = (0, 1)
+    even = RelationSymbol("sum_even", 3)
+    odd = RelationSymbol("sum_odd", 3)
+    facts = []
+    for x, y, z in itertools.product(domain, repeat=3):
+        if (x + y + z) % 2 == 0:
+            facts.append(Fact(even, (x, y, z)))
+        else:
+            facts.append(Fact(odd, (x, y, z)))
+    return Instance(facts, schema=Schema([even, odd]))
+
+
+def one_in_three_sat_template() -> Instance:
+    """Positive 1-in-3-SAT: NP-hard even without negation."""
+    domain = (0, 1)
+    one_in_three = RelationSymbol("one_in_three", 3)
+    facts = [
+        Fact(one_in_three, (x, y, z))
+        for x, y, z in itertools.product(domain, repeat=3)
+        if x + y + z == 1
+    ]
+    return Instance(facts, schema=Schema([one_in_three]))
+
+
+ZOO: dict[str, dict] = {
+    "2-colourability": {
+        "template": two_colourability_template,
+        "tractable": True,
+        "fo": False,
+        "datalog": True,
+    },
+    "3-colourability": {
+        "template": three_colourability_template,
+        "tractable": False,
+        "fo": False,
+        "datalog": False,
+    },
+    "directed-path": {
+        "template": directed_path_template,
+        "tractable": True,
+        "fo": False,
+        "datalog": True,
+    },
+    "transitive-tournament": {
+        "template": transitive_tournament_template,
+        "tractable": True,
+        "fo": True,
+        "datalog": True,
+    },
+    "2-SAT": {
+        "template": two_sat_template,
+        "tractable": True,
+        "fo": False,
+        "datalog": True,
+    },
+    "Horn-3-SAT": {
+        "template": horn_sat_template,
+        "tractable": True,
+        "fo": False,
+        "datalog": True,
+    },
+    "linear-equations-mod-2": {
+        "template": linear_equations_template,
+        "tractable": True,
+        "fo": False,
+        "datalog": False,
+    },
+    "1-in-3-SAT": {
+        "template": one_in_three_sat_template,
+        "tractable": False,
+        "fo": False,
+        "datalog": False,
+    },
+}
+
+
+def random_graph(num_vertices: int, edge_probability: float, seed: int = 0) -> Instance:
+    """An Erdős–Rényi style directed graph over the ``edge`` schema."""
+    import random
+
+    rng = random.Random(seed)
+    facts = []
+    for i, j in itertools.permutations(range(num_vertices), 2):
+        if rng.random() < edge_probability:
+            facts.append(Fact(EDGE, (f"v{i}", f"v{j}")))
+    return Instance(facts, schema=Schema([EDGE]))
+
+
+def cycle_graph(length: int) -> Instance:
+    """A directed cycle of the given length (odd cycles are not 2-colourable)."""
+    facts = [Fact(EDGE, (f"v{i}", f"v{(i + 1) % length}")) for i in range(length)]
+    return Instance(facts, schema=Schema([EDGE]))

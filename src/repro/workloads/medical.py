@@ -1,0 +1,150 @@
+"""The paper's running medical example (Table I, Examples 2.1, 2.2 and 4.5).
+
+The ontology states that a finding of Erythema Migrans is sufficient for a
+Lyme-disease diagnosis, that Lyme disease and Listeriosis are bacterial
+infections, and that hereditary predispositions propagate from parents.
+"""
+
+from __future__ import annotations
+
+from ..core.cq import Atom, ConjunctiveQuery, Variable, atomic_query
+from ..core.instance import Instance
+from ..core.schema import RelationSymbol, Schema
+from ..dl.concepts import ConceptName, Exists, Role
+from ..dl.ontology import ConceptInclusion, Ontology
+from ..omq.query import OntologyMediatedQuery
+
+# Concept names
+ERYTHEMA_MIGRANS = ConceptName("ErythemaMigrans")
+LYME_DISEASE = ConceptName("LymeDisease")
+LISTERIOSIS = ConceptName("Listeriosis")
+BACTERIAL_INFECTION = ConceptName("BacterialInfection")
+HEREDITARY_PREDISPOSITION = ConceptName("HereditaryPredisposition")
+
+# Role names
+HAS_FINDING = Role("HasFinding")
+HAS_DIAGNOSIS = Role("HasDiagnosis")
+HAS_PARENT = Role("HasParent")
+
+
+def medical_ontology() -> Ontology:
+    """The ALC ontology of Table I (lower half)."""
+    return Ontology(
+        [
+            ConceptInclusion(
+                Exists(HAS_FINDING, ERYTHEMA_MIGRANS),
+                Exists(HAS_DIAGNOSIS, LYME_DISEASE),
+            ),
+            ConceptInclusion(LYME_DISEASE | LISTERIOSIS, BACTERIAL_INFECTION),
+            ConceptInclusion(
+                Exists(HAS_PARENT, HEREDITARY_PREDISPOSITION),
+                HEREDITARY_PREDISPOSITION,
+            ),
+        ]
+    )
+
+
+def medical_schema() -> Schema:
+    """The data schema S of Example 2.1."""
+    return Schema.binary(
+        concept_names=[
+            "ErythemaMigrans",
+            "LymeDisease",
+            "Listeriosis",
+            "HereditaryPredisposition",
+        ],
+        role_names=["HasFinding", "HasDiagnosis", "HasParent"],
+    )
+
+
+def patient_instance() -> Instance:
+    """The data instance D of Example 2.1."""
+    schema = medical_schema()
+    return Instance.from_tuples(
+        schema,
+        {
+            "HasFinding": [("patient1", "jan12find1")],
+            "ErythemaMigrans": [("jan12find1",)],
+            "HasDiagnosis": [("patient2", "may7diag2")],
+            "Listeriosis": [("may7diag2",)],
+        },
+    )
+
+
+def bacterial_infection_query() -> ConjunctiveQuery:
+    """q(x) = ∃y (HasDiagnosis(x, y) ∧ BacterialInfection(y)) of Example 2.1."""
+    x, y = Variable("x"), Variable("y")
+    return ConjunctiveQuery(
+        (x,),
+        [
+            Atom(RelationSymbol("HasDiagnosis", 2), (x, y)),
+            Atom(RelationSymbol("BacterialInfection", 1), (y,)),
+        ],
+    )
+
+
+def example_2_1_omq() -> OntologyMediatedQuery:
+    """The ontology-mediated query (S, O, q) of Example 2.1."""
+    return OntologyMediatedQuery(
+        ontology=medical_ontology(),
+        query=bacterial_infection_query(),
+        data_schema=medical_schema(),
+    )
+
+
+def example_2_2_q1_omq() -> OntologyMediatedQuery:
+    """Example 2.2: q1(x) = BacterialInfection(x), equivalent to a UCQ."""
+    return OntologyMediatedQuery(
+        ontology=medical_ontology(),
+        query=atomic_query("BacterialInfection"),
+        data_schema=medical_schema(),
+    )
+
+
+def example_2_2_q2_omq() -> OntologyMediatedQuery:
+    """Example 2.2: q2(x) = HereditaryPredisposition(x), datalog- but not
+    FO-rewritable."""
+    return OntologyMediatedQuery(
+        ontology=medical_ontology(),
+        query=atomic_query("HereditaryPredisposition"),
+        data_schema=medical_schema(),
+    )
+
+
+def example_4_5_ontology() -> Ontology:
+    """The single-axiom fragment used in Example 4.5."""
+    return Ontology(
+        [
+            ConceptInclusion(
+                Exists(HAS_PARENT, HEREDITARY_PREDISPOSITION),
+                HEREDITARY_PREDISPOSITION,
+            )
+        ]
+    )
+
+
+def example_4_5_schema() -> Schema:
+    return Schema.binary(
+        concept_names=["HereditaryPredisposition"], role_names=["HasParent"]
+    )
+
+
+def example_4_5_omq() -> OntologyMediatedQuery:
+    """The (ALC, AQ) query of Example 4.5, whose complement is a CSP with one
+    marked element."""
+    return OntologyMediatedQuery(
+        ontology=example_4_5_ontology(),
+        query=atomic_query("HereditaryPredisposition"),
+        data_schema=example_4_5_schema(),
+    )
+
+
+def family_instance(generations: int = 3, predisposed_root: bool = True) -> Instance:
+    """A chain of ``HasParent`` facts; the oldest ancestor optionally carries
+    the hereditary predisposition (exercises Example 2.2's recursion)."""
+    schema = example_4_5_schema()
+    parents = [(f"person{i}", f"person{i + 1}") for i in range(generations)]
+    concepts = [(f"person{generations}",)] if predisposed_root else []
+    return Instance.from_tuples(
+        schema, {"HasParent": parents, "HereditaryPredisposition": concepts}
+    )

@@ -1,0 +1,129 @@
+"""Theorem 3.1: the 2QBF reduction showing Πp2-hardness of MDDlog evaluation.
+
+A 2QBF instance ``∀x1..xm ∃y1..yn ϕ`` (ϕ a 3CNF) is encoded as an instance
+``D_ϕ`` plus an MDDlog program Π such that the formula is valid iff the
+Boolean query defined by Π evaluates to true on ``D_ϕ``.  The encoding is the
+one in the proof of Theorem 3.1.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+from ..datalog.ddlog import DisjunctiveDatalogProgram, Rule, goal_atom
+
+START = RelationSymbol("start", 2)
+V = [RelationSymbol("V1", 2), RelationSymbol("V2", 2), RelationSymbol("V3", 2)]
+
+
+@dataclass(frozen=True)
+class TwoQbf:
+    """``∀ universals ∃ existentials ϕ`` with ϕ a 3CNF over integer variables.
+
+    Clauses are triples of literals; a literal is ``(variable, polarity)`` with
+    ``polarity`` True for positive occurrences.  Universals are variables
+    ``0..num_universals-1``; the rest are existential.
+    """
+
+    num_universals: int
+    num_existentials: int
+    clauses: tuple[tuple[tuple[int, bool], tuple[int, bool], tuple[int, bool]], ...]
+
+    def variables(self) -> range:
+        return range(self.num_universals + self.num_existentials)
+
+    def is_valid(self) -> bool:
+        """Brute-force validity check (for testing the reduction)."""
+        universals = range(self.num_universals)
+        existentials = range(self.num_universals, self.num_universals + self.num_existentials)
+        for universal_bits in itertools.product((False, True), repeat=len(universals)):
+            satisfied = False
+            for existential_bits in itertools.product(
+                (False, True), repeat=len(existentials)
+            ):
+                assignment = dict(zip(universals, universal_bits))
+                assignment.update(zip(existentials, existential_bits))
+                if self._satisfies(assignment):
+                    satisfied = True
+                    break
+            if not satisfied:
+                return False
+        return True
+
+    def _satisfies(self, assignment: dict[int, bool]) -> bool:
+        for clause in self.clauses:
+            if not any(assignment[v] == polarity for v, polarity in clause):
+                return False
+        return True
+
+
+def qbf_schema(num_clauses: int) -> Schema:
+    clause_symbols = [RelationSymbol(f"C{i + 1}", 1) for i in range(num_clauses)]
+    return Schema(clause_symbols + V + [START])
+
+
+def qbf_instance(qbf: TwoQbf) -> Instance:
+    """The instance D_ϕ of the reduction: one element per satisfying assignment
+    of each clause, linked to the truth values it assigns, plus ``start(0, 1)``."""
+    facts = [Fact(START, (0, 1))]
+    for index, clause in enumerate(qbf.clauses):
+        symbol = RelationSymbol(f"C{index + 1}", 1)
+        for bits in itertools.product((0, 1), repeat=3):
+            if any(bool(b) == polarity for b, (_v, polarity) in zip(bits, clause)):
+                element = f"a{index + 1}_{bits[0]}{bits[1]}{bits[2]}"
+                facts.append(Fact(symbol, (element,)))
+                for position in range(3):
+                    facts.append(Fact(V[position], (element, bits[position])))
+    return Instance(facts, schema=qbf_schema(len(qbf.clauses)))
+
+
+def qbf_program(qbf: TwoQbf) -> DisjunctiveDatalogProgram:
+    """The MDDlog program Π of Theorem 3.1."""
+    u0, u1 = Variable("u0"), Variable("u1")
+    rules: list[Rule] = []
+    universal_predicates = [
+        RelationSymbol(f"X{i + 1}", 1) for i in range(qbf.num_universals)
+    ]
+    for predicate in universal_predicates:
+        rules.append(
+            Rule(
+                (Atom(predicate, (u0,)), Atom(predicate, (u1,))),
+                (Atom(START, (u0, u1)),),
+            )
+        )
+    # Goal rule: the selected truth assignment extends to a model of ϕ.  The
+    # datalog variable for a QBF variable is shared across all clauses that
+    # mention it, which is what makes the per-clause rows consistent.
+    body: list[Atom] = []
+    for index, clause in enumerate(qbf.clauses):
+        clause_variable = Variable(f"z{index + 1}")
+        body.append(Atom(RelationSymbol(f"C{index + 1}", 1), (clause_variable,)))
+        for position, (variable, _polarity) in enumerate(clause):
+            body.append(Atom(V[position], (clause_variable, Variable(f"var_{variable}"))))
+    for variable in range(qbf.num_universals):
+        body.append(
+            Atom(universal_predicates[variable], (Variable(f"var_{variable}"),))
+        )
+    rules.append(Rule((goal_atom(),), tuple(body)))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def random_qbf(
+    num_universals: int, num_existentials: int, num_clauses: int, seed: int = 0
+) -> TwoQbf:
+    """A random 2QBF instance for the benchmark sweeps of experiment E-31."""
+    rng = random.Random(seed)
+    total = num_universals + num_existentials
+    clauses = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(total), k=min(3, total))
+        while len(variables) < 3:
+            variables.append(rng.randrange(total))
+        clause = tuple((v, rng.random() < 0.5) for v in variables)
+        clauses.append(clause)
+    return TwoQbf(num_universals, num_existentials, tuple(clauses))

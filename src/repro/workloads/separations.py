@@ -1,0 +1,149 @@
+"""Separating instance families from Theorem 3.10 and Proposition 3.15.
+
+These are the D0 / D1 families used with Lemma 3.9 to show that
+(S, UCQ), (ALCF, UCQ) and (GFO, UCQ) can express Boolean queries beyond
+MDDlog.  The benchmark E-310 re-runs the combinatorial core of those proofs:
+for concrete colour counts ``k`` and sizes ``n`` it checks that the paper's
+homomorphism pattern (Q(D0) = 0, Q(D1) = 1, and the colour-transfer property)
+holds on the generated instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.cq import Atom, ConjunctiveQuery, Variable
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol, Schema
+from ..dl.concepts import Role
+from ..dl.ontology import FunctionalRole, Ontology, TransitiveRole
+from ..omq.query import OntologyMediatedQuery
+
+R = RelationSymbol("R", 2)
+S = RelationSymbol("S", 2)
+P3 = RelationSymbol("P", 3)
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+
+
+def transitive_roles_omq() -> OntologyMediatedQuery:
+    """The (S, UCQ) query of Theorem 3.10: O = {trans(R), trans(S)},
+    q = ∃x∃y (R(x,y) ∧ S(x,y))."""
+    x, y = Variable("x"), Variable("y")
+    query = ConjunctiveQuery((), [Atom(R, (x, y)), Atom(S, (x, y))])
+    ontology = Ontology([TransitiveRole(Role("R")), TransitiveRole(Role("S"))])
+    return OntologyMediatedQuery(
+        ontology=ontology, query=query, data_schema=Schema([R, S])
+    )
+
+
+def transitive_d1(m: int) -> Instance:
+    """D1 of Theorem 3.10: an R-path and an S-path of length m+1 sharing both
+    endpoints — the transitive closures meet, so the query holds."""
+    facts = []
+    r_nodes = ["e"] + [f"a{i}" for i in range(1, m + 1)] + ["f"]
+    s_nodes = ["e"] + [f"b{i}" for i in range(1, m + 1)] + ["f"]
+    for source, target in zip(r_nodes, r_nodes[1:]):
+        facts.append(Fact(R, (source, target)))
+    for source, target in zip(s_nodes, s_nodes[1:]):
+        facts.append(Fact(S, (source, target)))
+    return Instance(facts, schema=Schema([R, S]))
+
+
+def transitive_d0(m: int, m_prime: int) -> Instance:
+    """D0 of Theorem 3.10: many R-paths e^i → f^i and S-paths e^i → f^j with
+    j < i, so no pair of elements is joined by both an R- and an S-path."""
+    facts = []
+    for i in range(1, m_prime + 1):
+        r_nodes = [f"e{i}"] + [f"a{i}_{k}" for k in range(1, m + 1)] + [f"f{i}"]
+        for source, target in zip(r_nodes, r_nodes[1:]):
+            facts.append(Fact(R, (source, target)))
+        for j in range(1, i):
+            s_nodes = (
+                [f"e{i}"] + [f"b{i}_{j}_{k}" for k in range(1, m + 1)] + [f"f{j}"]
+            )
+            for source, target in zip(s_nodes, s_nodes[1:]):
+                facts.append(Fact(S, (source, target)))
+    return Instance(facts, schema=Schema([R, S]))
+
+
+def functional_role_omq() -> OntologyMediatedQuery:
+    """The (ALCF, AQ) query of Theorem 3.10 separating ALCF from MDDlog:
+    O = {func(R)}, q = A(x); not preserved under homomorphisms."""
+    from ..core.cq import atomic_query
+
+    ontology = Ontology([FunctionalRole(Role("R"))])
+    return OntologyMediatedQuery(
+        ontology=ontology,
+        query=atomic_query("A"),
+        data_schema=Schema([R, A]),
+    )
+
+
+def functional_violation_instance() -> Instance:
+    """D = {R(a, b1), R(a, b2)}: inconsistent with func(R) under the SNA."""
+    return Instance(
+        [Fact(R, ("a", "b1")), Fact(R, ("a", "b2"))], schema=Schema([R, A])
+    )
+
+
+def functional_ok_instance() -> Instance:
+    """D' = {R(a, b)}: consistent with func(R)."""
+    return Instance([Fact(R, ("a", "b"))], schema=Schema([R, A]))
+
+
+def gfo_reachability_query_schema() -> Schema:
+    return Schema([P3, A, B])
+
+
+def gfo_d1(n: int) -> Instance:
+    """D1 of Proposition 3.15: a P-chain d1..dn through a single middle element e."""
+    facts = [Fact(A, ("d1",)), Fact(B, (f"d{n}",))]
+    for i in range(1, n):
+        facts.append(Fact(P3, (f"d{i}", "e", f"d{i + 1}")))
+    return Instance(facts, schema=gfo_reachability_query_schema())
+
+
+def gfo_d0(n: int) -> Instance:
+    """D0 of Proposition 3.15: the chain exists but every middle element e_j is
+    skipped at step j, so no single element witnesses the whole chain."""
+    facts = [Fact(A, ("d1",)), Fact(B, (f"d{n}",))]
+    for i in range(1, n):
+        for j in range(1, n):
+            if j != i:
+                facts.append(Fact(P3, (f"d{i}", f"e{j}", f"d{i + 1}")))
+    return Instance(facts, schema=gfo_reachability_query_schema())
+
+
+def gfo_query_holds(instance: Instance) -> bool:
+    """Direct evaluation of the Boolean query (†) of Proposition 3.15: is there
+    a P-chain from an A-element to a B-element through one shared middle element?"""
+    middles = sorted(instance.active_domain, key=repr)
+    a_elements = {t[0] for t in instance.tuples(A)}
+    b_elements = {t[0] for t in instance.tuples(B)}
+    triples = instance.tuples(P3)
+    for middle in middles:
+        successors: dict = {}
+        for (x, z, y) in triples:
+            if z == middle:
+                successors.setdefault(x, set()).add(y)
+        # BFS from each A-element through this middle element.
+        for start in a_elements:
+            seen = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for nxt in successors.get(node, ()):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            if (seen - {start}) & b_elements:
+                return True
+    return False
+
+
+def colourings(instance: Instance, num_colours: int):
+    """All k-colourings of an instance (Lemma 3.9's notion), as colour maps."""
+    elements = sorted(instance.active_domain, key=repr)
+    for assignment in itertools.product(range(num_colours), repeat=len(elements)):
+        yield dict(zip(elements, assignment))

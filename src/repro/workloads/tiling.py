@@ -1,0 +1,125 @@
+"""The exponential grid tiling problem used in the lower bounds of Section 5.
+
+Theorems 5.7 and 5.16 reduce the NEXPTIME-complete 2^n × 2^n tiling problem to
+query containment and to (FO-/datalog-) rewritability of (ALC, AQ) queries.
+This module provides the tiling problem itself — instances, a brute-force
+solver for small parameters, and generators of satisfiable / unsatisfiable
+families — so the reductions' *input side* can be exercised and benchmarked.
+The grid is kept at ``2^n`` for small ``n`` (the reduction's ontologies encode
+the same counters symbolically; see EXPERIMENTS.md for the scope note).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TilingProblem:
+    """An exponential grid tiling problem instance.
+
+    ``tiles`` are tile-type names; ``horizontal`` / ``vertical`` are the allowed
+    adjacent pairs; ``initial`` is the bottom-row prefix that must be placed at
+    positions (0,0) .. (len(initial)-1, 0); ``n`` gives the 2^n × 2^n grid.
+    """
+
+    n: int
+    tiles: tuple[str, ...]
+    horizontal: frozenset[tuple[str, str]]
+    vertical: frozenset[tuple[str, str]]
+    initial: tuple[str, ...]
+
+    @property
+    def width(self) -> int:
+        return 2**self.n
+
+    def is_solution(self, assignment: dict[tuple[int, int], str]) -> bool:
+        width = self.width
+        for x, y in itertools.product(range(width), repeat=2):
+            if (x, y) not in assignment:
+                return False
+        for index, tile in enumerate(self.initial):
+            if assignment.get((index, 0)) != tile:
+                return False
+        for x, y in itertools.product(range(width), repeat=2):
+            if x + 1 < width and (assignment[(x, y)], assignment[(x + 1, y)]) not in self.horizontal:
+                return False
+            if y + 1 < width and (assignment[(x, y)], assignment[(x, y + 1)]) not in self.vertical:
+                return False
+        return True
+
+    def solve(self) -> dict[tuple[int, int], str] | None:
+        """Backtracking search for a solution (small ``n`` only)."""
+        width = self.width
+        positions = [(x, y) for y in range(width) for x in range(width)]
+        assignment: dict[tuple[int, int], str] = {}
+
+        def candidates(position: tuple[int, int]) -> Iterable[str]:
+            x, y = position
+            if y == 0 and x < len(self.initial):
+                return (self.initial[x],)
+            return self.tiles
+
+        def consistent(position: tuple[int, int], tile: str) -> bool:
+            x, y = position
+            if x > 0 and (assignment[(x - 1, y)], tile) not in self.horizontal:
+                return False
+            if y > 0 and (assignment[(x, y - 1)], tile) not in self.vertical:
+                return False
+            return True
+
+        def search(index: int) -> bool:
+            if index == len(positions):
+                return True
+            position = positions[index]
+            for tile in candidates(position):
+                if consistent(position, tile):
+                    assignment[position] = tile
+                    if search(index + 1):
+                        return True
+                    del assignment[position]
+            return False
+
+        if search(0):
+            return dict(assignment)
+        return None
+
+    def has_solution(self) -> bool:
+        return self.solve() is not None
+
+
+def solvable_tiling(n: int = 1) -> TilingProblem:
+    """A trivially solvable instance: one tile compatible with itself."""
+    return TilingProblem(
+        n=n,
+        tiles=("white",),
+        horizontal=frozenset({("white", "white")}),
+        vertical=frozenset({("white", "white")}),
+        initial=("white",),
+    )
+
+
+def checkerboard_tiling(n: int = 1) -> TilingProblem:
+    """A solvable instance that forces a checkerboard pattern."""
+    horizontal = frozenset({("black", "white"), ("white", "black")})
+    vertical = frozenset({("black", "white"), ("white", "black")})
+    return TilingProblem(
+        n=n,
+        tiles=("black", "white"),
+        horizontal=horizontal,
+        vertical=vertical,
+        initial=("black",),
+    )
+
+
+def unsolvable_tiling(n: int = 1) -> TilingProblem:
+    """An unsolvable instance: the initial tile has no right neighbour."""
+    return TilingProblem(
+        n=n,
+        tiles=("a", "b"),
+        horizontal=frozenset({("b", "b")}),
+        vertical=frozenset({("a", "a"), ("b", "b")}),
+        initial=("a",),
+    )

@@ -1,0 +1,125 @@
+"""Tests for schemas, facts, instances and marked instances."""
+
+import pytest
+
+from repro.core import (
+    Fact,
+    Instance,
+    MarkedInstance,
+    RelationSymbol,
+    Schema,
+    singleton_instance,
+)
+
+R = RelationSymbol("R", 2)
+A = RelationSymbol("A", 1)
+
+
+def test_relation_symbol_equality_and_call():
+    assert RelationSymbol("R", 2) == R
+    fact = R("a", "b")
+    assert isinstance(fact, Fact)
+    assert fact.arguments == ("a", "b")
+
+
+def test_relation_symbol_rejects_negative_arity():
+    with pytest.raises(ValueError):
+        RelationSymbol("R", -1)
+
+
+def test_schema_binary_constructor():
+    schema = Schema.binary(["A", "B"], ["R"])
+    assert schema["A"].arity == 1
+    assert schema["R"].arity == 2
+    assert schema.is_binary()
+    assert len(schema) == 3
+
+
+def test_schema_conflicting_arities_rejected():
+    with pytest.raises(ValueError):
+        Schema([RelationSymbol("R", 1), RelationSymbol("R", 2)])
+
+
+def test_schema_union_and_restrict():
+    first = Schema([A])
+    second = Schema([R])
+    union = first | second
+    assert A in union and R in union
+    assert union.restrict(["A"]).names == ("A",)
+    assert union.without(["A"]).names == ("R",)
+
+
+def test_fact_arity_checked():
+    with pytest.raises(ValueError):
+        Fact(R, ("a",))
+
+
+def test_instance_active_domain_and_tuples():
+    instance = Instance([Fact(R, ("a", "b")), Fact(A, ("a",))])
+    assert instance.active_domain == {"a", "b"}
+    assert instance.tuples(R) == {("a", "b")}
+    assert instance.tuples("A") == {("a",)}
+    assert instance.tuples("missing") == frozenset()
+
+
+def test_instance_schema_inference_and_explicit_schema():
+    instance = Instance([Fact(A, ("a",))])
+    assert A in instance.schema
+    explicit = Schema([A, R])
+    wider = Instance([Fact(A, ("a",))], schema=explicit)
+    assert R in wider.schema
+    with pytest.raises(ValueError):
+        Instance([Fact(R, ("a", "b"))], schema=Schema([A]))
+
+
+def test_instance_set_operations():
+    base = Instance([Fact(A, ("a",))])
+    extended = base.with_facts([Fact(R, ("a", "b"))])
+    assert len(extended) == 2
+    assert base == extended.without_facts([Fact(R, ("a", "b"))])
+    assert (base | extended) == extended
+
+
+def test_instance_restrictions_and_rename():
+    instance = Instance([Fact(R, ("a", "b")), Fact(A, ("c",))])
+    restricted = instance.restrict_to_domain(["a", "b"])
+    assert restricted.tuples(R) == {("a", "b")}
+    assert not restricted.tuples(A)
+    renamed = instance.rename({"a": "x"})
+    assert ("x", "b") in renamed.tuples(R)
+    reduct = instance.restrict_to_schema(Schema([A]))
+    assert len(reduct) == 1
+
+
+def test_from_tuples_builder():
+    schema = Schema.binary(["A"], ["R"])
+    instance = Instance.from_tuples(schema, {"A": [("a",)], "R": [("a", "b")]})
+    assert len(instance) == 2
+
+
+def test_marked_instance_validation():
+    instance = Instance([Fact(A, ("a",))])
+    marked = MarkedInstance(instance, ("a",))
+    assert marked.arity == 1
+    with pytest.raises(ValueError):
+        MarkedInstance(instance, ("missing",))
+
+
+def test_marked_instance_expansion():
+    instance = Instance([Fact(A, ("a",)), Fact(R, ("a", "b"))])
+    marked = MarkedInstance(instance, ("b",))
+    expanded = marked.to_unmarked([RelationSymbol("P1", 1)])
+    assert ("b",) in expanded.tuples("P1")
+
+
+def test_singleton_instance():
+    instance = singleton_instance({"S": 1, "T": 2}, element="x")
+    assert instance.active_domain == {"x"}
+    assert ("x", "x") in instance.tuples("T")
+
+
+def test_disjoint_union_keeps_parts_apart():
+    left = Instance([Fact(A, ("a",))])
+    right = Instance([Fact(A, ("a",))])
+    union = left.disjoint_union(right)
+    assert len(union.active_domain) == 2

@@ -1,0 +1,141 @@
+"""Tests for conjunctive queries, UCQs, fork elimination and tree(q)."""
+
+import pytest
+
+from repro.core import (
+    Atom,
+    ConjunctiveQuery,
+    Fact,
+    Instance,
+    RelationSymbol,
+    UnionOfConjunctiveQueries,
+    atomic_query,
+    boolean_atomic_query,
+    eliminate_forks,
+    is_atomic_query,
+    is_boolean_atomic_query,
+    is_tree_shaped,
+    tree_queries,
+    tree_root,
+    var,
+    vars_,
+)
+
+R = RelationSymbol("R", 2)
+S = RelationSymbol("S", 2)
+P = RelationSymbol("P", 2)
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+
+
+def test_cq_evaluation_on_instance():
+    x, y = vars_("x", "y")
+    query = ConjunctiveQuery((x,), [Atom(R, (x, y)), Atom(A, (y,))])
+    data = Instance([Fact(R, (1, 2)), Fact(A, (2,)), Fact(R, (3, 4))])
+    assert query.evaluate(data) == {(1,)}
+    assert query.holds_in(data, (1,))
+    assert not query.holds_in(data, (3,))
+
+
+def test_boolean_cq_evaluation():
+    x, y = vars_("x", "y")
+    query = ConjunctiveQuery((), [Atom(R, (x, y)), Atom(R, (y, x))])
+    assert not query.holds_in(Instance([Fact(R, (1, 2))]))
+    assert query.holds_in(Instance([Fact(R, (1, 2)), Fact(R, (2, 1))]))
+
+
+def test_answer_variable_must_occur():
+    with pytest.raises(ValueError):
+        ConjunctiveQuery((var("x"),), [Atom(A, (var("y"),))])
+
+
+def test_ucq_requires_same_arity():
+    with pytest.raises(ValueError):
+        UnionOfConjunctiveQueries([atomic_query("A"), boolean_atomic_query("B")])
+
+
+def test_ucq_evaluation_is_union():
+    data = Instance([Fact(A, (1,)), Fact(B, (2,))])
+    ucq = UnionOfConjunctiveQueries([atomic_query("A"), atomic_query("B")])
+    assert ucq.evaluate(data) == {(1,), (2,)}
+
+
+def test_atomic_query_recognisers():
+    assert is_atomic_query(atomic_query("A"))
+    assert is_boolean_atomic_query(boolean_atomic_query("A"))
+    x, y = vars_("x", "y")
+    assert not is_atomic_query(ConjunctiveQuery((x,), [Atom(R, (x, y))]))
+
+
+def test_connected_components_split():
+    x, y, z, w = vars_("x", "y", "z", "w")
+    query = ConjunctiveQuery((x,), [Atom(R, (x, y)), Atom(R, (z, w))])
+    components = query.connected_components()
+    assert len(components) == 2
+    assert not query.is_connected()
+
+
+def test_fork_elimination_merges_same_role_sources():
+    # The worked example from the proof of Theorem 3.3.
+    y = {i: var(f"y{i}") for i in range(1, 9)}
+    query = ConjunctiveQuery(
+        (),
+        [
+            Atom(P, (y[1], y[2])),
+            Atom(S, (y[1], y[3])),
+            Atom(R, (y[2], y[4])),
+            Atom(R, (y[3], y[4])),
+            Atom(S, (y[4], y[5])),
+            Atom(R, (y[6], y[7])),
+            Atom(S, (y[6], y[8])),
+        ],
+    )
+    reduced = eliminate_forks(query)
+    # y2 and y3 are identified, so the query loses exactly one variable.
+    assert len(reduced.variables) == len(query.variables) - 1
+
+
+def test_tree_shape_detection():
+    x, y, z = vars_("x", "y", "z")
+    tree = ConjunctiveQuery((), [Atom(R, (x, y)), Atom(S, (x, z))])
+    assert is_tree_shaped(tree)
+    assert tree_root(tree) == x
+    cycle = ConjunctiveQuery((), [Atom(R, (x, y)), Atom(R, (y, x))])
+    assert not is_tree_shaped(cycle)
+    multi_edge = ConjunctiveQuery((), [Atom(R, (x, y)), Atom(S, (x, y))])
+    assert not is_tree_shaped(multi_edge)
+
+
+def test_tree_queries_of_theorem_3_3_example():
+    y = {i: var(f"y{i}") for i in range(1, 9)}
+    query = ConjunctiveQuery(
+        (),
+        [
+            Atom(P, (y[1], y[2])),
+            Atom(S, (y[1], y[3])),
+            Atom(R, (y[2], y[4])),
+            Atom(R, (y[3], y[4])),
+            Atom(S, (y[4], y[5])),
+            Atom(R, (y[6], y[7])),
+            Atom(S, (y[6], y[8])),
+        ],
+    )
+    members = tree_queries(query)
+    # The paper lists five members: the detached component {R(y6,y7), S(y6,y8)}
+    # and four rooted subqueries.
+    boolean_members = [m for m in members if m.arity == 0]
+    rooted_members = [m for m in members if m.arity == 1]
+    assert len(boolean_members) == 1
+    assert len(rooted_members) == 4
+    assert len(members) <= query.size()
+
+
+def test_tree_queries_of_atomic_query_are_empty():
+    assert tree_queries(atomic_query("A")) == []
+
+
+def test_query_size_and_width():
+    x, y = vars_("x", "y")
+    query = ConjunctiveQuery((x,), [Atom(R, (x, y)), Atom(A, (y,))])
+    assert query.width() == 2
+    assert query.size() > 0

@@ -1,0 +1,184 @@
+"""Tests for the CSP machinery: templates, polymorphisms, duality,
+rewritability and the dichotomy classifier, validated on the classic zoo."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fact, Instance, MarkedInstance, RelationSymbol
+from repro.csp import (
+    CoCspQuery,
+    GeneralizedCoCspQuery,
+    MarkedCoCspQuery,
+    NP_HARD,
+    PTIME,
+    Template,
+    arc_consistency_refutes,
+    bounded_obstruction_set,
+    canonical_arc_consistency_program,
+    classify_template,
+    cocsp_datalog_rewritable,
+    cocsp_fo_rewritable,
+    find_majority_polymorphism,
+    find_maltsev_polymorphism,
+    find_siggers_polymorphism,
+    has_bounded_width_certificate,
+    is_fo_definable_csp,
+    is_polymorphism,
+    k_consistency_refutes,
+    obstruction_to_boolean_cq,
+    rewriting_agrees_on,
+    ucq_rewriting_from_obstructions,
+)
+from repro.workloads.csp_zoo import (
+    ZOO,
+    clique_template,
+    cycle_graph,
+    directed_path_template,
+    linear_equations_template,
+    transitive_tournament_template,
+    one_in_three_sat_template,
+    random_graph,
+    three_colourability_template,
+    two_colourability_template,
+    two_sat_template,
+)
+
+EDGE = RelationSymbol("edge", 2)
+
+
+def test_template_and_cocsp_query():
+    template = Template(two_colourability_template())
+    assert template.admits(cycle_graph(4))
+    assert not template.admits(cycle_graph(3))
+    query = CoCspQuery(template)
+    assert query.evaluate(cycle_graph(3))
+    assert not query.evaluate(cycle_graph(4))
+
+
+def test_generalized_cocsp_query():
+    query = GeneralizedCoCspQuery([two_colourability_template(), cycle_graph(3)])
+    # the triangle maps into C3, so only graphs mapping into neither count
+    assert not query.evaluate(cycle_graph(3))
+    assert not query.evaluate(cycle_graph(4))
+    assert query.evaluate(cycle_graph(5))
+
+
+def test_marked_cocsp_query():
+    template = directed_path_template(2)  # 0 -> 1 -> 2
+    marked = MarkedCoCspQuery([MarkedInstance(template, (0,))])
+    data = Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "c"))])
+    answers = marked.evaluate(data)
+    # only "a" can be mapped to the start of the path
+    assert ("b",) in answers and ("c",) in answers and ("a",) not in answers
+
+
+def test_siggers_polymorphism_differentiates_k2_and_k3():
+    assert find_siggers_polymorphism(two_colourability_template()) is not None
+    assert find_siggers_polymorphism(three_colourability_template()) is None
+
+
+def test_majority_polymorphism_of_two_sat():
+    table = find_majority_polymorphism(two_sat_template())
+    assert table is not None
+    assert is_polymorphism(two_sat_template(), table, 3)
+
+
+def test_maltsev_polymorphism_of_linear_equations():
+    table = find_maltsev_polymorphism(linear_equations_template())
+    assert table is not None
+    assert is_polymorphism(linear_equations_template(), table, 3)
+
+
+def test_bounded_width_certificates():
+    assert has_bounded_width_certificate(two_colourability_template())
+    assert has_bounded_width_certificate(two_sat_template())
+    assert not has_bounded_width_certificate(three_colourability_template())
+
+
+def test_fo_definability_of_zoo_templates():
+    # Transitive tournaments have finite duality (Gallai–Roy); a single edge is TT_2.
+    assert is_fo_definable_csp(transitive_tournament_template(3))
+    assert is_fo_definable_csp(directed_path_template(1))
+    # The length-2 path admits the non-tree obstruction {a→b, b→c, a→c}.
+    assert not is_fo_definable_csp(directed_path_template(2))
+    assert not is_fo_definable_csp(two_colourability_template())
+    assert not is_fo_definable_csp(three_colourability_template())
+
+
+def test_dichotomy_classifier_matches_textbook_complexities():
+    for name, entry in ZOO.items():
+        template = entry["template"]()
+        report = classify_template(template, check_rewritability=False)
+        expected = PTIME if entry["tractable"] else NP_HARD
+        assert report.complexity == expected, name
+
+
+def test_rewritability_flags_match_zoo():
+    for name in (
+        "directed-path",
+        "transitive-tournament",
+        "3-colourability",
+        "2-colourability",
+    ):
+        entry = ZOO[name]
+        template = entry["template"]()
+        assert cocsp_fo_rewritable(template) == entry["fo"], name
+        assert cocsp_datalog_rewritable(template) == entry["datalog"], name
+
+
+def test_linear_equations_not_datalog_rewritable():
+    assert not cocsp_datalog_rewritable(linear_equations_template())
+    assert not cocsp_fo_rewritable(linear_equations_template())
+
+
+def test_obstruction_set_of_directed_path():
+    template = directed_path_template(1)  # a single edge 0 -> 1
+    obstructions = bounded_obstruction_set(template, max_elements=3, max_facts=2)
+    # the critical obstruction is the path of length 2
+    assert any(len(o) == 2 for o in obstructions)
+    rewriting = ucq_rewriting_from_obstructions(obstructions)
+    data_instances = [cycle_graph(3), Instance([Fact(EDGE, (0, 1))])]
+    assert rewriting_agrees_on(template, rewriting, data_instances)
+
+
+def test_obstruction_to_cq():
+    cq = obstruction_to_boolean_cq(cycle_graph(3))
+    assert cq.arity == 0
+    assert len(cq.atoms) == 3
+
+
+def test_arc_consistency_refutation():
+    template = two_colourability_template()
+    assert arc_consistency_refutes(template, Instance([Fact(EDGE, ("a", "a"))]))
+    assert not arc_consistency_refutes(template, cycle_graph(3))  # AC alone is blind here
+    assert k_consistency_refutes(template, cycle_graph(3), k=2)
+
+
+def test_canonical_arc_consistency_program_is_sound():
+    template = two_colourability_template()
+    program = canonical_arc_consistency_program(template)
+    assert program.evaluate_boolean(Instance([Fact(EDGE, ("a", "a"))]))
+    assert not program.evaluate_boolean(cycle_graph(4))
+
+
+def test_classification_report_fields():
+    report = classify_template(two_colourability_template())
+    assert report.is_tractable()
+    assert report.bounded_width
+    assert not report.fo_definable
+    hard = classify_template(one_in_three_sat_template(), check_rewritability=False)
+    assert not hard.is_tractable()
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=5), st.integers(min_value=0, max_value=100))
+def test_two_colourability_matches_arc_plus_k_consistency(size, seed):
+    """Property: for random graphs, (2,3)-consistency decides 2-colourability
+    (K2 has bounded width)."""
+    graph = random_graph(size, 0.5, seed=seed)
+    if graph.is_empty():
+        return
+    from repro.core import has_homomorphism
+
+    expected = not has_homomorphism(graph, two_colourability_template())
+    assert k_consistency_refutes(two_colourability_template(), graph, k=2) == expected

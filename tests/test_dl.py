@@ -1,0 +1,210 @@
+"""Tests for DL concepts, ontologies, the FO translation and the reasoner."""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol, Schema
+from repro.dl import (
+    And,
+    Bottom,
+    ConceptInclusion,
+    ConceptName,
+    Exists,
+    Forall,
+    FunctionalRole,
+    Not,
+    Ontology,
+    Or,
+    Role,
+    RoleInclusion,
+    Top,
+    TransitiveRole,
+    UnsupportedOntologyError,
+    concept_satisfiable,
+    concept_subsumed,
+    concept_to_fo,
+    eliminate_inverse_roles,
+    eliminate_role_hierarchies,
+    eliminate_transitive_roles,
+    fo_models_ontology,
+    instance_consistent,
+    inverse,
+    is_in_nnf,
+    ontology_consistent,
+    shi_to_alc,
+)
+from repro.fo import is_gfo, is_unfo
+from repro.workloads.medical import medical_ontology, patient_instance
+
+A, B, C = ConceptName("A"), ConceptName("B"), ConceptName("C")
+R = Role("R")
+
+
+def test_concept_construction_and_size():
+    concept = Exists(R, A & B) | Forall(R, ~C)
+    assert "∃R" in str(concept)
+    assert concept.size() == 8
+    assert concept.concept_names() == {"A", "B", "C"}
+    assert concept.role_names() == {"R"}
+
+
+def test_nnf_and_negation():
+    concept = Not(Exists(R, A & B))
+    nnf = concept.nnf()
+    assert is_in_nnf(nnf)
+    assert nnf == Forall(R, Or(Not(A), Not(B)))
+    assert Not(Not(A)).nnf() == A
+    assert Top().negate() == Bottom()
+
+
+def test_inverse_and_universal_roles():
+    assert inverse("R").is_inverse()
+    assert inverse(inverse("R")) == R
+    assert str(inverse("R")) == "R-"
+
+
+def test_ontology_dialect_detection():
+    assert medical_ontology().dialect() == "ALC"
+    with_inverse = Ontology([ConceptInclusion(Exists(inverse("R"), A), B)])
+    assert with_inverse.dialect() == "ALCI"
+    shiu = Ontology(
+        [
+            TransitiveRole(R),
+            RoleInclusion(Role("S"), R),
+            ConceptInclusion(Exists(inverse("S"), A), B),
+        ]
+    )
+    assert shiu.dialect() == "SHI"
+    assert shiu.is_in_dialect("SHIU")
+    assert not shiu.is_in_dialect("ALC")
+    alcf = Ontology([FunctionalRole(R)])
+    assert alcf.dialect() == "ALCF"
+
+
+def test_ontology_signature_and_size():
+    ontology = medical_ontology()
+    signature = ontology.signature()
+    assert "LymeDisease" in signature
+    assert "HasParent" in signature
+    assert ontology.size() > 0
+
+
+def test_super_roles_closure():
+    ontology = Ontology(
+        [RoleInclusion(Role("R"), Role("S")), RoleInclusion(Role("S"), Role("T"))]
+    )
+    supers = ontology.super_roles(Role("R"))
+    assert {r.name for r in supers} == {"R", "S", "T"}
+    assert Role("T") in ontology.super_roles(Role("S"))
+
+
+def test_fo_translation_matches_table_2():
+    formula = concept_to_fo(Exists(R, A))
+    assert "∃" in str(formula) and "R(" in str(formula)
+    assert is_unfo(formula)
+    # The translation of an ALC ontology lands in UNFO and GFO.
+    from repro.dl import inclusion_to_fo
+
+    for axiom in medical_ontology().concept_inclusions():
+        sentence = inclusion_to_fo(axiom)
+        assert is_unfo(sentence)
+        assert is_gfo(sentence)
+
+
+def test_fo_semantics_of_ontology():
+    data = patient_instance()
+    # The raw patient data is not a model (patient1 lacks the diagnosis), but
+    # adding the required facts repairs it.
+    assert not fo_models_ontology(data, medical_ontology())
+    repaired = data.with_facts(
+        [
+            Fact(RelationSymbol("HasDiagnosis", 2), ("patient1", "d")),
+            Fact(RelationSymbol("LymeDisease", 1), ("d",)),
+            Fact(RelationSymbol("BacterialInfection", 1), ("d",)),
+            Fact(RelationSymbol("BacterialInfection", 1), ("may7diag2",)),
+        ]
+    )
+    assert fo_models_ontology(repaired, medical_ontology())
+
+
+def test_concept_satisfiability():
+    ontology = Ontology([ConceptInclusion(A, B)])
+    assert concept_satisfiable(A, ontology)
+    assert not concept_satisfiable(A & Not(B), ontology)
+    assert concept_subsumed(A, B, ontology)
+    assert not concept_subsumed(B, A, ontology)
+    assert ontology_consistent(ontology)
+
+
+def test_unsatisfiable_existential_chain():
+    ontology = Ontology([ConceptInclusion(A, Exists(R, A) & Forall(R, Bottom()))])
+    assert not concept_satisfiable(A, ontology)
+
+
+def test_instance_consistency():
+    ontology = Ontology([ConceptInclusion(A & B, Bottom())])
+    consistent = Instance([Fact(RelationSymbol("A", 1), ("a",))])
+    inconsistent = consistent.with_facts([Fact(RelationSymbol("B", 1), ("a",))])
+    assert instance_consistent(consistent, ontology)
+    assert not instance_consistent(inconsistent, ontology)
+    assert instance_consistent(patient_instance(), medical_ontology())
+
+
+def test_value_restriction_propagates_over_abox_edges():
+    ontology = Ontology([ConceptInclusion(A, Forall(R, Bottom()))])
+    data = Instance(
+        [Fact(RelationSymbol("A", 1), ("a",)), Fact(RelationSymbol("R", 2), ("a", "b"))]
+    )
+    assert not instance_consistent(data, ontology)
+
+
+def test_reasoner_rejects_unsupported_ontologies():
+    with pytest.raises(UnsupportedOntologyError):
+        concept_satisfiable(A, Ontology([FunctionalRole(R)]))
+
+
+def test_inverse_role_elimination_preserves_aq_answers():
+    ontology = Ontology([ConceptInclusion(Exists(inverse("R"), A), B)])
+    rewritten, _ = eliminate_inverse_roles(ontology)
+    assert not rewritten.uses_inverse_roles()
+    # A(a), R(a, b) entails B(b): after elimination the entailment must survive.
+    data = Instance(
+        [Fact(RelationSymbol("A", 1), ("a",)), Fact(RelationSymbol("R", 2), ("a", "b"))]
+    )
+    from repro.omq import OntologyMediatedQuery
+    from repro.core import atomic_query
+
+    omq = OntologyMediatedQuery(
+        ontology=rewritten,
+        query=atomic_query("B"),
+        data_schema=Schema.binary(["A", "B"], ["R"]),
+    )
+    assert omq.certain_answers(data) == {("b",)}
+
+
+def test_transitive_role_elimination():
+    ontology = Ontology(
+        [TransitiveRole(R), ConceptInclusion(Exists(R, A), B)]
+    )
+    rewritten = eliminate_transitive_roles(ontology)
+    assert not rewritten.uses_transitive_roles()
+    assert rewritten.concept_inclusions()
+
+
+def test_role_hierarchy_elimination_requires_no_inverse():
+    ontology = Ontology(
+        [RoleInclusion(inverse("R"), Role("S")), ConceptInclusion(Exists(R, A), B)]
+    )
+    with pytest.raises(ValueError):
+        eliminate_role_hierarchies(ontology)
+
+
+def test_shi_to_alc_pipeline():
+    ontology = Ontology(
+        [
+            TransitiveRole(R),
+            RoleInclusion(Role("S"), R),
+            ConceptInclusion(Exists(Role("S"), A), B),
+        ]
+    )
+    rewritten = shi_to_alc(ontology)
+    assert rewritten.dialect() == "ALC"

@@ -1,0 +1,82 @@
+"""Tests for FO formulas, evaluation, and the GFO / UNFO / GNFO checkers."""
+
+from repro.core import Fact, Instance, RelationSymbol, Variable
+from repro.fo import (
+    Equality,
+    NotF,
+    atom,
+    conjunction,
+    disjunction,
+    exists,
+    forall,
+    fragment_of,
+    is_gfo,
+    is_gnfo,
+    is_unfo,
+)
+
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+R = RelationSymbol("R", 2)
+A = RelationSymbol("A", 1)
+
+
+def test_formula_evaluation():
+    data = Instance([Fact(R, (1, 2)), Fact(A, (2,))])
+    formula = exists((x, y), atom("R", x, y) & atom("A", y))
+    assert formula.evaluate(data)
+    negated = NotF(exists((x, y), atom("R", x, y) & atom("R", y, x)))
+    assert negated.evaluate(data)
+
+
+def test_formula_answers():
+    data = Instance([Fact(R, (1, 2)), Fact(R, (2, 3))])
+    formula = exists(y, atom("R", x, y))
+    assert formula.answers(data, (x,)) == {(1,), (2,)}
+
+
+def test_free_variables_and_size():
+    formula = forall(y, atom("R", x, y).implies(atom("A", y)))
+    assert formula.free_variables() == {x}
+    assert formula.size() >= 3
+    assert conjunction([]).evaluate(Instance([Fact(A, (1,))]))
+    assert not disjunction([]).evaluate(Instance([Fact(A, (1,))]))
+
+
+def test_unfo_membership():
+    # ¬∃xy R(x,y) is in UNFO; ∃xy ¬R(x,y) is not.
+    inside = NotF(exists((x, y), atom("R", x, y)))
+    outside = exists((x, y), NotF(atom("R", x, y)))
+    assert is_unfo(inside)
+    assert not is_unfo(outside)
+
+
+def test_gfo_membership():
+    guarded = forall((x, y), atom("R", x, y).implies(atom("A", x)))
+    assert is_gfo(guarded)
+    unguarded = forall((x, y), atom("A", x).implies(atom("A", y)))
+    assert not is_gfo(unguarded)
+    trivially_guarded = exists(x, Equality(x, x) & atom("A", x))
+    assert is_gfo(trivially_guarded)
+
+
+def test_gnfo_contains_unfo_and_gfo_examples():
+    unfo_formula = NotF(exists((x, y), atom("R", x, y)))
+    assert is_gnfo(unfo_formula)
+    guarded_negation = exists((x, y), atom("R", x, y) & NotF(atom("R", y, x)))
+    assert is_gnfo(guarded_negation)
+    assert not is_unfo(guarded_negation)
+
+
+def test_fragment_of_reports_all_memberships():
+    formula = atom("A", x)
+    assert fragment_of(formula) == {"UNFO", "GFO", "GNFO"}
+
+
+def test_example_table_1_guarded_sentences():
+    """The guarded-fragment sentences of Table I are recognised as GFO."""
+    from repro.dl import ontology_to_fo
+    from repro.workloads.medical import medical_ontology
+
+    for sentence in ontology_to_fo(medical_ontology()):
+        assert is_gfo(sentence)
+        assert is_gnfo(sentence)

@@ -1,0 +1,105 @@
+"""Tests for the finite-domain grounding and propositional search used by the
+bounded certain-answer engines."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, var
+from repro.fo.formulas import RelationalAtom, exists, forall
+from repro.fo.grounding import (
+    ground,
+    ground_cq,
+    ground_ucq,
+    model_from_assignment,
+    satisfying_assignment,
+)
+
+EDGE = RelationSymbol("edge", 2)
+MARK = RelationSymbol("mark", 1)
+x, y = var("x"), var("y")
+
+
+def test_ground_atomic_and_boolean_cases():
+    formula = RelationalAtom(MARK, (x,))
+    grounded = ground(formula, ["a"], {x: "a"})
+    assert grounded == ("lit", Fact(MARK, ("a",)), True)
+    negated = ground(formula, ["a"], {x: "a"}, positive=False)
+    assert negated == ("lit", Fact(MARK, ("a",)), False)
+
+
+def test_ground_quantifiers_expand_over_domain():
+    formula = exists([x], RelationalAtom(MARK, (x,)))
+    grounded = ground(formula, ["a", "b"])
+    assert grounded[0] == "or"
+    assert len(grounded[1]) == 2
+    universal = forall([x], RelationalAtom(MARK, (x,)))
+    grounded_universal = ground(universal, ["a", "b"])
+    assert grounded_universal[0] == "and"
+
+
+def test_satisfying_assignment_simple_constraints():
+    sentence = forall(
+        [x, y], RelationalAtom(EDGE, (x, y)).implies(RelationalAtom(MARK, (y,)))
+    )
+    domain = ["a", "b"]
+    constraint = ground(sentence, domain)
+    forced = {Fact(EDGE, ("a", "b")): True, Fact(MARK, ("b",)): False}
+    assert satisfying_assignment([constraint], forced) is None
+    forced_ok = {Fact(EDGE, ("a", "b")): True}
+    assignment = satisfying_assignment([constraint], forced_ok)
+    assert assignment is not None
+    assert assignment[Fact(MARK, ("b",))] is True
+
+
+def test_ground_ucq_negation_blocks_answers():
+    query = UnionOfConjunctiveQueries(
+        [ConjunctiveQuery((x,), [Atom(EDGE, (x, y)), Atom(MARK, (y,))])]
+    )
+    domain = ["a", "b"]
+    negated = ground_ucq(query, domain, ("a",), positive=False)
+    forced = {Fact(EDGE, ("a", "b")): True, Fact(MARK, ("b",)): True}
+    assert satisfying_assignment([negated], forced) is None
+    assert satisfying_assignment([negated], {Fact(EDGE, ("a", "b")): True}) is not None
+
+
+def test_model_from_assignment_extends_base():
+    base = Instance([Fact(MARK, ("a",))])
+    assignment = {Fact(EDGE, ("a", "a")): True, Fact(MARK, ("b",)): False}
+    model = model_from_assignment(assignment, base)
+    assert Fact(EDGE, ("a", "a")) in model
+    assert Fact(MARK, ("b",)) not in model
+    assert Fact(MARK, ("a",)) in model
+
+
+def test_ground_cq_boolean_query():
+    query = ConjunctiveQuery((), [Atom(EDGE, (x, x))])
+    grounded = ground_cq(query, ["a", "b"], ())
+    assert grounded[0] == "or"
+    assert ("lit", Fact(EDGE, ("a", "a")), True) in grounded[1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    edges=st.lists(
+        st.tuples(st.sampled_from("abc"), st.sampled_from("abc")), max_size=4
+    )
+)
+def test_grounded_sentence_agrees_with_direct_fo_evaluation(edges):
+    """Property: satisfiability with *all* facts forced (positively or negatively)
+    coincides with direct FO model checking of the sentence."""
+    instance = Instance([Fact(EDGE, pair) for pair in edges] + [Fact(MARK, ("a",))])
+    sentence = forall(
+        [x, y], RelationalAtom(EDGE, (x, y)).implies(RelationalAtom(MARK, (x,)))
+    )
+    domain = sorted(instance.active_domain, key=repr)
+    constraint = ground(sentence, domain)
+    # Force every possible fact to its truth value in the instance.
+    forced = {}
+    import itertools
+
+    for symbol in (EDGE, MARK):
+        for args in itertools.product(domain, repeat=symbol.arity):
+            fact = Fact(symbol, args)
+            forced[fact] = fact in instance
+    satisfiable = satisfying_assignment([constraint], forced) is not None
+    assert satisfiable == sentence.evaluate(instance)

@@ -1,0 +1,115 @@
+"""Tests for Theorem 3.17 (frontier-guarded DDlog as (GNFO, UCQ) queries) and
+Proposition 3.15 (a (GFO, UCQ) query outside MDDlog)."""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import Atom, var
+from repro.datalog import DisjunctiveDatalogProgram, Rule, evaluate, goal_atom
+from repro.fo import is_gfo, is_gnfo
+from repro.translations import (
+    frontier_ddlog_to_gnfo_omq,
+    proposition_3_15_omq,
+    proposition_3_15_schema,
+    rule_to_gnfo_sentence,
+)
+from repro.workloads.separations import gfo_d0, gfo_d1, gfo_query_holds
+
+EDGE = RelationSymbol("edge", 2)
+MARK = RelationSymbol("mark", 1)
+x, y = var("x"), var("y")
+
+
+def reachability_program() -> DisjunctiveDatalogProgram:
+    """Plain (disjunction-free, frontier-guarded) reachability to a marked element."""
+    reach = RelationSymbol("Reach", 1)
+    return DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(reach, (x,)),), (Atom(MARK, (x,)),)),
+            Rule((Atom(reach, (x,)),), (Atom(EDGE, (x, y)), Atom(reach, (y,)))),
+            Rule((goal_atom(x),), (Atom(reach, (x,)),)),
+        ]
+    )
+
+
+def test_rule_to_gnfo_sentence_membership():
+    program = reachability_program()
+    for rule in program.non_goal_rules():
+        sentence = rule_to_gnfo_sentence(rule)
+        assert is_gnfo(sentence)
+
+
+def test_frontier_ddlog_to_gnfo_round_trip_on_small_instances():
+    program = reachability_program()
+    omq = frontier_ddlog_to_gnfo_omq(program)
+    assert omq.arity == 1
+    chain = Instance(
+        [Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "c")), Fact(MARK, ("c",))]
+    )
+    datalog_answers = evaluate(program, chain)
+    omq_answers = omq.certain_answers(chain, extra_elements=0)
+    assert omq_answers == datalog_answers == {("a",), ("b",), ("c",)}
+
+
+def test_frontier_ddlog_to_gnfo_with_disjunction():
+    choice = RelationSymbol("Chosen", 1)
+    program = DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(choice, (x,)), Atom(choice, (y,))), (Atom(EDGE, (x, y)),)),
+            Rule((goal_atom(x),), (Atom(choice, (x,)), Atom(MARK, (x,)))),
+        ]
+    )
+    omq = frontier_ddlog_to_gnfo_omq(program)
+    # Both endpoints marked: whichever endpoint is chosen is a marked answer,
+    # but neither single endpoint is *certain*.
+    both = Instance([Fact(EDGE, ("a", "b")), Fact(MARK, ("a",)), Fact(MARK, ("b",))])
+    assert evaluate(program, both) == frozenset()
+    assert omq.certain_answers(both, extra_elements=0) == frozenset()
+    # A loop forces the single element to be chosen.
+    loop = Instance([Fact(EDGE, ("a", "a")), Fact(MARK, ("a",))])
+    assert evaluate(program, loop) == {("a",)}
+    assert omq.certain_answers(loop, extra_elements=0) == {("a",)}
+
+
+def test_non_frontier_guarded_program_rejected():
+    P = RelationSymbol("P", 2)
+    bad = DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(P, (x, y)),), (Atom(EDGE, (x, x)), Atom(EDGE, (y, y)))),
+            Rule((goal_atom(),), (Atom(P, (x, y)),)),
+        ]
+    )
+    with pytest.raises(ValueError):
+        frontier_ddlog_to_gnfo_omq(bad)
+
+
+# -- Proposition 3.15 -------------------------------------------------------------------
+
+
+def test_proposition_3_15_sentences_are_guarded():
+    omq = proposition_3_15_omq()
+    for sentence in omq.sentences:
+        assert is_gfo(sentence)
+    assert omq.ontology_fragments() >= {"GFO"}
+    assert set(proposition_3_15_schema()) == set(omq.data_schema)
+
+
+def test_proposition_3_15_query_on_separating_instances():
+    omq = proposition_3_15_omq()
+    # D1 with a short chain: the query holds (certain answer () present).
+    d1 = gfo_d1(2)
+    assert gfo_query_holds(d1)
+    assert omq.certain_answers(d1, extra_elements=0) == {()}
+    # D0: no A-to-B chain through a single middle element, query fails.
+    d0 = gfo_d0(2)
+    assert not gfo_query_holds(d0)
+    assert omq.certain_answers(d0, extra_elements=0) == frozenset()
+
+
+def test_separating_families_agree_with_direct_evaluator():
+    omq = proposition_3_15_omq()
+    for n in (2, 3):
+        assert gfo_query_holds(gfo_d1(n))
+        assert not gfo_query_holds(gfo_d0(n))
+    # The bounded OMQ evaluation agrees on the smallest family member.
+    assert omq.is_certain(gfo_d1(2), (), extra_elements=0)

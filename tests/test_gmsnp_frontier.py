@@ -1,0 +1,199 @@
+"""Tests for Theorem 4.2 (GMSNP ≡ frontier-guarded DDlog) and Theorem 4.3
+(GMSNP ≡ MMSNP2)."""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import var
+from repro.datalog import evaluate, evaluate_boolean
+from repro.mmsnp import (
+    CoMMSNPQuery,
+    FactSOAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+    SOVariable,
+)
+from repro.translations import (
+    close_under_identification,
+    frontier_ddlog_to_gmsnp,
+    gmsnp_to_frontier_ddlog,
+    gmsnp_to_mmsnp2,
+    mmsnp2_to_gmsnp,
+    mmsnp_as_gmsnp,
+)
+from repro.workloads.csp_zoo import EDGE, cycle_graph
+
+x, y = var("x"), var("y")
+X = SOVariable("X", 1)
+
+
+def two_colourability_formula() -> MMSNPFormula:
+    return MMSNPFormula(
+        [X],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)), SOAtom(X, (x,)), SOAtom(X, (y,))), ()
+            ),
+            Implication(
+                (SchemaAtom(EDGE, (x, y)),), (SOAtom(X, (x,)), SOAtom(X, (y,)))
+            ),
+        ],
+        [],
+    )
+
+
+def binary_orientation_formula() -> MMSNPFormula:
+    """A genuinely non-monadic GMSNP sentence: every edge can be marked or
+    unmarked, but a marked edge must not coexist with a marked reverse edge."""
+    marked = SOVariable("M", 2)
+    return MMSNPFormula(
+        [marked],
+        [
+            Implication((SchemaAtom(EDGE, (x, y)),), (SOAtom(marked, (x, y)),)),
+            Implication(
+                (
+                    SchemaAtom(EDGE, (x, y)),
+                    SOAtom(marked, (x, y)),
+                    SOAtom(marked, (y, x)),
+                ),
+                (),
+            ),
+        ],
+        [],
+    )
+
+
+# -- Theorem 4.2 ------------------------------------------------------------------------
+
+
+def test_gmsnp_classification():
+    assert two_colourability_formula().is_gmsnp()
+    assert binary_orientation_formula().is_gmsnp()
+    assert not binary_orientation_formula().is_mmsnp()
+    assert mmsnp_as_gmsnp(two_colourability_formula()).is_gmsnp()
+
+
+def test_gmsnp_to_frontier_ddlog_monadic_agrees_on_cycles():
+    formula = two_colourability_formula()
+    program = gmsnp_to_frontier_ddlog(formula)
+    assert program.is_frontier_guarded()
+    assert program.is_monadic()
+    for length in (3, 4, 5, 6):
+        graph = cycle_graph(length)
+        assert evaluate_boolean(program, graph) == (not formula.holds(graph))
+
+
+def test_gmsnp_to_frontier_ddlog_binary_so_variable():
+    formula = binary_orientation_formula()
+    program = gmsnp_to_frontier_ddlog(formula)
+    assert program.is_frontier_guarded()
+    assert not program.is_monadic()
+    two_cycle = Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "a"))])
+    one_edge = Instance([Fact(EDGE, ("a", "b"))])
+    assert evaluate_boolean(program, two_cycle) == (not formula.holds(two_cycle))
+    assert evaluate_boolean(program, one_edge) == (not formula.holds(one_edge))
+
+
+def test_frontier_ddlog_round_trip_preserves_answers():
+    formula = two_colourability_formula()
+    program = gmsnp_to_frontier_ddlog(formula)
+    back = frontier_ddlog_to_gmsnp(program)
+    assert back.is_gmsnp()
+    for length in (3, 4):
+        graph = cycle_graph(length)
+        assert back.holds(graph) == formula.holds(graph)
+
+
+def test_non_guarded_formula_rejected():
+    unguarded = MMSNPFormula(
+        [SOVariable("Z", 2)],
+        [Implication((SchemaAtom(EDGE, (x, x)),), (SOAtom(SOVariable("Z", 2), (x, y)),))],
+        [],
+    )
+    with pytest.raises(ValueError):
+        gmsnp_to_frontier_ddlog(unguarded)
+
+
+def test_frontier_ddlog_to_gmsnp_requires_frontier_guardedness():
+    from repro.core.cq import Atom
+    from repro.datalog import DisjunctiveDatalogProgram, Rule, goal_atom
+
+    P = RelationSymbol("P", 2)
+    bad = DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(P, (x, y)),), (Atom(EDGE, (x, x)), Atom(EDGE, (y, y)))),
+            Rule((goal_atom(),), (Atom(P, (x, y)),)),
+        ]
+    )
+    assert not bad.is_frontier_guarded()
+    with pytest.raises(ValueError):
+        frontier_ddlog_to_gmsnp(bad)
+
+
+# -- Theorem 4.3 -------------------------------------------------------------------------
+
+
+def edge_marking_mmsnp2_formula() -> MMSNPFormula:
+    """An MMSNP2 sentence: every edge fact is marked or its source is marked,
+    and a marked edge may not leave a marked element."""
+    marker = SOVariable("M", 1)
+    return MMSNPFormula(
+        [marker],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)),),
+                (FactSOAtom(marker, EDGE, (x, y)), SOAtom(marker, (x,))),
+            ),
+            Implication(
+                (
+                    SchemaAtom(EDGE, (x, y)),
+                    FactSOAtom(marker, EDGE, (x, y)),
+                    SOAtom(marker, (x,)),
+                ),
+                (),
+            ),
+        ],
+        [],
+    )
+
+
+def test_mmsnp2_to_gmsnp_preserves_semantics():
+    formula = edge_marking_mmsnp2_formula()
+    assert formula.is_mmsnp2()
+    translated = mmsnp2_to_gmsnp(formula)
+    assert translated.is_gmsnp()
+    assert not translated.uses_fact_atoms()
+    loop = Instance([Fact(EDGE, ("a", "a"))])
+    edge = Instance([Fact(EDGE, ("a", "b"))])
+    two_cycle = Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "a"))])
+    for instance in (loop, edge, two_cycle):
+        assert formula.holds(instance) == translated.holds(instance)
+
+
+def test_gmsnp_to_mmsnp2_produces_mmsnp2():
+    formula = binary_orientation_formula()
+    translated = gmsnp_to_mmsnp2(formula)
+    assert translated.is_monadic()
+    assert translated.is_mmsnp2()
+    assert translated.uses_fact_atoms()
+
+
+def test_gmsnp_to_mmsnp2_agrees_on_small_graphs():
+    formula = binary_orientation_formula()
+    translated = gmsnp_to_mmsnp2(close_under_identification(formula))
+    one_edge = Instance([Fact(EDGE, ("a", "b"))])
+    two_cycle = Instance([Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "a"))])
+    loop = Instance([Fact(EDGE, ("a", "a"))])
+    for instance in (one_edge, two_cycle, loop):
+        assert translated.holds(instance) == formula.holds(instance)
+
+
+def test_close_under_identification_adds_collapsed_implications():
+    formula = binary_orientation_formula()
+    closed = close_under_identification(formula)
+    assert len(closed.implications) > len(formula.implications)
+    # Closure preserves semantics (identified implications are consequences).
+    loop = Instance([Fact(EDGE, ("a", "a"))])
+    assert closed.holds(loop) == formula.holds(loop)

@@ -1,0 +1,200 @@
+"""Tests for MMSNP normal forms and containment (Prop. 4.1 conditions,
+Prop. 5.2 sentence encoding, Prop. 5.5 / Thm 5.6 containment)."""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import var
+from repro.mmsnp import (
+    CoMMSNPQuery,
+    EqualityAtom,
+    Implication,
+    MMSNPFormula,
+    SchemaAtom,
+    SOAtom,
+    SOVariable,
+    comsnp_contained_in,
+    containment_counterexample,
+    eliminate_equalities,
+    formula_to_sentence,
+    formulas_equivalent_bounded,
+    marked_expansion,
+    reduce_to_sentence_containment,
+    saturate_free_variables,
+    suggested_domain_size,
+)
+from repro.workloads.csp_zoo import EDGE, cycle_graph
+
+X = SOVariable("X", 1)
+x, y, z = var("x"), var("y"), var("z")
+
+
+def two_colourability_formula() -> MMSNPFormula:
+    """2-colourability as an MMSNP sentence (fails exactly on non-bipartite graphs)."""
+    return MMSNPFormula(
+        [X],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)), SOAtom(X, (x,)), SOAtom(X, (y,))), ()
+            ),
+            Implication(
+                (SchemaAtom(EDGE, (x, y)),), (SOAtom(X, (x,)), SOAtom(X, (y,)))
+            ),
+        ],
+        [],
+    )
+
+
+def reachability_formula() -> MMSNPFormula:
+    """Unary formula: false at d exactly when d reaches a ``Mark``-element."""
+    mark = RelationSymbol("Mark", 1)
+    free = var("d")
+    return MMSNPFormula(
+        [X],
+        [
+            Implication((EqualityAtom(free, free),), (SOAtom(X, (free,)),)),
+            Implication((SOAtom(X, (x,)), SchemaAtom(EDGE, (x, y))), (SOAtom(X, (y,)),)),
+            Implication((SOAtom(X, (x,)), SchemaAtom(mark, (x,))), ()),
+        ],
+        [free],
+    )
+
+
+# -- sentence semantics ----------------------------------------------------------------
+
+
+def test_two_colourability_formula_on_cycles():
+    formula = two_colourability_formula()
+    assert formula.holds(cycle_graph(4))
+    assert not formula.holds(cycle_graph(3))
+    query = CoMMSNPQuery(formula)
+    assert query.evaluate(cycle_graph(3)) == frozenset({()})
+    assert query.evaluate(cycle_graph(4)) == frozenset()
+
+
+def test_empty_instance_satisfies_sentences():
+    assert two_colourability_formula().holds(Instance([]))
+
+
+# -- equality elimination ---------------------------------------------------------------
+
+
+def test_eliminate_equalities_identifies_variables():
+    formula = MMSNPFormula(
+        [X],
+        [
+            Implication(
+                (SchemaAtom(EDGE, (x, y)), EqualityAtom(x, y), SOAtom(X, (x,))), ()
+            )
+        ],
+        [],
+    )
+    simplified = eliminate_equalities(formula)
+    for implication in simplified.implications:
+        assert not any(isinstance(a, EqualityAtom) for a in implication.body)
+    loop = Instance([Fact(EDGE, ("a", "a"))])
+    edge = Instance([Fact(EDGE, ("a", "b"))])
+    for instance in (loop, edge):
+        assert formula.holds(instance) == simplified.holds(instance)
+
+
+def test_saturate_free_variables_preserves_semantics():
+    formula = reachability_formula()
+    saturated = saturate_free_variables(formula)
+    mark = RelationSymbol("Mark", 1)
+    data = Instance(
+        [Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "c")), Fact(mark, ("c",))]
+    )
+    for element in sorted(data.active_domain):
+        assert formula.holds(data, (element,)) == saturated.holds(data, (element,))
+    for implication in saturated.implications:
+        assert any(
+            not isinstance(atom, EqualityAtom) and var("d") in atom.arguments
+            for atom in list(implication.body) + list(implication.head)
+        )
+
+
+# -- Proposition 5.2: formulas as sentences over marked expansions ------------------------
+
+
+def test_formula_to_sentence_matches_on_marked_expansions():
+    formula = reachability_formula()
+    sentence, markers = formula_to_sentence(formula)
+    assert sentence.is_sentence()
+    mark = RelationSymbol("Mark", 1)
+    data = Instance(
+        [Fact(EDGE, ("a", "b")), Fact(EDGE, ("b", "c")), Fact(mark, ("c",))]
+    )
+    for element in sorted(data.active_domain):
+        expanded = marked_expansion(data, (element,), markers)
+        assert formula.holds(data, (element,)) == sentence.holds(expanded)
+
+
+def test_formula_to_sentence_rejects_clashing_markers():
+    free = var("d")
+    clashing = MMSNPFormula(
+        [X],
+        [Implication((SchemaAtom(RelationSymbol("P1", 1), (free,)),), ())],
+        [free],
+    )
+    with pytest.raises(ValueError):
+        formula_to_sentence(clashing)
+
+
+# -- containment -------------------------------------------------------------------------
+
+
+def three_colourability_formula() -> MMSNPFormula:
+    x1, x2 = var("x"), var("y")
+    red, green, blue = SOVariable("R", 1), SOVariable("G", 1), SOVariable("B", 1)
+    implications = [
+        Implication(
+            (SchemaAtom(EDGE, (x1, x1)),), ()
+        ),
+        Implication(
+            (SchemaAtom(EDGE, (x1, x2)),),
+            (SOAtom(red, (x1,)), SOAtom(green, (x1,)), SOAtom(blue, (x1,))),
+        ),
+        Implication(
+            (SchemaAtom(EDGE, (x1, x2)),),
+            (SOAtom(red, (x2,)), SOAtom(green, (x2,)), SOAtom(blue, (x2,))),
+        ),
+    ] + [
+        Implication(
+            (SchemaAtom(EDGE, (x1, x2)), SOAtom(colour, (x1,)), SOAtom(colour, (x2,))),
+            (),
+        )
+        for colour in (red, green, blue)
+    ]
+    return MMSNPFormula([red, green, blue], implications, [])
+
+
+def test_comsnp_containment_two_versus_three_colourability():
+    two = two_colourability_formula()
+    three = three_colourability_formula()
+    # Non-2-colourable is a weaker property than non-3-colourable:
+    # coMMSNP(three) ⊆ coMMSNP(two).
+    assert comsnp_contained_in(three, two, domain_size=3, max_facts=4)
+    witness = containment_counterexample(two, three, domain_size=3, max_facts=4)
+    assert witness is not None
+    # The triangle is the canonical separating instance.
+    assert not three.holds(witness.instance) or not two.holds(witness.instance)
+
+
+def test_containment_is_reflexive_and_bounded_equivalence():
+    two = two_colourability_formula()
+    assert comsnp_contained_in(two, two, domain_size=2, max_facts=3)
+    assert formulas_equivalent_bounded(two, two, domain_size=2, max_facts=3)
+
+
+def test_reduce_to_sentence_containment_shapes():
+    formula = reachability_formula()
+    first, second, markers = reduce_to_sentence_containment(formula, formula)
+    assert first.is_sentence() and second.is_sentence()
+    assert len(markers) == 1
+    assert suggested_domain_size(formula, formula) >= 2
+
+
+def test_containment_arity_mismatch_rejected():
+    with pytest.raises(ValueError):
+        comsnp_contained_in(two_colourability_formula(), reachability_formula())

@@ -1,0 +1,161 @@
+"""Tests for the Section 5 / 6 applications: dichotomy, containment,
+rewritability and schema-free OMQs."""
+
+from repro.core import Schema, atomic_query, boolean_atomic_query
+from repro.dl import ConceptInclusion, ConceptName, Exists, Ontology, Role
+from repro.obda import (
+    atomic_omq_contained_in,
+    classify_omq,
+    containment_counterexample,
+    omq_contained_in_bounded,
+    omq_datalog_rewritable,
+    omq_fo_rewritable,
+    schema_free_variant,
+)
+from repro.omq import OntologyMediatedQuery
+from repro.translations import csp_to_omq
+from repro.workloads.csp_zoo import three_colourability_template
+from repro.workloads.medical import (
+    example_2_2_q1_omq,
+    example_2_2_q2_omq,
+    example_4_5_omq,
+    example_4_5_schema,
+    family_instance,
+)
+
+
+def simple_omq(query_name: str, extra_axioms=()):
+    ontology = Ontology(
+        [
+            ConceptInclusion(ConceptName("A"), ConceptName("B")),
+            ConceptInclusion(
+                Exists(Role("R"), ConceptName("B")), ConceptName("C")
+            ),
+            *extra_axioms,
+        ]
+    )
+    schema = Schema.binary(["A", "B", "C"], ["R"])
+    return OntologyMediatedQuery(
+        ontology=ontology, query=atomic_query(query_name), data_schema=schema
+    )
+
+
+# -- rewritability (Theorems 5.15 / 5.16) ----------------------------------------------
+
+
+def test_example_2_2_q2_is_datalog_but_not_fo_rewritable():
+    """The paper's Example 2.2: the hereditary-predisposition query is
+    expressible in datalog but not in FO."""
+    omq = example_4_5_omq()
+    assert not omq_fo_rewritable(omq)
+    assert omq_datalog_rewritable(omq)
+
+
+def test_non_recursive_query_is_fo_rewritable():
+    omq = simple_omq("B")
+    assert omq_fo_rewritable(omq)
+    assert omq_datalog_rewritable(omq)
+
+
+def test_three_colourability_omq_is_not_rewritable():
+    omq = csp_to_omq(three_colourability_template())
+    assert not omq_fo_rewritable(omq)
+    assert not omq_datalog_rewritable(omq)
+
+
+# -- dichotomy (Theorems 5.1 / 5.3) ------------------------------------------------------
+
+
+def test_classification_of_tractable_omq():
+    report = classify_omq(example_4_5_omq())
+    assert report.is_tractable()
+    assert report.datalog_rewritable
+    assert not report.fo_rewritable
+
+
+def test_classification_of_hard_omq():
+    omq = csp_to_omq(three_colourability_template())
+    report = classify_omq(omq)
+    assert report.complexity == "coNP-hard"
+    assert not report.fo_rewritable
+
+
+# -- containment (Theorems 5.6 / 5.7) -----------------------------------------------------
+
+
+def test_atomic_containment_via_templates():
+    # q2 (hereditary predisposition with recursion) is contained in itself and
+    # contains the trivial query asking for asserted predispositions only.
+    recursive = example_4_5_omq()
+    trivial = OntologyMediatedQuery(
+        ontology=Ontology([]),
+        query=atomic_query("HereditaryPredisposition"),
+        data_schema=example_4_5_schema(),
+    )
+    assert atomic_omq_contained_in(recursive, recursive)
+    assert atomic_omq_contained_in(trivial, recursive)
+    assert not atomic_omq_contained_in(recursive, trivial)
+
+
+def test_bounded_containment_agrees_on_medical_queries():
+    q1 = example_2_2_q1_omq()
+    q2 = example_2_2_q2_omq()
+    assert omq_contained_in_bounded(q1, q1, max_elements=2, max_facts=2, engine="bounded")
+    # BacterialInfection answers are not HereditaryPredisposition answers.
+    assert not omq_contained_in_bounded(
+        q1, q2, max_elements=2, max_facts=2, engine="bounded"
+    )
+    witness = containment_counterexample(
+        q1, q2, max_elements=2, max_facts=2, engine="bounded"
+    )
+    assert witness is not None
+
+
+def test_containment_of_weaker_ontology():
+    strong = simple_omq("B")
+    weak = OntologyMediatedQuery(
+        ontology=Ontology([]),
+        query=atomic_query("B"),
+        data_schema=strong.data_schema,
+    )
+    assert atomic_omq_contained_in(weak, strong)
+    assert not atomic_omq_contained_in(strong, weak)
+
+
+# -- schema-free OMQs (Section 6) -----------------------------------------------------------
+
+
+def test_schema_free_variant_accepts_any_symbols():
+    from repro.core import Fact, Instance, RelationSymbol
+
+    omq = schema_free_variant(example_4_5_omq())
+    data = Instance(
+        [
+            Fact(RelationSymbol("HasParent", 2), ("a", "b")),
+            Fact(RelationSymbol("HereditaryPredisposition", 1), ("b",)),
+            Fact(RelationSymbol("Unrelated", 1), ("a",)),
+        ]
+    )
+    answers = omq.certain_answers(data)
+    assert ("a",) in answers and ("b",) in answers
+
+
+def test_schema_free_decision_problems_match_fixed_schema():
+    """Section 6: rewritability of the schema-free query coincides with the
+    fixed-schema query over sig(O) ∪ sig(q)."""
+    omq = example_4_5_omq()
+    free = schema_free_variant(omq)
+    assert omq_fo_rewritable(free) == omq_fo_rewritable(omq)
+    assert omq_datalog_rewritable(free) == omq_datalog_rewritable(omq)
+
+
+def test_boolean_query_classification():
+    omq = OntologyMediatedQuery(
+        ontology=example_4_5_omq().ontology,
+        query=boolean_atomic_query("HereditaryPredisposition"),
+        data_schema=example_4_5_schema(),
+    )
+    report = classify_omq(omq)
+    assert report.is_tractable()
+    data = family_instance(2, predisposed_root=True)
+    assert omq.certain_answers(data) == {()}

@@ -1,0 +1,123 @@
+"""Tests for the schema-free constructions of Section 6."""
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.homomorphism import has_homomorphism
+from repro.dl import ConceptInclusion, ConceptName, Exists, Forall, Ontology, Role
+from repro.dl.concepts import Top
+from repro.obda import (
+    containment_to_schema_free,
+    csp_to_schema_free_omq,
+    emptiness_axioms,
+    omq_contained_in_bounded,
+    shield_concept_names,
+)
+from repro.omq import OntologyMediatedQuery
+from repro.core.cq import atomic_query
+from repro.workloads.csp_zoo import EDGE, cycle_graph, two_colourability_template
+
+
+# -- Theorem 6.1 -----------------------------------------------------------------------
+
+
+def test_schema_free_csp_encoding_matches_template_on_plain_data():
+    encoding = csp_to_schema_free_omq(two_colourability_template())
+    assert encoding.omq.schema_free
+    for data in (cycle_graph(3), cycle_graph(4), Instance([Fact(EDGE, ("a", "a"))])):
+        expected = not has_homomorphism(data, encoding.template)
+        answer = encoding.omq.certain_answers(data, engine="bounded")
+        assert (answer == frozenset({()})) == expected
+
+
+def test_schema_free_csp_encoding_ignores_working_symbols_in_data():
+    """Fact 1 of Theorem 6.1: data about the shielded working symbols cannot
+    change the answer, because the compound concepts re-interpret freely."""
+    encoding = csp_to_schema_free_omq(two_colourability_template())
+    noisy = cycle_graph(4).with_facts(
+        [
+            Fact(RelationSymbol("A_elem_0", 1), ("v0",)),
+            Fact(RelationSymbol("R_elem_1", 2), ("v1", "v2")),
+        ]
+    )
+    assert encoding.omq.certain_answers(noisy, engine="bounded") == frozenset()
+    assert encoding.reduces_like_template(noisy)
+
+
+def test_schema_free_csp_encoding_asserted_goal_facts():
+    """If the data itself asserts the goal concept, the query trivially holds."""
+    encoding = csp_to_schema_free_omq(two_colourability_template())
+    data = cycle_graph(4).with_facts([Fact(RelationSymbol("A", 1), ("v0",))])
+    assert encoding.omq.certain_answers(data, engine="bounded") == frozenset({()})
+
+
+# -- Theorem 6.2 -----------------------------------------------------------------------
+
+
+def test_emptiness_axioms_cover_unary_and_binary_symbols():
+    axioms = emptiness_axioms([RelationSymbol("A", 1), RelationSymbol("R", 2)])
+    assert len(axioms) == 2
+    with pytest.raises(ValueError):
+        emptiness_axioms([RelationSymbol("T", 3)])
+
+
+def _simple_omq(goal: str, schema_names=("Base",)) -> OntologyMediatedQuery:
+    from repro.core.schema import Schema
+
+    axioms = [ConceptInclusion(ConceptName("Base"), ConceptName(goal))]
+    schema = Schema([RelationSymbol(name, 1) for name in schema_names])
+    return OntologyMediatedQuery(
+        ontology=Ontology(axioms), query=atomic_query(goal), data_schema=schema
+    )
+
+
+def test_containment_to_schema_free_preserves_containment_direction():
+    first = _simple_omq("Derived")
+    second = _simple_omq("Derived")
+    sf_first, sf_second = containment_to_schema_free(first, second)
+    assert sf_first.schema_free and sf_second.schema_free
+    # The fixed-schema queries are equivalent, and so are the schema-free ones
+    # on data over the shared schema.
+    assert omq_contained_in_bounded(first, second, max_elements=2, max_facts=2)
+    data = Instance([Fact(RelationSymbol("Base", 1), ("a",))])
+    assert sf_first.certain_answers(data, engine="bounded") == sf_second.certain_answers(
+        data, engine="bounded"
+    )
+
+
+def test_containment_to_schema_free_adds_emptiness_axioms():
+    first = _simple_omq("Derived")
+    second = OntologyMediatedQuery(
+        ontology=Ontology([]),
+        query=atomic_query("Base"),
+        data_schema=first.data_schema,
+    )
+    _sf_first, sf_second = containment_to_schema_free(first, second)
+    assert len(sf_second.ontology) > len(second.ontology)
+
+
+# -- Theorem 6.3 -----------------------------------------------------------------------
+
+
+def test_shield_concept_names_rewrites_occurrences():
+    ontology = Ontology(
+        [
+            ConceptInclusion(ConceptName("E"), ConceptName("F")),
+            ConceptInclusion(Exists(Role("S"), ConceptName("E")), ConceptName("E")),
+        ]
+    )
+    shielded = shield_concept_names(ontology, {"E"})
+    rendered = [str(axiom) for axiom in shielded]
+    assert any("∀R_E.E" in text for text in rendered)
+    # The untouched concept name F survives unshielded.
+    assert any("F" in text and "∀R_F" not in text for text in rendered)
+
+
+def test_shield_concept_names_keeps_other_axiom_kinds():
+    from repro.dl import TransitiveRole
+
+    ontology = Ontology(
+        [ConceptInclusion(Top(), ConceptName("E")), TransitiveRole(Role("S"))]
+    )
+    shielded = shield_concept_names(ontology, {"E"})
+    assert len(shielded) == 2

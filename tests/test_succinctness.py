@@ -1,0 +1,55 @@
+"""Tests for the succinctness measurement harness (Theorems 3.5–3.8)."""
+
+from repro.obda import (
+    aq_to_mddlog_curve,
+    classify_growth,
+    disjunctive_cover_family,
+    inverse_elimination_curve,
+    inverse_role_family,
+    mddlog_to_omq_curve,
+    simple_mddlog_family,
+)
+from repro.translations import alc_aq_to_mddlog, mddlog_to_alc_aq
+
+
+def test_disjunctive_cover_family_sizes_grow_linearly():
+    sizes = [disjunctive_cover_family(i).size() for i in range(1, 5)]
+    deltas = {sizes[i + 1] - sizes[i] for i in range(len(sizes) - 1)}
+    assert len(deltas) == 1  # constant increments: linear growth
+
+
+def test_forward_translation_blowup_is_exponential():
+    curve = aq_to_mddlog_curve(range(1, 5))
+    assert classify_growth(curve) == "exponential"
+    # Source sizes stay linear while target sizes at least double per step.
+    for first, second in zip(curve, curve[1:]):
+        assert second.source_size - first.source_size <= 10
+        assert second.target_size >= 2 * first.target_size
+
+
+def test_reverse_translation_is_linear():
+    curve = mddlog_to_omq_curve(range(1, 8))
+    assert classify_growth(curve) == "polynomial"
+    deltas = {
+        curve[i + 1].target_size - curve[i].target_size for i in range(len(curve) - 1)
+    }
+    assert max(deltas) - min(deltas) <= 2
+
+
+def test_inverse_elimination_is_polynomial():
+    curve = inverse_elimination_curve(range(1, 6))
+    assert classify_growth(curve) == "polynomial"
+    for point in curve:
+        assert point.target_size <= 4 * point.source_size + 4
+
+
+def test_translated_families_are_semantically_usable():
+    omq = disjunctive_cover_family(2)
+    program = alc_aq_to_mddlog(omq)
+    assert program.is_monadic()
+    rebuilt = mddlog_to_alc_aq(simple_mddlog_family(2))
+    assert rebuilt.is_atomic()
+
+
+def test_inverse_role_family_uses_inverse_roles():
+    assert inverse_role_family(3).ontology.uses_inverse_roles()

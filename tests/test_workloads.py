@@ -1,0 +1,170 @@
+"""Tests for the workload generators: counting instances, 2QBF reduction,
+separating families, tiling problems and the CSP zoo."""
+
+from repro.core import has_homomorphism
+from repro.datalog import evaluate_boolean
+from repro.workloads.counting import (
+    alci_length_query,
+    counting_instance,
+    inverse_free_length_query,
+    path_detection_cq,
+    succinctness_measurements,
+)
+from repro.workloads.csp_zoo import ZOO, cycle_graph, random_graph
+from repro.workloads.qbf import TwoQbf, qbf_instance, qbf_program, random_qbf
+from repro.workloads.separations import (
+    functional_ok_instance,
+    functional_role_omq,
+    functional_violation_instance,
+    gfo_d0,
+    gfo_d1,
+    gfo_query_holds,
+    transitive_d0,
+    transitive_d1,
+)
+from repro.workloads.tiling import (
+    checkerboard_tiling,
+    solvable_tiling,
+    unsolvable_tiling,
+)
+
+
+# -- Figure 1 / Theorem 3.7 --------------------------------------------------------------
+
+
+def test_counting_instance_shape():
+    instance = counting_instance(3)
+    # Figure 1: elements a0..a6, six R-facts, markers Y0 Y1 Y2 Y0.
+    assert len(instance.active_domain) == 7
+    assert len(instance.tuples("R")) == 6
+    assert ("a0",) in instance.tuples("Y0")
+    assert ("a6",) in instance.tuples("Y0")
+
+
+def test_path_detection_cq_monotone_in_length():
+    query = path_detection_cq(2)
+    assert query.holds_in(counting_instance(2))
+    assert query.holds_in(counting_instance(4))
+    assert not query.holds_in(counting_instance(1))
+
+
+def test_succinctness_gap_shape():
+    """The inverse-free family grows much faster than the ALCI family — the
+    shape of the Theorem 3.7 succinctness gap."""
+    rows = succinctness_measurements(5)
+    alci_growth = rows[-1]["alci_size"] - rows[0]["alci_size"]
+    plain_growth = rows[-1]["inverse_free_size"] - rows[0]["inverse_free_size"]
+    assert plain_growth > alci_growth
+    assert all(row["alci_size"] < row["inverse_free_size"] * 2 for row in rows)
+
+
+def test_alci_query_uses_inverse_roles():
+    omq = alci_length_query(3)
+    assert omq.ontology.uses_inverse_roles()
+    assert not inverse_free_length_query(3).ontology.uses_inverse_roles()
+
+
+# -- Theorem 3.1: 2QBF reduction -----------------------------------------------------------
+
+
+def test_qbf_validity_bruteforce():
+    # ∀x ∃y (x ∨ y) ∧ (¬x ∨ ¬y) is valid (choose y = ¬x).
+    valid = TwoQbf(1, 1, (((0, True), (1, True), (1, True)), ((0, False), (1, False), (1, False))))
+    assert valid.is_valid()
+    # ∀x ∃y (x ∨ x ∨ x) is not valid (fails for x = false).
+    invalid = TwoQbf(1, 1, (((0, True), (0, True), (0, True)),))
+    assert not invalid.is_valid()
+
+
+def test_qbf_reduction_matches_validity():
+    cases = [
+        TwoQbf(1, 1, (((0, True), (1, True), (1, True)), ((0, False), (1, False), (1, False)))),
+        TwoQbf(1, 1, (((0, True), (0, True), (0, True)),)),
+        TwoQbf(2, 1, (((0, True), (1, True), (2, True)),)),
+    ]
+    for qbf in cases:
+        program = qbf_program(qbf)
+        instance = qbf_instance(qbf)
+        assert evaluate_boolean(program, instance) == qbf.is_valid(), qbf
+
+
+def test_random_qbf_reduction_round_trip():
+    for seed in range(3):
+        qbf = random_qbf(1, 2, 2, seed=seed)
+        program = qbf_program(qbf)
+        instance = qbf_instance(qbf)
+        assert evaluate_boolean(program, instance) == qbf.is_valid()
+
+
+# -- Theorem 3.10 / Proposition 3.15 separations --------------------------------------------
+
+
+def test_transitive_separation_instances():
+    """Q(D1) = 1 and Q(D0) = 0 for the transitive-role query of Theorem 3.10,
+    checked via reachability."""
+    import networkx as nx
+
+    def query_holds(instance):
+        r_graph = nx.DiGraph(list(instance.tuples("R")))
+        s_graph = nx.DiGraph(list(instance.tuples("S")))
+        for a in instance.active_domain:
+            for b in instance.active_domain:
+                if a == b:
+                    continue
+                if (
+                    r_graph.has_node(a)
+                    and r_graph.has_node(b)
+                    and nx.has_path(r_graph, a, b)
+                    and s_graph.has_node(a)
+                    and s_graph.has_node(b)
+                    and nx.has_path(s_graph, a, b)
+                ):
+                    return True
+        return False
+
+    assert query_holds(transitive_d1(3))
+    assert not query_holds(transitive_d0(3, 4))
+
+
+def test_gfo_separation_instances():
+    assert gfo_query_holds(gfo_d1(4))
+    assert not gfo_query_holds(gfo_d0(4))
+
+
+def test_functional_role_query_not_preserved_under_homomorphisms():
+    violation = functional_violation_instance()
+    fine = functional_ok_instance()
+    assert has_homomorphism(violation, fine)
+    omq = functional_role_omq()
+    assert ("a",) in omq.certain_answers(violation, engine="bounded")
+    assert ("a",) not in omq.certain_answers(fine, engine="bounded")
+
+
+# -- tiling problems (Theorems 5.7 / 5.16 inputs) ---------------------------------------------
+
+
+def test_tiling_solver():
+    assert solvable_tiling(1).has_solution()
+    assert checkerboard_tiling(1).has_solution()
+    assert not unsolvable_tiling(1).has_solution()
+
+
+def test_tiling_solution_is_verified():
+    problem = checkerboard_tiling(1)
+    solution = problem.solve()
+    assert solution is not None
+    assert problem.is_solution(solution)
+
+
+# -- the CSP zoo -------------------------------------------------------------------------------
+
+
+def test_zoo_templates_have_declared_schemas():
+    for name, entry in ZOO.items():
+        template = entry["template"]()
+        assert template.active_domain, name
+
+
+def test_random_graph_generator_is_deterministic():
+    assert random_graph(4, 0.5, seed=1) == random_graph(4, 0.5, seed=1)
+    assert cycle_graph(4).tuples("edge")
