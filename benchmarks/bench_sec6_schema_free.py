@@ -6,7 +6,6 @@ mentions the construction's working symbols), and runs the Theorem 6.2
 containment transfer and the Theorem 6.3 shielding transformation.
 """
 
-import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
 from repro.core.homomorphism import has_homomorphism

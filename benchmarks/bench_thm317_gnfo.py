@@ -7,7 +7,6 @@ separating instance families D1 (query true) and D0 (query false), which is
 the witness that (GFO, UCQ) exceeds MDDlog.
 """
 
-import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
 from repro.core.cq import Atom, var

@@ -7,7 +7,6 @@ direction stays linear (Theorem 3.4 (2)), and the inverse-role elimination of
 Theorem 3.6 stays polynomial per axiom.
 """
 
-import pytest
 
 from repro.obda import (
     aq_to_mddlog_curve,

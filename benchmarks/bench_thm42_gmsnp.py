@@ -6,7 +6,6 @@ edge-marking sentence, timing each construction and checking three-way
 agreement of the defined queries on directed cycles.
 """
 
-import pytest
 
 from repro.core import Fact, Instance
 from repro.core.cq import var

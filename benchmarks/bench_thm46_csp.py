@@ -47,6 +47,34 @@ def test_thm46_boolean_template(benchmark):
     )
 
 
+def test_thm46_marked_cocsp_evaluation(benchmark):
+    """E-46 hot path: evaluating the marked coCSP on a long family chain.
+
+    One indexed homomorphism search per template is shared across all
+    ``|adom|`` mark tuples, so this measures the engine's re-solve-with-
+    fixed-marks path.
+    """
+    omq = example_4_5_omq()
+    encoding = omq_to_csp(omq)
+    cocsp = encoding.as_cocsp_query()
+    data = family_instance(40, predisposed_root=True)
+    answers = benchmark(lambda: cocsp.evaluate(data))
+    assert answers == omq.certain_answers(data)
+    print(f"\n[E-46] marked coCSP on 41-person chain: {len(answers)} answers")
+
+
+def test_thm46_csp_homomorphism_hot_path(benchmark):
+    """E-46 hot path: CSP membership via the indexed homomorphism search."""
+    from repro.csp.template import CoCspQuery
+    from repro.workloads.csp_zoo import cycle_graph
+
+    query = CoCspQuery(three_colourability_template())
+    data = cycle_graph(201)
+    verdict = benchmark(lambda: query.evaluate(data))
+    assert verdict is False  # odd cycles are 3-colourable
+    print("\n[E-46] coCSP(K3) on C_201 decided via indexed homomorphism search")
+
+
 def test_thm46_csp_to_omq_direction(benchmark):
     """The converse construction: a coCSP becomes an (ALC, BAQ) OMQ."""
     template = two_colourability_template()

@@ -7,12 +7,10 @@ checks between coMMSNP queries derived from ontology-mediated queries
 (Theorem 5.6's decidability route).
 """
 
-import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
 from repro.core.cq import var
 from repro.mmsnp import (
-    CoMMSNPQuery,
     EqualityAtom,
     Implication,
     MMSNPFormula,
@@ -26,7 +24,7 @@ from repro.mmsnp import (
     reduce_to_sentence_containment,
 )
 from repro.translations import alc_ucq_to_mddlog, mddlog_to_mmsnp
-from repro.workloads.csp_zoo import EDGE, cycle_graph
+from repro.workloads.csp_zoo import EDGE
 from repro.workloads.medical import example_2_2_q1_omq
 
 x, y = var("x"), var("y")

@@ -6,7 +6,7 @@ counterexample search, and exercises the tiling-problem input side of the
 NEXPTIME lower bound reduction.
 """
 
-from repro.core import Schema, atomic_query
+from repro.core import atomic_query
 from repro.dl import Ontology
 from repro.obda import atomic_omq_contained_in, omq_contained_in_bounded
 from repro.omq import OntologyMediatedQuery

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Run the benchmark suite and emit one consolidated results file.
+
+Wraps ``pytest --benchmark-json`` over the ``bench_*.py`` files and distils
+the raw pytest-benchmark output into a single compact JSON document
+(``benchmarks/results/BENCH_RESULTS.json`` by default) so the performance
+trajectory can be tracked across PRs.  Passing ``--baseline`` embeds a
+per-benchmark speedup column against a previous consolidated file.
+
+Examples::
+
+    python benchmarks/run_all.py                     # full suite
+    python benchmarks/run_all.py bench_thm46_csp.py  # subset
+    python benchmarks/run_all.py --label pr1 --baseline results/BENCH_seed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_OUTPUT = BENCH_DIR / "results" / "BENCH_RESULTS.json"
+
+
+def run_pytest_benchmarks(paths: list[str]) -> tuple[dict, float, int]:
+    """Run pytest-benchmark on the given files; returns (raw json, wall s, rc)."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        raw_path = handle.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *paths,
+        "-q",
+        f"--benchmark-json={raw_path}",
+    ]
+    started = time.perf_counter()
+    completed = subprocess.run(command, cwd=REPO_ROOT, env=env)
+    wall = time.perf_counter() - started
+    try:
+        with open(raw_path) as fh:
+            raw = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        raw = {"benchmarks": []}
+    finally:
+        try:
+            os.unlink(raw_path)
+        except OSError:
+            pass
+    return raw, wall, completed.returncode
+
+
+def consolidate(
+    raw: dict,
+    label: str,
+    wall_seconds: float | None = None,
+    baseline: dict | None = None,
+) -> dict:
+    """Distil raw pytest-benchmark output into the consolidated schema."""
+    results = {}
+    for bench in raw.get("benchmarks", ()):
+        stats = bench["stats"]
+        results[bench["name"]] = {
+            "file": bench.get("fullname", "").split("::")[0],
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    consolidated = {
+        "label": label,
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "machine": raw.get("machine_info", {}).get("node", "unknown"),
+        "python": raw.get("machine_info", {}).get("python_version", ""),
+        "total_wall_s": wall_seconds,
+        "results": results,
+    }
+    if baseline:
+        consolidated["baseline_label"] = baseline.get("label", "baseline")
+        base_results = baseline.get("results", {})
+        speedups = []
+        for name, entry in results.items():
+            base = base_results.get(name)
+            if base and entry["mean_s"]:
+                entry["baseline_mean_s"] = base["mean_s"]
+                entry["speedup_vs_baseline"] = base["mean_s"] / entry["mean_s"]
+                speedups.append(entry["speedup_vs_baseline"])
+        if speedups:
+            product = 1.0
+            for value in speedups:
+                product *= value
+            consolidated["geomean_speedup_vs_baseline"] = product ** (
+                1.0 / len(speedups)
+            )
+    return consolidated
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="benchmark files (relative to benchmarks/); default: all bench_*.py",
+    )
+    parser.add_argument("--label", default="current", help="label stored in the output")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="consolidated output path"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous consolidated file to compare against",
+    )
+    args = parser.parse_args(argv)
+
+    if args.benchmarks:
+        paths = [str(BENCH_DIR / name) for name in args.benchmarks]
+    else:
+        paths = [str(path) for path in sorted(BENCH_DIR.glob("bench_*.py"))]
+
+    baseline = None
+    if args.baseline is not None:
+        try:
+            with open(args.baseline) as fh:
+                baseline = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            parser.error(f"cannot read baseline {args.baseline}: {error}")
+
+    raw, wall, returncode = run_pytest_benchmarks(paths)
+    consolidated = consolidate(raw, args.label, wall, baseline)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    with open(args.output, "w") as fh:
+        json.dump(consolidated, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"\nconsolidated {len(consolidated['results'])} benchmarks -> {args.output}")
+    if "geomean_speedup_vs_baseline" in consolidated:
+        print(
+            f"geomean speedup vs {consolidated['baseline_label']}: "
+            f"{consolidated['geomean_speedup_vs_baseline']:.2f}x"
+        )
+    return returncode
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

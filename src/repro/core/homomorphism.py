@@ -4,13 +4,23 @@ Homomorphism existence between relational structures is the computational
 backbone of the paper: conjunctive-query evaluation, CSPs (``D -> B``),
 forbidden-pattern problems and obstruction sets all reduce to it.
 
-The search combines arc-consistency style pruning with backtracking on the
-smallest-candidate-set variable, which is ample for the laptop-scale
-structures used in the reproduction.
+The search maintains generalised arc consistency over the source facts and
+backtracks on the smallest-candidate-set element (MAC).  All support queries
+go through the target instance's per-relation / per-position indexes
+(:meth:`Instance.tuples_with`, :meth:`Instance.position_values`), so a
+propagation round touches only the tuples compatible with the current
+candidate sets instead of rescanning every tuple of every relation.
+
+:class:`HomomorphismSearch` packages the precomputed data (fact incidence,
+base candidate sets) for one (source, target) pair so that callers answering
+many queries against the same pair — e.g. the marked-template coCSP queries
+of Section 4.2, which re-solve with different fixed marks — pay the set-up
+cost once.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Hashable, Iterator, Mapping, Sequence
 
 from .instance import Fact, Instance, MarkedInstance
@@ -19,89 +29,179 @@ Element = Hashable
 PartialMap = Mapping[Element, Element]
 
 
-def _candidate_sets(
-    source: Instance,
-    target: Instance,
-    fixed: PartialMap,
-) -> dict[Element, set[Element]] | None:
-    """Initial per-element candidate sets; ``None`` when some set is empty."""
-    target_domain = set(target.active_domain)
-    candidates: dict[Element, set[Element]] = {}
-    for element in source.active_domain:
-        if element in fixed:
-            image = fixed[element]
-            candidates[element] = {image} if image in target_domain else set()
-        else:
-            candidates[element] = set(target_domain)
-        if not candidates[element]:
-            return None
-    # Unary pruning: an element must map to something satisfying all its
-    # unary facts, and more generally each fact constrains each position.
-    for fact in source:
-        tuples = target.tuples(fact.relation)
-        if not tuples:
-            return None
-        for position, element in enumerate(fact.arguments):
-            allowed = {t[position] for t in tuples}
-            candidates[element] &= allowed
-            if not candidates[element]:
-                return None
-    return candidates
+class HomomorphismSearch:
+    """Reusable indexed homomorphism search from ``source`` into ``target``.
 
+    Construction precomputes, per source element, the *base* candidate set
+    (the target elements surviving unary/positional pruning) and, per
+    element, the facts it occurs in (the incidence list driving propagation).
+    Each :meth:`solve` / :meth:`all` call then starts from the base sets,
+    which is what makes re-solving under different ``fixed`` maps cheap.
+    """
 
-def _propagate(
-    source: Instance,
-    target: Instance,
-    candidates: dict[Element, set[Element]],
-) -> bool:
-    """Generalised arc consistency over all source facts.  Returns False on wipe-out."""
-    changed = True
-    while changed:
-        changed = False
+    def __init__(self, source: Instance, target: Instance) -> None:
+        self.source = source
+        self.target = target
+        # Per fact: (relation, arguments, first occurrence position per argument).
+        # The first-occurrence tuple lets propagation enforce equality of
+        # repeated arguments with one comparison per position.
+        self._facts: list[tuple] = []
+        self._incidence: dict[Element, list[int]] = {
+            element: [] for element in source.active_domain
+        }
+        self._unsatisfiable = False
         for fact in source:
-            tuples = target.tuples(fact.relation)
-            args = fact.arguments
-            supported: list[set[Element]] = [set() for _ in args]
-            for candidate_tuple in tuples:
-                if all(
-                    candidate_tuple[i] in candidates[args[i]] for i in range(len(args))
-                ):
-                    for i in range(len(args)):
-                        supported[i].add(candidate_tuple[i])
-            for i, element in enumerate(args):
-                new = candidates[element] & supported[i]
-                if new != candidates[element]:
-                    candidates[element] = new
-                    changed = True
-                if not new:
+            index = len(self._facts)
+            arguments = fact.arguments
+            first = tuple(arguments.index(element) for element in arguments)
+            self._facts.append((fact.relation, arguments, first))
+            for element in set(arguments):
+                self._incidence[element].append(index)
+            if not target.tuples(fact.relation):
+                self._unsatisfiable = True
+        self._base: dict[Element, frozenset] = {}
+        if not self._unsatisfiable:
+            base: dict[Element, set] = {
+                element: set(target.active_domain)
+                for element in source.active_domain
+            }
+            for relation, arguments, _first in self._facts:
+                for position, element in enumerate(arguments):
+                    base[element] &= target.position_values(relation, position)
+                    if not base[element]:
+                        self._unsatisfiable = True
+            self._base = {element: frozenset(cands) for element, cands in base.items()}
+
+    # -- propagation -----------------------------------------------------------
+
+    def _supported_rows(
+        self, relation, arguments: tuple, candidates: dict[Element, set]
+    ) -> Iterator[tuple]:
+        """Target tuples of ``relation`` compatible with the candidate sets.
+
+        Enumerates via the position index of the most constrained argument
+        when that is cheaper than scanning the relation's full tuple set.
+        """
+        pivot = min(range(len(arguments)), key=lambda i: len(candidates[arguments[i]]))
+        pivot_candidates = candidates[arguments[pivot]]
+        all_rows = self.target.tuples(relation)
+        if len(pivot_candidates) < len(all_rows):
+            for value in pivot_candidates:
+                yield from self.target.tuples_with(relation, pivot, value)
+        else:
+            yield from all_rows
+
+    def _propagate(
+        self, candidates: dict[Element, set], queue: deque[int]
+    ) -> bool:
+        """Generalised arc consistency restricted to the queued facts.
+
+        Facts incident to any element whose candidate set shrinks are
+        re-queued; returns False on wipe-out.
+        """
+        queued = set(queue)
+        while queue:
+            index = queue.popleft()
+            queued.discard(index)
+            relation, arguments, first = self._facts[index]
+            if not arguments:
+                continue  # nullary facts were checked at construction
+            supported: dict[Element, set] = {
+                element: set() for element in set(arguments)
+            }
+            for row in self._supported_rows(relation, arguments, candidates):
+                consistent = True
+                for position, element in enumerate(arguments):
+                    # membership in the candidate set, and equality with the
+                    # first occurrence for repeated arguments
+                    if row[position] not in candidates[element] or (
+                        row[first[position]] != row[position]
+                    ):
+                        consistent = False
+                        break
+                if not consistent:
+                    continue
+                for position, element in enumerate(arguments):
+                    supported[element].add(row[position])
+            for element in set(arguments):
+                if candidates[element] <= supported[element]:
+                    continue
+                candidates[element] &= supported[element]
+                if not candidates[element]:
                     return False
-    return True
+                for affected in self._incidence[element]:
+                    if affected not in queued:
+                        queue.append(affected)
+                        queued.add(affected)
+        return True
 
+    # -- search ----------------------------------------------------------------
 
-def _search(
-    source: Instance,
-    target: Instance,
-    candidates: dict[Element, set[Element]],
-    find_all: bool,
-) -> Iterator[dict[Element, Element]]:
-    if not _propagate(source, target, candidates):
-        return
-    undecided = [e for e, cands in candidates.items() if len(cands) > 1]
-    if not undecided:
-        yield {e: next(iter(cands)) for e, cands in candidates.items()}
-        return
-    pivot = min(undecided, key=lambda e: len(candidates[e]))
-    for value in sorted(candidates[pivot], key=repr):
-        branch = {e: set(c) for e, c in candidates.items()}
-        branch[pivot] = {value}
-        yielded = False
-        for result in _search(source, target, branch, find_all):
-            yielded = True
-            yield result
-            if not find_all:
-                return
-        if yielded and not find_all:
+    def _initial_candidates(self, fixed: PartialMap) -> dict[Element, set] | None:
+        candidates: dict[Element, set] = {}
+        for element, base in self._base.items():
+            if element in fixed:
+                image = fixed[element]
+                narrowed = {image} if image in base else set()
+            else:
+                narrowed = set(base)
+            if not narrowed:
+                return None
+            candidates[element] = narrowed
+        return candidates
+
+    def _search(
+        self, candidates: dict[Element, set], queue: deque[int], find_all: bool
+    ) -> Iterator[dict[Element, Element]]:
+        if not self._propagate(candidates, queue):
             return
+        undecided = [e for e, cands in candidates.items() if len(cands) > 1]
+        if not undecided:
+            yield {e: next(iter(cands)) for e, cands in candidates.items()}
+            return
+        pivot = min(undecided, key=lambda e: len(candidates[e]))
+        for value in sorted(candidates[pivot], key=repr):
+            branch = {e: set(c) for e, c in candidates.items()}
+            branch[pivot] = {value}
+            for result in self._search(
+                branch, deque(self._incidence[pivot]), find_all
+            ):
+                yield result
+                if not find_all:
+                    return
+
+    def all(self, fixed: PartialMap | None = None) -> Iterator[dict[Element, Element]]:
+        """Enumerate all homomorphisms extending ``fixed``."""
+        # _unsatisfiable must win over the empty-domain shortcut: a source
+        # with only nullary facts has an empty active domain, yet the empty
+        # map is a homomorphism only when those facts hold in the target.
+        if self._unsatisfiable:
+            return
+        if not self.source.active_domain:
+            yield {}
+            return
+        candidates = self._initial_candidates(dict(fixed or {}))
+        if candidates is None:
+            return
+        yield from self._search(candidates, deque(range(len(self._facts))), True)
+
+    def solve(self, fixed: PartialMap | None = None) -> dict[Element, Element] | None:
+        """One homomorphism extending ``fixed``, or None."""
+        if self._unsatisfiable:
+            return None
+        if not self.source.active_domain:
+            return {}
+        candidates = self._initial_candidates(dict(fixed or {}))
+        if candidates is None:
+            return None
+        for result in self._search(
+            candidates, deque(range(len(self._facts))), False
+        ):
+            return result
+        return None
+
+    def exists(self, fixed: PartialMap | None = None) -> bool:
+        return self.solve(fixed) is not None
 
 
 def homomorphisms(
@@ -110,15 +210,7 @@ def homomorphisms(
     fixed: PartialMap | None = None,
 ) -> Iterator[dict[Element, Element]]:
     """Enumerate all homomorphisms from ``source`` to ``target`` extending ``fixed``."""
-    fixed = dict(fixed or {})
-    if not source.active_domain:
-        # The empty instance maps anywhere via the empty map.
-        yield {}
-        return
-    candidates = _candidate_sets(source, target, fixed)
-    if candidates is None:
-        return
-    yield from _search(source, target, candidates, find_all=True)
+    yield from HomomorphismSearch(source, target).all(fixed)
 
 
 def find_homomorphism(
@@ -127,15 +219,7 @@ def find_homomorphism(
     fixed: PartialMap | None = None,
 ) -> dict[Element, Element] | None:
     """One homomorphism from ``source`` to ``target`` extending ``fixed``, or None."""
-    fixed = dict(fixed or {})
-    if not source.active_domain:
-        return {}
-    candidates = _candidate_sets(source, target, fixed)
-    if candidates is None:
-        return None
-    for hom in _search(source, target, candidates, find_all=False):
-        return hom
-    return None
+    return HomomorphismSearch(source, target).solve(fixed)
 
 
 def has_homomorphism(
@@ -154,12 +238,23 @@ def marked_homomorphism_exists(
     """``(D, d) -> (B, b)``: a homomorphism mapping each mark to the matching mark."""
     if source.arity != target.arity:
         raise ValueError("marked instances must have the same arity")
-    fixed: dict[Element, Element] = {}
-    for src_mark, tgt_mark in zip(source.marks, target.marks):
-        if src_mark in fixed and fixed[src_mark] != tgt_mark:
-            return False
-        fixed[src_mark] = tgt_mark
+    fixed = marks_as_fixed_map(source.marks, target.marks)
+    if fixed is None:
+        return False
     return has_homomorphism(source.instance, target.instance, fixed)
+
+
+def marks_as_fixed_map(
+    source_marks: Sequence[Element], target_marks: Sequence[Element]
+) -> dict[Element, Element] | None:
+    """The fixed map sending each source mark to its target mark, or None when
+    a repeated source mark would need two distinct images."""
+    fixed: dict[Element, Element] = {}
+    for src_mark, tgt_mark in zip(source_marks, target_marks):
+        if src_mark in fixed and fixed[src_mark] != tgt_mark:
+            return None
+        fixed[src_mark] = tgt_mark
+    return fixed
 
 
 def homomorphically_equivalent(first: Instance, second: Instance) -> bool:

@@ -4,6 +4,21 @@ An *instance* over a schema ``S`` is a finite set of facts ``R(a1, ..., an)``
 with ``R`` in ``S`` and constants ``ai``.  The *active domain* ``adom(D)`` is
 the set of constants occurring in facts.  A *marked instance* additionally
 carries a tuple of distinguished active-domain elements (Section 4.2).
+
+Instances carry three lazily-built indexes that the evaluation engine
+(:mod:`repro.engine`) and the homomorphism search rely on:
+
+* *by relation* — relation symbol → set of argument tuples (``tuples``);
+* *by position* — (relation, position, constant) → matching tuples
+  (``tuples_with`` / ``position_values``);
+* *by constant* — constant → facts mentioning it (``facts_with_constant``).
+
+Each index is built once on first use and kept on the (immutable) instance,
+so repeated queries — the common case in grounding and backtracking search —
+cost a dictionary lookup instead of a scan over the fact set.
+:class:`InstanceBuilder` supports cheap incremental construction (e.g. the
+least-fixpoint loop of plain datalog) without re-deriving the domain and
+relation index from scratch on every ``with_facts`` round.
 """
 
 from __future__ import annotations
@@ -66,6 +81,10 @@ class Instance:
             domain.update(fact.arguments)
         self._adom = frozenset(domain)
         self._by_relation: dict[RelationSymbol, frozenset[tuple]] | None = None
+        self._by_position: (
+            dict[RelationSymbol, tuple[dict[Constant, frozenset[tuple]], ...]] | None
+        ) = None
+        self._by_constant: dict[Constant, frozenset[Fact]] | None = None
 
     # -- basic accessors -------------------------------------------------------
 
@@ -128,10 +147,80 @@ class Instance:
     def has_fact(self, relation: RelationSymbol, arguments: Sequence) -> bool:
         return Fact(relation, tuple(arguments)) in self._facts
 
+    def _resolve(self, relation: RelationSymbol | str) -> RelationSymbol | None:
+        if isinstance(relation, str):
+            return self._schema.get(relation)
+        return relation
+
+    def _position_index(
+        self, relation: RelationSymbol
+    ) -> tuple[dict[Constant, frozenset[tuple]], ...]:
+        if self._by_position is None:
+            self._by_position = {}
+        cached = self._by_position.get(relation)
+        if cached is None:
+            builders: tuple[dict[Constant, set[tuple]], ...] = tuple(
+                {} for _ in range(relation.arity)
+            )
+            for row in self.tuples(relation):
+                for position, value in enumerate(row):
+                    builders[position].setdefault(value, set()).add(row)
+            cached = tuple(
+                {value: frozenset(rows) for value, rows in builder.items()}
+                for builder in builders
+            )
+            self._by_position[relation] = cached
+        return cached
+
+    def tuples_with(
+        self, relation: RelationSymbol | str, position: int, value: Constant
+    ) -> frozenset[tuple]:
+        """All tuples of ``relation`` carrying ``value`` at ``position``."""
+        symbol = self._resolve(relation)
+        if symbol is None:
+            return frozenset()
+        return self._position_index(symbol)[position].get(value, frozenset())
+
+    def position_values(
+        self, relation: RelationSymbol | str, position: int
+    ) -> frozenset:
+        """The set of constants occurring at ``position`` of ``relation``."""
+        symbol = self._resolve(relation)
+        if symbol is None:
+            return frozenset()
+        return frozenset(self._position_index(symbol)[position])
+
     def facts_with_constant(self, constant: Constant) -> frozenset[Fact]:
-        return frozenset(f for f in self._facts if constant in f.arguments)
+        """All facts mentioning ``constant`` (served from the per-constant index)."""
+        if self._by_constant is None:
+            index: dict[Constant, set[Fact]] = {}
+            for fact in self._facts:
+                for argument in fact.arguments:
+                    index.setdefault(argument, set()).add(fact)
+            self._by_constant = {
+                value: frozenset(facts) for value, facts in index.items()
+            }
+        return self._by_constant.get(constant, frozenset())
 
     # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        facts: frozenset[Fact],
+        schema: Schema,
+        adom: frozenset,
+        by_relation: dict[RelationSymbol, frozenset[tuple]],
+    ) -> "Instance":
+        """Internal fast path for :class:`InstanceBuilder`: trust prebuilt parts."""
+        instance = cls.__new__(cls)
+        instance._facts = facts
+        instance._schema = schema
+        instance._adom = adom
+        instance._by_relation = by_relation
+        instance._by_position = None
+        instance._by_constant = None
+        return instance
 
     def with_facts(self, facts: Iterable[Fact]) -> "Instance":
         return Instance(self._facts | set(facts), schema=None)
@@ -192,6 +281,90 @@ class Instance:
                 row = tuple(row) if not isinstance(row, tuple) else row
                 facts.append(Fact(sym, row))
         return cls(facts, schema=schema)
+
+
+class InstanceBuilder:
+    """Incremental construction of instances.
+
+    The builder maintains the fact set, active domain and per-relation index
+    as facts are added, so freezing (:meth:`build`) does not rescan the facts.
+    Typical use is a fixpoint loop: seed from an instance, ``add`` facts per
+    round, and ``build`` the frozen instance once saturated.
+    """
+
+    def __init__(
+        self,
+        facts: Iterable[Fact] = (),
+        schema: Schema | None = None,
+    ) -> None:
+        self._facts: set[Fact] = set()
+        self._domain: set[Constant] = set()
+        self._by_relation: dict[RelationSymbol, set[tuple]] = {}
+        self._declared_schema = schema
+        self.add_all(facts)
+
+    @classmethod
+    def from_instance(cls, instance: Instance) -> "InstanceBuilder":
+        builder = cls(schema=None)
+        builder._facts = set(instance.facts)
+        builder._domain = set(instance.active_domain)
+        for relation in {fact.relation for fact in builder._facts}:
+            builder._by_relation[relation] = set(instance.tuples(relation))
+        builder._declared_schema = instance.schema
+        return builder
+
+    def add(self, fact: Fact) -> bool:
+        """Add one fact; returns True if it was new."""
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._domain.update(fact.arguments)
+        self._by_relation.setdefault(fact.relation, set()).add(fact.arguments)
+        return True
+
+    def add_all(self, facts: Iterable[Fact]) -> int:
+        """Add facts; returns how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    def add_tuple(self, relation: RelationSymbol, arguments: Sequence) -> bool:
+        return self.add(Fact(relation, tuple(arguments)))
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def contains_tuple(self, relation: RelationSymbol, arguments: tuple) -> bool:
+        return arguments in self._by_relation.get(relation, ())
+
+    def tuples(self, relation: RelationSymbol) -> frozenset[tuple]:
+        # a snapshot, not the live index: mutating it must not corrupt the builder
+        return frozenset(self._by_relation.get(relation, ()))
+
+    @property
+    def active_domain(self) -> set:
+        return self._domain
+
+    def build(self) -> Instance:
+        """Freeze into an :class:`Instance` without rescanning the facts.
+
+        The schema is the declared schema (if any) grown by the symbols of
+        the added facts — the builder mirrors ``Instance.with_facts``, which
+        likewise re-infers symbols rather than rejecting new ones.  A name
+        used with two arities still raises.
+        """
+        used = Schema(self._by_relation)
+        if self._declared_schema is not None:
+            schema = self._declared_schema.union(used)
+        else:
+            schema = used
+        return Instance._from_parts(
+            frozenset(self._facts),
+            schema,
+            frozenset(self._domain),
+            {rel: frozenset(rows) for rel, rows in self._by_relation.items()},
+        )
 
 
 @dataclass(frozen=True)

@@ -21,7 +21,7 @@ arc consistency, which handles the small templates the paper's examples use.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Hashable, Iterable, Mapping, Sequence
+from typing import Hashable, Iterable, Mapping
 
 from ..core.instance import Instance
 

@@ -14,14 +14,16 @@ The paper's query-language view flips this around:
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 from ..core.homomorphism import (
+    HomomorphismSearch,
     find_homomorphism,
     has_homomorphism,
-    homomorphically_incomparable,
     marked_homomorphism_exists,
+    marks_as_fixed_map,
 )
 from ..core.instance import Instance, MarkedInstance
 from ..core.schema import Schema
@@ -119,12 +121,28 @@ class MarkedCoCspQuery:
         )
 
     def evaluate(self, data: Instance) -> frozenset[tuple]:
-        import itertools
+        """All tuples ``d`` with ``(D, d)`` mapping to no template.
 
+        One :class:`HomomorphismSearch` is built per template and re-solved
+        with each mark tuple as the fixed map, so the per-template candidate
+        pruning is shared across all ``|adom|^arity`` queries instead of
+        being recomputed per tuple (the engine-sharing pattern of
+        Theorem 4.6's certain-answer procedure).
+        """
         domain = sorted(data.active_domain, key=repr)
+        searches = [
+            (HomomorphismSearch(data, template.instance), template.marks)
+            for template in self.templates
+        ]
         answers = set()
         for marks in itertools.product(domain, repeat=self._arity):
-            if not self.admits(data, marks):
+            admitted = False
+            for search, template_marks in searches:
+                fixed = marks_as_fixed_map(marks, template_marks)
+                if fixed is not None and search.exists(fixed):
+                    admitted = True
+                    break
+            if not admitted:
                 answers.add(marks)
         return frozenset(answers)
 

@@ -3,9 +3,14 @@
 ``qΠ(D)`` consists of the tuples ``a`` over ``adom(D)`` such that ``goal(a)``
 holds in *every* model of Π extending ``D`` (Section 3).  Because the
 programs are negation-free it suffices to consider models whose domain is
-``adom(D)``; the evaluator therefore grounds the program over the active
-domain and decides, per candidate tuple, the satisfiability of the ground
-clauses together with ``¬goal(a)`` using a small DPLL-style solver.
+``adom(D)``; the evaluator grounds the program over the active domain —
+exactly once per (program, instance) pair, via the join-planned grounder of
+:mod:`repro.engine.grounder` — and decides every candidate tuple against one
+persistent assumption-based solver (:mod:`repro.engine.sat`).
+
+:func:`models` and :func:`_dpll` are intentionally naive reference
+implementations of the textbook semantics; the randomized cross-validation
+suite checks the engine against them.
 """
 
 from __future__ import annotations
@@ -13,27 +18,28 @@ from __future__ import annotations
 import itertools
 from typing import Hashable, Iterable, Iterator, Sequence
 
-from ..core.cq import Atom, Variable
 from ..core.instance import Fact, Instance
-from ..core.schema import RelationSymbol
-from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
+from ..engine.grounder import (
+    Clause,
+    GroundAtom,
+    instantiate_atom as _ground_atom,
+    ground_program,
+)
+from ..engine.sat import solver_for_clauses
+from .ddlog import ADOM, DisjunctiveDatalogProgram
+
+__all__ = [
+    "Clause",
+    "GroundAtom",
+    "evaluate",
+    "evaluate_boolean",
+    "ground_clauses",
+    "has_model_avoiding",
+    "holds",
+    "models",
+]
 
 Element = Hashable
-GroundAtom = tuple  # (RelationSymbol, argument tuple)
-Clause = tuple[frozenset, frozenset]  # (negative ground atoms, positive ground atoms)
-
-
-def _ground_atom(atom: Atom, assignment: dict[Variable, Element]) -> GroundAtom:
-    arguments = tuple(
-        assignment[arg] if isinstance(arg, Variable) else arg for arg in atom.arguments
-    )
-    return (atom.relation, arguments)
-
-
-def _edb_lookup(instance: Instance, relation: RelationSymbol, arguments: tuple) -> bool:
-    if relation.name == ADOM:
-        return arguments[0] in instance.active_domain
-    return arguments in instance.tuples(relation)
 
 
 def ground_clauses(
@@ -44,98 +50,67 @@ def ground_clauses(
     Each returned clause is a pair (negative IDB atoms, positive IDB atoms);
     it is satisfied if some negative atom is false or some positive atom is
     true.  Rules whose EDB body part is not matched by the data produce no
-    clause; EDB head atoms cannot occur (heads are IDB by definition).
+    clause; the clause set is deduplicated and subsumption-reduced.
     """
-    domain = sorted(instance.active_domain, key=repr)
-    edb = program.edb_relations
-    idb_names = {sym.name for sym in program.idb_relations}
-    clauses: list[Clause] = []
-    for rule in program.rules:
-        variables = sorted(rule.variables, key=str)
-        # Seed candidate bindings from EDB atoms to avoid the full cartesian
-        # product whenever possible.
-        for assignment in _rule_assignments(rule, variables, domain, instance, edb):
-            negative: set[GroundAtom] = set()
-            positive: set[GroundAtom] = set()
-            satisfied = False
-            for atom in rule.body:
-                ground = _ground_atom(atom, assignment)
-                relation, arguments = ground
-                if relation in edb or (
-                    relation.name not in idb_names and relation.name != ADOM
-                ):
-                    if not _edb_lookup(instance, relation, arguments):
-                        satisfied = True
-                        break
-                elif relation.name == ADOM:
-                    if arguments[0] not in instance.active_domain:
-                        satisfied = True
-                        break
-                else:
-                    negative.add(ground)
-            if satisfied:
-                continue
-            for atom in rule.head:
-                positive.add(_ground_atom(atom, assignment))
-            clauses.append((frozenset(negative), frozenset(positive)))
-    return clauses
+    return ground_program(program, instance).clauses
 
 
-def _rule_assignments(
-    rule: Rule,
-    variables: Sequence[Variable],
-    domain: Sequence[Element],
+def has_model_avoiding(
+    program: DisjunctiveDatalogProgram,
     instance: Instance,
-    edb: frozenset[RelationSymbol],
-) -> Iterator[dict[Variable, Element]]:
-    """Enumerate variable assignments consistent with the EDB part of the body."""
-    if not variables:
-        yield {}
-        return
-    edb_atoms = [a for a in rule.body if a.relation in edb]
-    other_variables = set(variables)
-    partial_maps: list[dict[Variable, Element]] = [{}]
-    for atom in edb_atoms:
-        tuples = instance.tuples(atom.relation)
-        extended: list[dict[Variable, Element]] = []
-        for partial in partial_maps:
-            for row in tuples:
-                candidate = dict(partial)
-                ok = True
-                for term, value in zip(atom.arguments, row):
-                    if isinstance(term, Variable):
-                        if term in candidate and candidate[term] != value:
-                            ok = False
-                            break
-                        candidate[term] = value
-                    elif term != value:
-                        ok = False
-                        break
-                if ok:
-                    extended.append(candidate)
-        partial_maps = extended
-        if not partial_maps:
-            return
-    bound = set().union(*(set(p) for p in partial_maps)) if partial_maps else set()
-    free = sorted(other_variables - bound, key=str)
-    seen: set[tuple] = set()
-    for partial in partial_maps:
-        key = tuple(sorted(((v.name, partial[v]) for v in partial), key=repr))
-        if key in seen:
-            continue
-        seen.add(key)
-        for values in itertools.product(domain, repeat=len(free)):
-            assignment = dict(partial)
-            assignment.update(zip(free, values))
-            yield assignment
+    avoided_goal_tuples: Iterable[tuple],
+    clauses: list[Clause] | None = None,
+) -> bool:
+    """Is there a model of the program extending ``instance`` in which none of the
+    given goal tuples holds?"""
+    if clauses is None:
+        return ground_program(program, instance).has_model_avoiding(
+            avoided_goal_tuples
+        )
+    solver = solver_for_clauses(clauses)
+    goal = program.goal_relation
+    return solver.solve(
+        false_atoms=[(goal, tuple(args)) for args in avoided_goal_tuples]
+    )
+
+
+def evaluate(
+    program: DisjunctiveDatalogProgram, instance: Instance
+) -> frozenset[tuple]:
+    """The certain answers ``qΠ(D)`` of a DDlog program on an instance.
+
+    Grounds once, then decides all ``domain ** arity`` candidates against the
+    ground program's persistent solver.
+    """
+    return ground_program(program, instance).certain_answers()
+
+
+def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:
+    """Evaluate a Boolean (0-ary) program: ``qΠ(D) = 1``?"""
+    if program.arity != 0:
+        raise ValueError("program is not Boolean")
+    if not instance.active_domain:
+        return False
+    return ground_program(program, instance).holds(())
+
+
+def holds(
+    program: DisjunctiveDatalogProgram, instance: Instance, answer: Sequence = ()
+) -> bool:
+    """Does the tuple ``answer`` belong to ``qΠ(D)``?"""
+    return ground_program(program, instance).holds(answer)
+
+
+# ---------------------------------------------------------------------------
+# Naive reference implementations (kept for cross-validation)
+# ---------------------------------------------------------------------------
 
 
 def _dpll(clauses: list[Clause], forced_false: set[GroundAtom]) -> bool:
-    """Satisfiability of the ground clause set with the given atoms forced false.
+    """Reference satisfiability check by restart-free recursive DPLL.
 
-    An interpretation assigns true/false to ground IDB atoms; a clause
-    ``(neg, pos)`` is satisfied if some atom of ``neg`` is false or some atom of
-    ``pos`` is true.  Returns True iff a satisfying interpretation exists.
+    Kept as an independent implementation for the cross-validation tests;
+    the engine's watched-literal solver replaces it on all evaluation paths.
     """
     true_atoms: set[GroundAtom] = set()
     false_atoms: set[GroundAtom] = set(forced_false)
@@ -178,8 +153,6 @@ def _dpll(clauses: list[Clause], forced_false: set[GroundAtom]) -> bool:
             return False
         if not simplified:
             return True
-        # Branch on an arbitrary undecided atom; prefer making atoms false,
-        # which heads towards minimal models.
         negative, positive = simplified[0]
         atom = next(iter(positive)) if positive else next(iter(negative))
         saved_true, saved_false = set(true_atoms), set(false_atoms)
@@ -194,53 +167,6 @@ def _dpll(clauses: list[Clause], forced_false: set[GroundAtom]) -> bool:
         return False
 
     return solve(clauses)
-
-
-def has_model_avoiding(
-    program: DisjunctiveDatalogProgram,
-    instance: Instance,
-    avoided_goal_tuples: Iterable[tuple],
-    clauses: list[Clause] | None = None,
-) -> bool:
-    """Is there a model of the program extending ``instance`` in which none of the
-    given goal tuples holds?"""
-    if clauses is None:
-        clauses = ground_clauses(program, instance)
-    forced_false = {
-        (program.goal_relation, tuple(args)) for args in avoided_goal_tuples
-    }
-    return _dpll(list(clauses), forced_false)
-
-
-def evaluate(
-    program: DisjunctiveDatalogProgram, instance: Instance
-) -> frozenset[tuple]:
-    """The certain answers ``qΠ(D)`` of a DDlog program on an instance."""
-    domain = sorted(instance.active_domain, key=repr)
-    clauses = ground_clauses(program, instance)
-    answers: set[tuple] = set()
-    for candidate in itertools.product(domain, repeat=program.arity):
-        if not has_model_avoiding(program, instance, [candidate], clauses):
-            answers.add(candidate)
-    return frozenset(answers)
-
-
-def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:
-    """Evaluate a Boolean (0-ary) program: ``qΠ(D) = 1``?"""
-    if program.arity != 0:
-        raise ValueError("program is not Boolean")
-    if not instance.active_domain:
-        return False
-    clauses = ground_clauses(program, instance)
-    return not has_model_avoiding(program, instance, [()], clauses)
-
-
-def holds(
-    program: DisjunctiveDatalogProgram, instance: Instance, answer: Sequence = ()
-) -> bool:
-    """Does the tuple ``answer`` belong to ``qΠ(D)``?"""
-    clauses = ground_clauses(program, instance)
-    return not has_model_avoiding(program, instance, [tuple(answer)], clauses)
 
 
 def models(

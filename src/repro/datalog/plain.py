@@ -8,12 +8,12 @@ the datalog-rewritability experiments executable.
 
 from __future__ import annotations
 
-import itertools
 from typing import Hashable, Sequence
 
 from ..core.cq import Atom, Variable
-from ..core.instance import Fact, Instance
+from ..core.instance import Fact, Instance, InstanceBuilder
 from ..core.schema import RelationSymbol
+from ..engine.joins import join_assignments
 from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
 
 Element = Hashable
@@ -34,30 +34,32 @@ class DatalogProgram(DisjunctiveDatalogProgram):
     # -- evaluation --------------------------------------------------------------
 
     def least_fixpoint(self, instance: Instance) -> Instance:
-        """The minimal model of the program extending the instance."""
-        adom_facts = [
+        """The minimal model of the program extending the instance.
+
+        Rounds run the join-planned body matcher of the engine against the
+        current instance; facts accumulate in an :class:`InstanceBuilder`,
+        whose freeze skips re-deriving the active domain and per-relation
+        index from scratch (the fact set itself is still copied per round).
+        """
+        builder = InstanceBuilder.from_instance(instance)
+        builder.add_all(
             Fact(RelationSymbol(ADOM, 1), (element,))
             for element in instance.active_domain
-        ]
-        current = instance.with_facts(adom_facts)
+        )
         changed = True
         while changed:
+            current = builder.build()
             changed = False
-            new_facts: set[Fact] = set()
             for rule in self.rules:
+                head_atom = rule.head[0]
                 for assignment in _body_matches(rule, current):
-                    head_atom = rule.head[0]
                     arguments = tuple(
                         assignment[a] if isinstance(a, Variable) else a
                         for a in head_atom.arguments
                     )
-                    fact = Fact(head_atom.relation, arguments)
-                    if fact not in current:
-                        new_facts.add(fact)
-            if new_facts:
-                current = current.with_facts(new_facts)
-                changed = True
-        return current
+                    if builder.add(Fact(head_atom.relation, arguments)):
+                        changed = True
+        return builder.build()
 
     def evaluate(self, instance: Instance) -> frozenset[tuple]:
         """The answers of the datalog query: goal facts in the least fixpoint."""
@@ -74,36 +76,12 @@ class DatalogProgram(DisjunctiveDatalogProgram):
 
 
 def _body_matches(rule: Rule, instance: Instance):
-    """Enumerate assignments of body variables satisfying the body in ``instance``."""
-    atoms = sorted(rule.body, key=lambda a: len(instance.tuples(a.relation)))
-    variables = sorted(rule.variables, key=str)
+    """Enumerate assignments of body variables satisfying the body in ``instance``.
 
-    def extend(index: int, assignment: dict):
-        if index == len(atoms):
-            if all(v in assignment for v in variables):
-                yield dict(assignment)
-            else:
-                # variables occurring only in the head are not allowed by Rule,
-                # so every variable is already bound here.
-                yield dict(assignment)
-            return
-        atom = atoms[index]
-        for row in instance.tuples(atom.relation):
-            candidate = dict(assignment)
-            consistent = True
-            for term, value in zip(atom.arguments, row):
-                if isinstance(term, Variable):
-                    if term in candidate and candidate[term] != value:
-                        consistent = False
-                        break
-                    candidate[term] = value
-                elif term != value:
-                    consistent = False
-                    break
-            if consistent:
-                yield from extend(index + 1, candidate)
-
-    yield from extend(0, {})
+    Rule safety guarantees every rule variable occurs in the body, so the
+    engine's selectivity-ordered join binds them all.
+    """
+    yield from join_assignments(rule.body, instance)
 
 
 def conjoin_datalog_queries(

@@ -23,7 +23,6 @@ from ..fo.formulas import (
     Implies,
     NotF,
     OrF,
-    RelationalAtom,
     Truth,
     atom,
     conjunction,

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from ..core.schema import RelationSymbol, Schema
-from .concepts import Concept, ConceptName, Role, Top, is_in_nnf
+from .concepts import Concept, Role, Top, is_in_nnf
 
 
 class Axiom:

@@ -1,0 +1,216 @@
+"""Join-planned grounding of disjunctive datalog programs.
+
+:func:`ground_program` grounds a program over ``adom(D)`` exactly once into
+a :class:`GroundProgram`: per rule, the EDB body atoms are satisfied by a
+selectivity-ordered join (:mod:`repro.engine.joins`) instead of a cartesian
+enumeration, remaining variables range over the active domain, and the
+resulting clauses are deduplicated and subsumption-reduced before solving.
+The ground clause set is then loaded once into a persistent
+:class:`~repro.engine.sat.ClauseSolver`, and every certain-answer query —
+one per candidate tuple — is an assumption-literal ``solve`` against that
+shared state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Instance
+from .joins import canonical_key, join_assignments
+from .sat import Clause, ClauseSolver, solver_for_clauses
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..datalog.ddlog import DisjunctiveDatalogProgram, Rule
+
+Element = Hashable
+GroundAtom = tuple  # (RelationSymbol, argument tuple)
+
+# Above this many clauses the quadratic-ish subsumption pass is skipped
+# (plain deduplication always runs).
+_SUBSUMPTION_LIMIT = 20_000
+
+
+def instantiate_atom(atom: Atom, assignment: dict[Variable, Element]) -> GroundAtom:
+    """Ground an atom under a variable assignment into a ``GroundAtom``."""
+    arguments = tuple(
+        assignment[a] if isinstance(a, Variable) else a for a in atom.arguments
+    )
+    return (atom.relation, arguments)
+
+
+def _split_body(
+    rule: Rule, idb_names: frozenset[str], adom_name: str
+) -> tuple[list[Atom], list[Atom], list[Atom]]:
+    """Partition a rule body into (EDB atoms, adom atoms, IDB atoms)."""
+    edb_atoms: list[Atom] = []
+    adom_atoms: list[Atom] = []
+    idb_atoms: list[Atom] = []
+    for atom in rule.body:
+        name = atom.relation.name
+        if name == adom_name:
+            adom_atoms.append(atom)
+        elif name in idb_names:
+            idb_atoms.append(atom)
+        else:
+            edb_atoms.append(atom)
+    return edb_atoms, adom_atoms, idb_atoms
+
+
+def _rule_clauses(
+    rule: Rule,
+    instance: Instance,
+    idb_names: frozenset[str],
+    adom_name: str,
+    domain: Sequence[Element],
+) -> Iterator[Clause]:
+    edb_atoms, adom_atoms, idb_atoms = _split_body(rule, idb_names, adom_name)
+    # Constant adom atoms are static guards; variable ones are subsumed by the
+    # free-variable enumeration over the domain below.
+    domain_set = instance.active_domain
+    for atom in adom_atoms:
+        term = atom.arguments[0]
+        if not isinstance(term, Variable) and term not in domain_set:
+            return
+    free = sorted(
+        {v for v in rule.variables if not any(v in a.variables for a in edb_atoms)},
+        key=str,
+    )
+    seen_partials: set[tuple] = set()
+    for partial in join_assignments(edb_atoms, instance):
+        # Canonical (variable name, value) dedup key — never repr-based, so
+        # distinct constants with identical reprs cannot collide.
+        key = canonical_key(partial)
+        if key in seen_partials:
+            continue
+        seen_partials.add(key)
+        for values in itertools.product(domain, repeat=len(free)):
+            assignment = dict(partial)
+            assignment.update(zip(free, values))
+            negative = frozenset(instantiate_atom(a, assignment) for a in idb_atoms)
+            positive = frozenset(instantiate_atom(a, assignment) for a in rule.head)
+            yield (negative, positive)
+
+
+def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
+    """Drop duplicate, tautological and subsumed clauses.
+
+    A clause ``C`` subsumes ``C'`` when its literals are a subset of ``C'``'s
+    (in which case ``C'`` is redundant).  Clauses are processed smallest
+    first, and candidate subsumers are located through per-literal occurrence
+    lists, so the pass is near-linear on typical ground programs; beyond
+    ``_SUBSUMPTION_LIMIT`` clauses only exact deduplication runs.
+    """
+    unique: list[Clause] = []
+    seen: set[Clause] = set()
+    for clause in clauses:
+        negative, positive = clause
+        if negative & positive:
+            continue  # tautology: some atom both required true and made true
+        if clause not in seen:
+            seen.add(clause)
+            unique.append(clause)
+    if len(unique) > _SUBSUMPTION_LIMIT:
+        return unique
+    unique.sort(key=lambda c: len(c[0]) + len(c[1]))
+    kept: list[Clause] = []
+    occurrences: dict[tuple, list[int]] = {}
+    for clause in unique:
+        negative, positive = clause
+        literals = [(atom, False) for atom in negative] + [
+            (atom, True) for atom in positive
+        ]
+        subsumed = False
+        for literal in literals:
+            for index in occurrences.get(literal, ()):
+                other_negative, other_positive = kept[index]
+                if other_negative <= negative and other_positive <= positive:
+                    subsumed = True
+                    break
+            if subsumed:
+                break
+        if subsumed:
+            continue
+        index = len(kept)
+        kept.append(clause)
+        for literal in literals:
+            occurrences.setdefault(literal, []).append(index)
+    return kept
+
+
+class GroundProgram:
+    """A program grounded once over an instance, with a persistent solver."""
+
+    def __init__(
+        self,
+        program: DisjunctiveDatalogProgram,
+        instance: Instance,
+        clauses: list[Clause],
+    ) -> None:
+        self.program = program
+        self.instance = instance
+        self.clauses = clauses
+        self._solver: ClauseSolver | None = None
+
+    @property
+    def solver(self) -> ClauseSolver:
+        if self._solver is None:
+            self._solver = solver_for_clauses(self.clauses)
+        return self._solver
+
+    # -- queries ---------------------------------------------------------------
+
+    def _goal_atoms(self, goal_tuples: Iterable[tuple]) -> list[GroundAtom]:
+        goal = self.program.goal_relation
+        return [(goal, tuple(args)) for args in goal_tuples]
+
+    def has_model_avoiding(self, goal_tuples: Iterable[tuple]) -> bool:
+        """Is there a model of the program extending the instance in which
+        none of the given goal tuples holds?"""
+        return self.solver.solve(false_atoms=self._goal_atoms(goal_tuples))
+
+    def holds(self, answer: Sequence = ()) -> bool:
+        return not self.has_model_avoiding([tuple(answer)])
+
+    def certain_answers(self) -> frozenset[tuple]:
+        """All certain answers, deciding each candidate incrementally.
+
+        The first (assumption-free) model is reused to screen candidates: a
+        goal atom already false in it has a counter-model and needs no second
+        solver call.  With the solver's false-first phase this dismisses most
+        non-answers with a single search.
+        """
+        domain = sorted(self.instance.active_domain, key=repr)
+        arity = self.program.arity
+        candidates = itertools.product(domain, repeat=arity)
+        solver = self.solver
+        if not solver.solve():
+            # No model at all: every tuple is (vacuously) certain.
+            return frozenset(candidates)
+        model = solver.last_model
+        goal = self.program.goal_relation
+        answers: set[tuple] = set()
+        for candidate in candidates:
+            atom = (goal, candidate)
+            if not model.get(atom, False):
+                continue
+            if not solver.solve(false_atoms=[atom]):
+                answers.add(candidate)
+        return frozenset(answers)
+
+
+def ground_program(
+    program: DisjunctiveDatalogProgram, instance: Instance
+) -> GroundProgram:
+    """Ground the program over ``adom(D)`` (once) into a :class:`GroundProgram`."""
+    from ..datalog.ddlog import ADOM, GOAL
+
+    domain = sorted(instance.active_domain, key=repr)
+    idb_names = frozenset(
+        {sym.name for sym in program.idb_relations} | {GOAL}
+    ) - {ADOM}
+    clauses: list[Clause] = []
+    for rule in program.rules:
+        clauses.extend(_rule_clauses(rule, instance, idb_names, ADOM, domain))
+    return GroundProgram(program, instance, _dedupe_and_subsume(clauses))

@@ -1,0 +1,162 @@
+"""Greedy selectivity-ordered join planning over indexed instances.
+
+Grounding a datalog rule means enumerating the variable assignments that
+satisfy its EDB body atoms.  The seed implementation seeded bindings from
+EDB atoms in syntactic order and then ran ``itertools.product`` over
+``domain ** len(free)`` — near-cartesian whenever atoms were ordered badly.
+This module binds variables atom-by-atom instead:
+
+* :func:`order_atoms` picks a greedy join order, at each step choosing the
+  atom with the smallest estimated number of matching rows given the
+  variables already bound (estimates come from the instance's per-relation
+  and per-position index sizes);
+* :func:`matching_rows` enumerates the rows compatible with a partial
+  assignment through the position index of the most selective bound
+  argument, instead of scanning the relation;
+* :func:`join_assignments` composes the two into a depth-first join.
+
+Assignments are deduplicated by their canonical ``(variable name, value)``
+pair sequence (sorted by variable name), never by ``repr`` — distinct
+constants with identical reprs stay distinct.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Instance
+
+Element = Hashable
+Assignment = dict[Variable, Element]
+
+
+def canonical_key(assignment: Mapping[Variable, Element]) -> tuple:
+    """A canonical dedup key: (name, value) pairs sorted by variable name.
+
+    Variable names are unique within an assignment, so the sort never
+    compares the (arbitrary, possibly unorderable) values, and the key is
+    equal exactly for equal assignments.
+    """
+    return tuple(
+        sorted(((v.name, value) for v, value in assignment.items()), key=lambda p: p[0])
+    )
+
+
+def _estimated_rows(atom: Atom, bound: set[Variable], instance: Instance) -> float:
+    """Estimate how many rows of ``atom`` match once ``bound`` variables have values.
+
+    With no bound position this is the relation's cardinality; with bound
+    positions it is the smallest average index-bucket size over them
+    (cardinality divided by the number of distinct values at the position).
+    Constants count as bound positions.
+    """
+    total = len(instance.tuples(atom.relation))
+    if total == 0:
+        return 0.0
+    best = float(total)
+    for position, term in enumerate(atom.arguments):
+        if isinstance(term, Variable):
+            if term not in bound:
+                continue
+            distinct = len(instance.position_values(atom.relation, position))
+            if distinct:
+                best = min(best, total / distinct)
+        else:
+            # constants give an exact bucket size
+            best = min(best, float(len(instance.tuples_with(atom.relation, position, term))))
+    return best
+
+
+def order_atoms(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    bound: Iterable[Variable] = (),
+) -> list[Atom]:
+    """Greedy join order: repeatedly take the cheapest atom given bound variables."""
+    remaining = list(atoms)
+    bound_now: set[Variable] = set(bound)
+    ordered: list[Atom] = []
+    while remaining:
+        best = min(
+            range(len(remaining)),
+            key=lambda i: _estimated_rows(remaining[i], bound_now, instance),
+        )
+        atom = remaining.pop(best)
+        ordered.append(atom)
+        bound_now.update(atom.variables)
+    return ordered
+
+
+def matching_rows(
+    atom: Atom, instance: Instance, assignment: Mapping[Variable, Element]
+) -> Iterator[tuple]:
+    """Rows of ``atom``'s relation compatible with the partial assignment.
+
+    Uses the position index of the most selective bound argument (constant or
+    already-bound variable) when one exists; callers still re-check every
+    position via :func:`extend_assignment`.
+    """
+    best_rows = None
+    for position, term in enumerate(atom.arguments):
+        if isinstance(term, Variable):
+            if term not in assignment:
+                continue
+            value = assignment[term]
+        else:
+            value = term
+        rows = instance.tuples_with(atom.relation, position, value)
+        if best_rows is None or len(rows) < len(best_rows):
+            best_rows = rows
+            if not best_rows:
+                break
+    if best_rows is None:
+        best_rows = instance.tuples(atom.relation)
+    return iter(best_rows)
+
+
+def extend_assignment(
+    atom: Atom, row: tuple, assignment: Mapping[Variable, Element]
+) -> Assignment | None:
+    """Extend the assignment so that ``atom`` maps onto ``row``; None on clash."""
+    extended = dict(assignment)
+    for term, value in zip(atom.arguments, row):
+        if isinstance(term, Variable):
+            existing = extended.get(term, _MISSING)
+            if existing is _MISSING:
+                extended[term] = value
+            elif existing != value:
+                return None
+        elif term != value:
+            return None
+    return extended
+
+
+_MISSING = object()
+
+
+def join_assignments(
+    atoms: Sequence[Atom],
+    instance: Instance,
+    initial: Mapping[Variable, Element] | None = None,
+) -> Iterator[Assignment]:
+    """All assignments of the atoms' variables satisfied by the instance.
+
+    The atoms are joined depth-first in greedy selectivity order; every
+    yielded assignment binds exactly the variables of ``atoms`` plus those of
+    ``initial``.
+    """
+    seed: Assignment = dict(initial or {})
+    ordered = order_atoms(atoms, instance, bound=seed)
+
+    def walk(index: int, assignment: Assignment) -> Iterator[Assignment]:
+        if index == len(ordered):
+            yield assignment
+            return
+        atom = ordered[index]
+        for row in matching_rows(atom, instance, assignment):
+            extended = extend_assignment(atom, row, assignment)
+            if extended is not None:
+                yield from walk(index + 1, extended)
+
+    yield from walk(0, seed)

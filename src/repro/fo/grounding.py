@@ -4,10 +4,14 @@ Certain-answer semantics quantifies over *all* models of the ontology that
 extend the data.  Over a fixed finite domain this becomes a propositional
 problem: ground every quantifier over the domain, treat ground facts as
 propositional variables, and search for a truth assignment satisfying the
-ontology, the data, and the negation of the query.  The resulting solver is
-the engine behind :class:`repro.omq.bounded.BoundedModelEngine` and the
-first-order OMQs of Theorem 3.17 — a genuinely usable counter-model finder,
-unlike naive enumeration of all fact subsets.
+ontology, the data, and the negation of the query.  This is the machinery
+behind :class:`repro.omq.bounded.BoundedModelEngine` and the first-order
+OMQs of Theorem 3.17 — a genuinely usable counter-model finder, unlike naive
+enumeration of all fact subsets.
+
+The ground formulas (always in negation normal form) are Tseitin-encoded and
+handed to the shared CDCL solver of :mod:`repro.engine.sat`, replacing the
+formula-substitution backtracking search the seed implementation used.
 
 Ground formulas are plain nested tuples:
 
@@ -21,7 +25,7 @@ from __future__ import annotations
 import itertools
 from typing import Hashable, Iterable, Mapping, Sequence
 
-from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
+from ..core.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
 from ..core.instance import Fact, Instance
 from .formulas import (
     AndF,
@@ -178,104 +182,37 @@ def _substitute(formula: GroundFormula, assignment: Mapping[Fact, bool]) -> Grou
     return _simplify_junction(kind, children)
 
 
-def _node_count(formula: GroundFormula) -> int:
-    if isinstance(formula, bool):
-        return 1
-    if formula[0] == "lit":
-        return 1
-    return 1 + sum(_node_count(child) for child in formula[1])
-
-
-def _first_literal(formula: GroundFormula):
-    if isinstance(formula, bool):
-        return None
-    if formula[0] == "lit":
-        return formula[1], formula[2]
-    for child in formula[1]:
-        found = _first_literal(child)
-        if found is not None:
-            return found
-    return None
-
-
-def _pick_literal(formula: GroundFormula):
-    """Choose a branching literal and the polarity to try first.
-
-    The search focuses on the smallest unresolved conjunct of the root
-    conjunction and tries the polarity that satisfies the literal's own
-    occurrence there, which steers the search towards satisfying one
-    constraint at a time instead of wandering through irrelevant facts.
-    """
-    if isinstance(formula, bool):
-        return None
-    if formula[0] == "lit":
-        return formula[1], formula[2]
-    if formula[0] == "and":
-        target = min(
-            (child for child in formula[1] if not isinstance(child, bool)),
-            key=_node_count,
-            default=None,
-        )
-        if target is None:
-            return None
-        return _pick_literal(target)
-    return _first_literal(formula)
-
-
-def _unit_literals(formula: GroundFormula) -> dict[Fact, bool]:
-    """Literals forced by a top-level conjunction (a light unit-propagation step)."""
-    units: dict[Fact, bool] = {}
-    if isinstance(formula, tuple) and formula[0] == "and":
-        children = formula[1]
-    else:
-        children = (formula,)
-    for child in children:
-        if isinstance(child, tuple) and child[0] == "lit":
-            _tag, fact, positive = child
-            if fact in units and units[fact] != positive:
-                return {}
-            units[fact] = positive
-    return units
-
-
 def satisfying_assignment(
     constraints: Iterable[GroundFormula],
     forced: Mapping[Fact, bool] | None = None,
 ) -> dict[Fact, bool] | None:
     """A truth assignment over ground facts satisfying every constraint, or None.
 
-    Facts not mentioned by the returned assignment are "don't care"; callers
-    that need a concrete instance may treat them as false.
+    The constraints are Tseitin-encoded into clauses and solved by the
+    engine's CDCL solver; the forced facts become unit assumptions.  Facts
+    not mentioned by the returned assignment are "don't care"; callers that
+    need a concrete instance may treat them as false.
     """
-    formula = _simplify_junction("and", list(constraints))
+    from ..engine.sat import TseitinAux, solver_for_clauses, tseitin_clauses
+
     assignment: dict[Fact, bool] = dict(forced or {})
-    formula = _substitute(formula, assignment)
-    return _search(formula, assignment)
-
-
-def _search(formula: GroundFormula, assignment: dict[Fact, bool]) -> dict[Fact, bool] | None:
-    while True:
-        if formula is True:
-            return assignment
-        if formula is False:
-            return None
-        units = _unit_literals(formula)
-        pending = {f: v for f, v in units.items() if f not in assignment}
-        if not pending:
-            break
-        assignment = {**assignment, **pending}
-        formula = _substitute(formula, pending)
-    choice = _pick_literal(formula)
-    if choice is None:
-        return assignment if formula is True else None
-    pivot, preferred = choice
-    for value in (preferred, not preferred):
-        attempt = _search(
-            _substitute(formula, {pivot: value}), {**assignment, pivot: value}
-        )
-        if attempt is not None:
-            return attempt
-    return None
+    formula = _substitute(_simplify_junction("and", list(constraints)), assignment)
+    if formula is False:
+        return None
+    if formula is True:
+        return assignment
+    clauses = tseitin_clauses(
+        formula[1] if formula[0] == "and" else [formula]
+    )
+    if clauses is None:
+        return None
+    solver = solver_for_clauses(clauses)
+    if not solver.solve():
+        return None
+    for atom, value in solver.last_model.items():
+        if not isinstance(atom, TseitinAux):
+            assignment[atom] = value
+    return assignment
 
 
 def model_from_assignment(

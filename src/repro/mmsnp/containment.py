@@ -23,9 +23,8 @@ orientation used for ontology-mediated queries in Theorem 5.6.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Iterable
 
 from ..core.instance import Instance
 from ..core.schema import RelationSymbol, Schema

@@ -17,7 +17,7 @@ formula is *false* (matching the paper's convention).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Sequence
 
 from ..core.cq import Variable

@@ -17,21 +17,20 @@ Proposition 4.1 — and then applies the CSP-side machinery:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from ..core.homomorphism import marked_homomorphism_exists
 from ..core.instance import Instance
 from ..core.schema import Schema
 from ..core.structures import all_instances_over
-from ..csp.dichotomy import NP_HARD, PTIME, TemplateClassification, classify_template
+from ..csp.dichotomy import PTIME, TemplateClassification, classify_template
 from ..csp.rewritability import (
     cocsp_datalog_rewritable,
     cocsp_fo_rewritable,
     generalized_datalog_rewritable,
     generalized_fo_rewritable,
 )
-from ..csp.template import incomparable_marked, prune_to_incomparable
+from ..csp.template import prune_to_incomparable
 from ..omq.query import OntologyMediatedQuery
 from ..translations.csp_templates import CspEncoding, omq_to_csp
 

@@ -28,7 +28,7 @@ from ..core.cq import boolean_atomic_query
 from ..core.instance import Instance
 from ..core.schema import RelationSymbol, Schema
 from ..dl.concepts import And, Bottom, Concept, ConceptName, Exists, Forall, Role, Top, big_or
-from ..dl.ontology import Axiom, ConceptInclusion, FunctionalRole, Ontology, RoleInclusion, TransitiveRole
+from ..dl.ontology import Axiom, ConceptInclusion, Ontology
 from ..omq.query import OntologyMediatedQuery
 
 
@@ -46,21 +46,32 @@ class SchemaFreeCspEncoding:
     template_schema: Schema
     goal_concept: str
 
-    def reduces_like_template(self, data: Instance) -> bool:
-        """The polynomial equivalence of Theorem 6.1 on a concrete instance:
-        the schema-free query evaluates to 0 exactly when the S-reduct of the
-        data (after the trivial pre-check for asserted goal facts) maps to the
-        template."""
+    def certain_via_template(self, data: Instance) -> bool:
+        """Decide the schema-free Boolean query along Theorem 6.1's reduction.
+
+        The query is certain iff a goal fact is asserted outright or the
+        S-reduct of the data has no homomorphism into the template — a
+        polynomial-time path through the engine's indexed homomorphism
+        search, versus the exponential model search of the OMQ engines.
+        """
         from ..core.homomorphism import has_homomorphism
 
         goal_symbol = RelationSymbol(self.goal_concept, 1)
         if data.tuples(goal_symbol):
             return True
         reduct = data.restrict_to_schema(self.template_schema)
+        return not has_homomorphism(reduct, self.template)
+
+    def reduces_like_template(self, data: Instance) -> bool:
+        """The polynomial equivalence of Theorem 6.1 on a concrete instance:
+        the schema-free query evaluates to 0 exactly when the S-reduct of the
+        data (after the trivial pre-check for asserted goal facts) maps to the
+        template."""
+        goal_symbol = RelationSymbol(self.goal_concept, 1)
+        if data.tuples(goal_symbol):
+            return True
         answer = self.omq.certain_answers(data)
-        return bool(answer == frozenset({()})) == (
-            not has_homomorphism(reduct, self.template)
-        )
+        return bool(answer == frozenset({()})) == self.certain_via_template(data)
 
 
 def csp_to_schema_free_omq(template: Instance, goal_name: str = "A") -> SchemaFreeCspEncoding:

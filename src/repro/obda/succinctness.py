@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..core.cq import atomic_query
-from ..dl.concepts import ConceptName, Exists, Role, big_or
+from ..dl.concepts import ConceptName, Exists, Role
 from ..dl.ontology import ConceptInclusion, Ontology
 from ..dl.rewritings import eliminate_inverse_roles
 from ..omq.query import OntologyMediatedQuery

@@ -26,8 +26,8 @@ import itertools
 from typing import Sequence
 
 from ..core.instance import Fact, Instance
-from ..core.schema import Schema
 from ..dl.fo_translation import ontology_to_fo_sentence
+from ..engine.sat import TseitinAux, solver_for_clauses, tseitin_clauses, tseitin_encode
 from ..fo.grounding import ground, ground_ucq, model_from_assignment, satisfying_assignment
 from .query import OntologyMediatedQuery
 
@@ -114,13 +114,55 @@ class BoundedModelEngine:
         return self.countermodel(instance, answer) is None
 
     def certain_answers(self, instance: Instance) -> frozenset[tuple]:
-        domain = sorted(instance.active_domain, key=repr)
-        if not domain:
+        """All certain answers, grounding the ontology once per domain.
+
+        The ontology, functionality and data constraints are encoded into
+        one persistent engine solver per candidate domain; each candidate's
+        negated query is then attached behind a fresh activation literal and
+        decided with an assumption-based ``solve`` (the incremental-SAT
+        pattern), instead of rebuilding the whole propositional problem for
+        every ``(candidate, domain)`` pair.
+        """
+        base = sorted(instance.active_domain, key=repr)
+        if not base:
             return frozenset()
-        candidates = itertools.product(domain, repeat=self.ucq.arity)
-        return frozenset(
-            answer for answer in candidates if self.countermodel(instance, answer) is None
-        )
+        remaining = set(itertools.product(base, repeat=self.ucq.arity))
+        for domain in self._domains(instance):
+            if not remaining:
+                break
+            constraints = [self._ontology_constraint(domain)]
+            constraints.extend(self._functionality_constraints(domain))
+            clauses = tseitin_clauses(constraints)
+            if clauses is None:
+                continue  # ontology unsatisfiable over this domain
+            solver = solver_for_clauses(clauses)
+            for fact in instance:
+                solver.add_clause((), (fact,))
+            if not solver.solve():
+                continue  # no model extends the data over this domain
+            for index, candidate in enumerate(sorted(remaining, key=repr)):
+                encoded = tseitin_encode(
+                    [ground_ucq(self.ucq, domain, candidate, positive=False)]
+                )
+                if encoded is None:
+                    continue  # the query holds in every interpretation
+                extra, roots = encoded
+                if not roots:
+                    # negated query is trivially true: the base model above
+                    # is already a counter-model
+                    remaining.discard(candidate)
+                    continue
+                guard = TseitinAux(("candidate", index))
+                for negative, positive in extra:
+                    solver.add_clause(negative, positive)
+                for atom, polarity in roots:
+                    if polarity:
+                        solver.add_clause([guard], [atom])
+                    else:
+                        solver.add_clause([guard, atom], [])
+                if solver.solve(true_atoms=[guard]):
+                    remaining.discard(candidate)
+        return frozenset(remaining)
 
     def has_countermodel(self, instance: Instance, answer: Sequence = ()) -> bool:
         """Convenience negation of :meth:`is_certain` (bounded refutation search)."""

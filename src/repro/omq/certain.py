@@ -8,6 +8,12 @@ The ``auto`` engine picks the strongest applicable complete procedure:
    via the same rewritings);
 3. ``bounded`` — the bounded counter-model reference engine (used for
    functional roles, or on request as an independent cross-check).
+
+All three procedures bottom out in the shared evaluation engine: the atomic
+and forest engines reduce to the indexed homomorphism search of
+:mod:`repro.core.homomorphism`, and the bounded engine grounds into the
+incremental CDCL solver of :mod:`repro.engine.sat` (one persistent solver
+per candidate domain, one assumption query per candidate answer).
 """
 
 from __future__ import annotations

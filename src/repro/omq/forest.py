@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Hashable, Iterator, Sequence
 
-from ..core.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, Variable, as_ucq
+from ..core.cq import ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
 from ..core.instance import Instance
 from ..dl.concepts import ConceptName, Exists, Role
 from ..dl.ontology import Ontology

@@ -7,7 +7,7 @@ ontology, and a query over ``S ∪ sig(O)``.  Its semantics ``q_Q`` maps an
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ..core.cq import (

@@ -25,7 +25,6 @@ from ..dl.concepts import (
     ConceptName,
     Exists,
     Not,
-    Or,
     Role,
     Top,
     big_and,

@@ -27,8 +27,8 @@ from dataclasses import dataclass
 from ..core.cq import Atom, Variable, atomic_query, boolean_atomic_query
 from ..core.instance import Fact, Instance, MarkedInstance
 from ..core.schema import RelationSymbol, Schema
-from ..datalog.ddlog import DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
-from ..dl.concepts import And, Bottom, ConceptName, Exists, Not, Or, Role, Top, big_or
+from ..datalog.ddlog import DisjunctiveDatalogProgram, Rule, adom_atom
+from ..dl.concepts import And, Bottom, ConceptName, Exists, Role, Top, big_or
 from ..dl.ontology import ConceptInclusion, Ontology
 from ..dl.reasoner import TypeSystem
 from ..omq.query import OntologyMediatedQuery

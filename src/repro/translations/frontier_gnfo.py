@@ -24,20 +24,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Sequence
 
 from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
-from ..core.instance import Fact, Instance
+from ..core.instance import Instance
 from ..core.schema import RelationSymbol, Schema
 from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule
-from ..fo.formulas import (
-    Formula,
-    RelationalAtom,
-    conjunction,
-    disjunction,
-    exists,
-    forall,
-)
+from ..fo.formulas import Formula, RelationalAtom, conjunction, disjunction, forall
 from ..fo.fragments import is_gfo, is_gnfo
 
 

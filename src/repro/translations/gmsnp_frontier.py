@@ -19,7 +19,7 @@ from __future__ import annotations
 import itertools
 
 from ..core.cq import Atom, Variable
-from ..core.schema import RelationSymbol, Schema
+from ..core.schema import RelationSymbol
 from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
 from ..mmsnp.formulas import (
     EqualityAtom,

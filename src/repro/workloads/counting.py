@@ -20,7 +20,7 @@ from __future__ import annotations
 from ..core.cq import Atom, ConjunctiveQuery, UnionOfConjunctiveQueries, Variable
 from ..core.instance import Fact, Instance
 from ..core.schema import RelationSymbol, Schema
-from ..dl.concepts import ConceptName, Exists, Forall, Role, inverse
+from ..dl.concepts import ConceptName, Exists, Role, inverse
 from ..dl.ontology import ConceptInclusion, Ontology
 from ..omq.query import OntologyMediatedQuery
 

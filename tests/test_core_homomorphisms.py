@@ -7,7 +7,6 @@ from repro.core import (
     Instance,
     MarkedInstance,
     RelationSymbol,
-    Schema,
     core,
     diagonal,
     direct_product,

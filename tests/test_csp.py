@@ -1,7 +1,6 @@
 """Tests for the CSP machinery: templates, polymorphisms, duality,
 rewritability and the dichotomy classifier, validated on the classic zoo."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import Fact, Instance, MarkedInstance, RelationSymbol
@@ -31,7 +30,6 @@ from repro.csp import (
 )
 from repro.workloads.csp_zoo import (
     ZOO,
-    clique_template,
     cycle_graph,
     directed_path_template,
     linear_equations_template,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Atom, Fact, Instance, RelationSymbol, Variable, vars_
+from repro.core import Atom, Fact, Instance, RelationSymbol, vars_
 from repro.datalog import (
     DatalogProgram,
     DisjunctiveDatalogProgram,

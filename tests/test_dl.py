@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import Fact, Instance, RelationSymbol, Schema
 from repro.dl import (
-    And,
     Bottom,
     ConceptInclusion,
     ConceptName,

@@ -1,0 +1,282 @@
+"""Randomized cross-validation of the evaluation engine.
+
+Every component of the engine has an intentionally naive reference
+counterpart; these tests generate small random inputs and assert agreement:
+
+* ``evaluate`` / ``holds`` against the textbook ``models()`` enumerator
+  (certain answers are the intersection over all models extending the data);
+* the indexed homomorphism search against brute-force enumeration of all
+  mappings between active domains;
+* the engine's join planner against cartesian enumeration plus filtering;
+* the CDCL solver against the reference ``_dpll`` on random clause sets;
+* the per-constant / per-position instance indexes against linear scans.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import Atom, Fact, Instance, RelationSymbol, Variable
+from repro.core.homomorphism import has_homomorphism, homomorphisms, is_homomorphism
+from repro.datalog import (
+    DisjunctiveDatalogProgram,
+    Rule,
+    adom_atom,
+    evaluate,
+    goal_atom,
+    holds,
+    models,
+)
+from repro.datalog.evaluation import _dpll, ground_clauses
+from repro.engine import ClauseSolver, join_assignments, solver_for_clauses
+
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+EDGE = RelationSymbol("edge", 2)
+P = RelationSymbol("P", 1)
+Q = RelationSymbol("Q", 1)
+EDB = [A, B, EDGE]
+IDB = [P, Q]
+X, Y = Variable("x"), Variable("y")
+
+
+def _random_instance(rng: random.Random, domain: list) -> Instance:
+    facts = []
+    for element in domain:
+        for symbol in (A, B):
+            if rng.random() < 0.5:
+                facts.append(Fact(symbol, (element,)))
+    for source in domain:
+        for target in domain:
+            if rng.random() < 0.4:
+                facts.append(Fact(EDGE, (source, target)))
+    return Instance(facts)
+
+
+def _random_body(rng: random.Random) -> tuple[Atom, ...]:
+    pool = []
+    for symbol in EDB + IDB:
+        if symbol.arity == 1:
+            pool.extend([Atom(symbol, (X,)), Atom(symbol, (Y,))])
+        else:
+            pool.extend(
+                [Atom(symbol, (X, Y)), Atom(symbol, (Y, X)), Atom(symbol, (X, X))]
+            )
+    pool.extend([adom_atom(X), adom_atom(Y)])
+    size = rng.randint(1, 3)
+    return tuple(rng.sample(pool, size))
+
+
+def _random_program(rng: random.Random, goal_arity: int) -> DisjunctiveDatalogProgram:
+    rules = []
+    for _ in range(rng.randint(2, 4)):
+        body = _random_body(rng)
+        body_vars = {v for atom in body for v in atom.variables}
+        head_pool = [
+            Atom(symbol, (v,)) for symbol in IDB for v in sorted(body_vars, key=str)
+        ]
+        kind = rng.random()
+        if kind < 0.25:
+            head: tuple[Atom, ...] = ()  # constraint
+        elif kind < 0.55:
+            if goal_arity == 0:
+                head = (goal_atom(),)
+            else:
+                head = (goal_atom(rng.choice(sorted(body_vars, key=str))),)
+        else:
+            head = tuple(
+                rng.sample(head_pool, min(len(head_pool), rng.randint(1, 2)))
+            )
+        rules.append(Rule(head, body))
+    if not any(rule.is_goal_rule() for rule in rules):
+        goal_head = (goal_atom(),) if goal_arity == 0 else (goal_atom(X),)
+        rules.append(Rule(goal_head, (Atom(P, (X,)),)))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def _naive_certain_answers(
+    program: DisjunctiveDatalogProgram, instance: Instance
+) -> frozenset:
+    domain = sorted(instance.active_domain, key=repr)
+    candidates = list(itertools.product(domain, repeat=program.arity))
+    certain = set(candidates)
+    for model in models(program, instance):
+        goal_tuples = model.tuples(program.goal_relation)
+        certain &= {c for c in certain if c in goal_tuples}
+        if not certain:
+            break
+    return frozenset(certain)
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_evaluate_matches_model_enumeration(seed):
+    rng = random.Random(seed)
+    goal_arity = rng.choice([0, 1])
+    program = _random_program(rng, goal_arity)
+    domain = list(range(1, rng.randint(2, 3) + 1))
+    instance = _random_instance(rng, domain)
+    expected = _naive_certain_answers(program, instance)
+    assert evaluate(program, instance) == expected
+    adom = sorted(instance.active_domain, key=repr)
+    for candidate in itertools.product(adom, repeat=goal_arity):
+        assert holds(program, instance, candidate) == (candidate in expected)
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_homomorphisms_match_brute_force(seed):
+    rng = random.Random(1000 + seed)
+    source = _random_instance(rng, list(range(rng.randint(1, 3))))
+    target = _random_instance(rng, ["a", "b", "c"][: rng.randint(1, 3)])
+    source_domain = sorted(source.active_domain, key=repr)
+    target_domain = sorted(target.active_domain, key=repr)
+    brute = set()
+    for images in itertools.product(target_domain, repeat=len(source_domain)):
+        mapping = dict(zip(source_domain, images))
+        if is_homomorphism(mapping, source, target):
+            brute.add(tuple(sorted(mapping.items(), key=repr)))
+    engine = {
+        tuple(sorted(hom.items(), key=repr)) for hom in homomorphisms(source, target)
+    }
+    assert engine == brute
+    # fixed-map variant: pin the first element to each possible image
+    if source_domain:
+        pivot = source_domain[0]
+        for image in target_domain:
+            fixed_engine = {
+                tuple(sorted(hom.items(), key=repr))
+                for hom in homomorphisms(source, target, fixed={pivot: image})
+            }
+            fixed_brute = {h for h in brute if dict(h)[pivot] == image}
+            assert fixed_engine == fixed_brute
+
+
+def test_nullary_facts_constrain_the_empty_homomorphism():
+    """A source with only nullary facts has an empty active domain, but the
+    empty map is a homomorphism only when those facts hold in the target."""
+    nil = RelationSymbol("nil", 0)
+    source = Instance([Fact(nil, ())])
+    assert not has_homomorphism(source, Instance([]))
+    assert not has_homomorphism(source, Instance([Fact(A, (1,))]))
+    assert has_homomorphism(source, Instance([Fact(nil, ())]))
+    assert has_homomorphism(Instance([]), Instance([]))
+    assert list(homomorphisms(source, Instance([Fact(nil, ())]))) == [{}]
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_join_planner_matches_cartesian_filter(seed):
+    rng = random.Random(2000 + seed)
+    instance = _random_instance(rng, list(range(1, 4)))
+    atoms = [a for a in _random_body(rng) if a.relation.name != "adom"]
+    if not atoms:
+        atoms = [Atom(EDGE, (X, Y))]
+    variables = sorted({v for atom in atoms for v in atom.variables}, key=str)
+    domain = sorted(instance.active_domain, key=repr)
+    expected = set()
+    for values in itertools.product(domain, repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        if all(
+            tuple(
+                assignment[t] if isinstance(t, Variable) else t
+                for t in atom.arguments
+            )
+            in instance.tuples(atom.relation)
+            for atom in atoms
+        ):
+            expected.add(tuple(assignment[v] for v in variables))
+    got = {
+        tuple(assignment[v] for v in variables)
+        for assignment in join_assignments(atoms, instance)
+    }
+    assert got == expected
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_cdcl_matches_reference_dpll(seed):
+    rng = random.Random(3000 + seed)
+    atoms = [("v", i) for i in range(rng.randint(2, 6))]
+    clauses = []
+    for _ in range(rng.randint(1, 10)):
+        chosen = rng.sample(atoms, rng.randint(1, min(3, len(atoms))))
+        negative = frozenset(a for a in chosen if rng.random() < 0.5)
+        positive = frozenset(a for a in chosen if a not in negative)
+        clauses.append((negative, positive))
+    forced = {a for a in atoms if rng.random() < 0.3}
+    reference = _dpll(list(clauses), set(forced))
+    solver = solver_for_clauses(clauses)
+    assert solver.solve(false_atoms=forced) == reference
+    # re-query the same persistent solver with different assumptions
+    for atom in atoms[:2]:
+        assert solver.solve(false_atoms=[atom]) == _dpll(list(clauses), {atom})
+        assert solver.solve() == _dpll(list(clauses), set())
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_ground_clauses_agree_with_reference_dpll_verdicts(seed):
+    """The engine's deduplicated/subsumed clause set is equisatisfiable with
+    the reference solver's verdict for every goal assumption."""
+    rng = random.Random(4000 + seed)
+    goal_arity = rng.choice([0, 1])
+    program = _random_program(rng, goal_arity)
+    instance = _random_instance(rng, [1, 2])
+    clauses = ground_clauses(program, instance)
+    domain = sorted(instance.active_domain, key=repr)
+    solver = solver_for_clauses(clauses)
+    for candidate in itertools.product(domain, repeat=goal_arity):
+        atom = (program.goal_relation, candidate)
+        assert solver.solve(false_atoms=[atom]) == _dpll(list(clauses), {atom})
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_incremental_clause_addition_stays_sound(seed):
+    """Clauses added between solve calls must respect root-level assignments.
+
+    Regression test: watches placed on literals already (permanently) false
+    at the root level are never revisited by propagation, so late-added
+    clauses must be simplified first.  Cross-validates an add/solve
+    interleaving against the reference DPLL on the final clause set.
+    """
+    rng = random.Random(6000 + seed)
+    atoms = [("v", i) for i in range(rng.randint(3, 6))]
+    solver = ClauseSolver()
+    added = []
+
+    def random_clause(max_width):
+        chosen = rng.sample(atoms, rng.randint(1, min(max_width, len(atoms))))
+        negative = frozenset(a for a in chosen if rng.random() < 0.5)
+        return (negative, frozenset(a for a in chosen if a not in negative))
+
+    for _round in range(4):
+        for _ in range(rng.randint(1, 4)):
+            clause = random_clause(3)
+            added.append(clause)
+            solver.add_clause(*clause)
+        assumption = [rng.choice(atoms)] if rng.random() < 0.5 else []
+        assert solver.solve(false_atoms=assumption) == _dpll(
+            list(added), set(assumption)
+        )
+        if solver.solve():
+            model = solver.last_model
+            for negative, positive in added:
+                assert any(not model[a] for a in negative) or any(
+                    model[a] for a in positive
+                )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_instance_indexes_match_linear_scans(seed):
+    rng = random.Random(5000 + seed)
+    instance = _random_instance(rng, list(range(1, 5)))
+    for constant in list(instance.active_domain) + ["missing"]:
+        assert instance.facts_with_constant(constant) == frozenset(
+            f for f in instance.facts if constant in f.arguments
+        )
+    for symbol in (A, B, EDGE):
+        rows = instance.tuples(symbol)
+        for position in range(symbol.arity):
+            values = {row[position] for row in rows}
+            assert instance.position_values(symbol, position) == values
+            for value in values | {"missing"}:
+                assert instance.tuples_with(symbol, position, value) == frozenset(
+                    row for row in rows if row[position] == value
+                )

@@ -5,9 +5,8 @@ import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
 from repro.core.cq import var
-from repro.datalog import evaluate, evaluate_boolean
+from repro.datalog import evaluate_boolean
 from repro.mmsnp import (
-    CoMMSNPQuery,
     FactSOAtom,
     Implication,
     MMSNPFormula,

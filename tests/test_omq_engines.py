@@ -7,9 +7,8 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Atom, ConjunctiveQuery, Fact, Instance, RelationSymbol, Schema, Variable, atomic_query
 from repro.dl import ConceptInclusion, ConceptName, Exists, Ontology, Role
-from repro.omq import BoundedModelEngine, ForestEngine, OntologyMediatedQuery
+from repro.omq import ForestEngine, OntologyMediatedQuery
 from repro.workloads.medical import (
-    bacterial_infection_query,
     example_2_1_omq,
     example_2_2_q1_omq,
     example_2_2_q2_omq,

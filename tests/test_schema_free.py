@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
 from repro.core.homomorphism import has_homomorphism
-from repro.dl import ConceptInclusion, ConceptName, Exists, Forall, Ontology, Role
+from repro.dl import ConceptInclusion, ConceptName, Exists, Ontology, Role
 from repro.dl.concepts import Top
 from repro.obda import (
     containment_to_schema_free,

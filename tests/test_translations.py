@@ -5,7 +5,6 @@ random families of small instances: source and target must return identical
 answers.
 """
 
-import itertools
 
 import pytest
 
@@ -20,7 +19,13 @@ from repro.core import (
     atomic_query,
     vars_,
 )
-from repro.datalog import DisjunctiveDatalogProgram, Rule, adom_atom, evaluate, evaluate_boolean, goal_atom
+from repro.datalog import (
+    DisjunctiveDatalogProgram,
+    Rule,
+    evaluate,
+    evaluate_boolean,
+    goal_atom,
+)
 from repro.fpp import ForbiddenPatternsProblem, colour_instance, make_palette
 from repro.mmsnp import CoMMSNPQuery, Implication, MMSNPFormula, SchemaAtom, SOAtom, SOVariable
 from repro.translations import (
@@ -40,7 +45,6 @@ from repro.translations import (
 from repro.workloads.csp_zoo import clique_template, cycle_graph
 from repro.workloads.medical import (
     example_2_1_omq,
-    example_2_2_q2_omq,
     example_4_5_omq,
     family_instance,
     patient_instance,
