@@ -12,6 +12,12 @@ Examples::
     python benchmarks/run_all.py                     # full suite
     python benchmarks/run_all.py bench_thm46_csp.py  # subset
     python benchmarks/run_all.py --label pr1 --baseline results/BENCH_seed.json
+
+When a baseline is available (``--baseline``, or ``results/BENCH_seed.json``
+by default) the run acts as a regression gate: a geometric-mean slowdown
+beyond ``--max-regression`` (default 1.5x) across the shared benchmarks
+fails the run with a non-zero exit code.  ``--no-regression-gate`` disables
+the gate (e.g. on noisy shared machines).
 """
 
 from __future__ import annotations
@@ -123,9 +129,27 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline",
         type=Path,
         default=None,
-        help="previous consolidated file to compare against",
+        help=(
+            "previous consolidated file to compare against "
+            "(default: results/BENCH_seed.json when present)"
+        ),
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=1.5,
+        help="fail when the geomean slowdown vs the baseline exceeds this factor",
+    )
+    parser.add_argument(
+        "--no-regression-gate",
+        action="store_true",
+        help="report the baseline comparison but never fail because of it",
     )
     args = parser.parse_args(argv)
+    if args.baseline is None:
+        default_baseline = BENCH_DIR / "results" / "BENCH_seed.json"
+        if default_baseline.exists():
+            args.baseline = default_baseline
 
     if args.benchmarks:
         paths = [str(BENCH_DIR / name) for name in args.benchmarks]
@@ -150,10 +174,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"\nconsolidated {len(consolidated['results'])} benchmarks -> {args.output}")
     if "geomean_speedup_vs_baseline" in consolidated:
+        geomean = consolidated["geomean_speedup_vs_baseline"]
         print(
-            f"geomean speedup vs {consolidated['baseline_label']}: "
-            f"{consolidated['geomean_speedup_vs_baseline']:.2f}x"
+            f"geomean speedup vs {consolidated['baseline_label']}: {geomean:.2f}x"
         )
+        if not args.no_regression_gate and geomean < 1.0 / args.max_regression:
+            print(
+                f"REGRESSION: geomean slowdown {1.0 / geomean:.2f}x exceeds the "
+                f"allowed {args.max_regression:.2f}x"
+            )
+            return returncode or 1
     return returncode
 
 

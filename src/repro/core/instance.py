@@ -132,11 +132,7 @@ class Instance:
 
     def tuples(self, relation: RelationSymbol | str) -> frozenset[tuple]:
         """All argument tuples of facts over ``relation``."""
-        if self._by_relation is None:
-            index: dict[RelationSymbol, set[tuple]] = {}
-            for fact in self._facts:
-                index.setdefault(fact.relation, set()).add(fact.arguments)
-            self._by_relation = {rel: frozenset(tups) for rel, tups in index.items()}
+        self._force_by_relation()
         if isinstance(relation, str):
             sym = self._schema.get(relation)
             if sym is None:
@@ -190,8 +186,7 @@ class Instance:
             return frozenset()
         return frozenset(self._position_index(symbol)[position])
 
-    def facts_with_constant(self, constant: Constant) -> frozenset[Fact]:
-        """All facts mentioning ``constant`` (served from the per-constant index)."""
+    def _force_by_constant(self) -> dict[Constant, frozenset[Fact]]:
         if self._by_constant is None:
             index: dict[Constant, set[Fact]] = {}
             for fact in self._facts:
@@ -200,7 +195,11 @@ class Instance:
             self._by_constant = {
                 value: frozenset(facts) for value, facts in index.items()
             }
-        return self._by_constant.get(constant, frozenset())
+        return self._by_constant
+
+    def facts_with_constant(self, constant: Constant) -> frozenset[Fact]:
+        """All facts mentioning ``constant`` (served from the per-constant index)."""
+        return self._force_by_constant().get(constant, frozenset())
 
     # -- construction ----------------------------------------------------------
 
@@ -211,25 +210,128 @@ class Instance:
         schema: Schema,
         adom: frozenset,
         by_relation: dict[RelationSymbol, frozenset[tuple]],
+        by_position: (
+            dict[RelationSymbol, tuple[dict[Constant, frozenset[tuple]], ...]] | None
+        ) = None,
+        by_constant: dict[Constant, frozenset[Fact]] | None = None,
     ) -> "Instance":
-        """Internal fast path for :class:`InstanceBuilder`: trust prebuilt parts."""
+        """Internal fast path for :class:`InstanceBuilder` and the delta copies
+        of :meth:`with_facts` / :meth:`without_facts`: trust prebuilt parts."""
         instance = cls.__new__(cls)
         instance._facts = facts
         instance._schema = schema
         instance._adom = adom
         instance._by_relation = by_relation
-        instance._by_position = None
-        instance._by_constant = None
+        instance._by_position = by_position
+        instance._by_constant = by_constant
         return instance
 
+    def _force_by_relation(self) -> dict[RelationSymbol, frozenset[tuple]]:
+        if self._by_relation is None:
+            index: dict[RelationSymbol, set[tuple]] = {}
+            for fact in self._facts:
+                index.setdefault(fact.relation, set()).add(fact.arguments)
+            self._by_relation = {rel: frozenset(tups) for rel, tups in index.items()}
+        return self._by_relation
+
+    def _derived_position_index(
+        self, touched: set[RelationSymbol]
+    ) -> dict[RelationSymbol, tuple[dict[Constant, frozenset[tuple]], ...]] | None:
+        """Share the parent's per-position cache for untouched relations.
+
+        Touched relations are dropped from the copy and rebuilt lazily on
+        demand; an unbuilt parent cache stays unbuilt in the child.
+        """
+        if self._by_position is None:
+            return None
+        return {
+            rel: index
+            for rel, index in self._by_position.items()
+            if rel not in touched
+        }
+
     def with_facts(self, facts: Iterable[Fact]) -> "Instance":
-        return Instance(self._facts | set(facts), schema=None)
+        """Extend by facts, delta-copying the parent's indexes.
+
+        The active domain and the per-relation / per-constant indexes are
+        updated from the delta instead of being rediscovered by a full scan;
+        per-position indexes are shared for relations the delta does not
+        touch.  As before, the schema of the result is re-inferred from the
+        facts (new relation symbols are admitted, declared-but-unused ones
+        are not carried over).
+        """
+        added = {f for f in facts if f not in self._facts}
+        if not added:
+            return self
+        new_facts = self._facts | added
+        adom = self._adom | {a for fact in added for a in fact.arguments}
+        by_relation = dict(self._force_by_relation())
+        added_rows: dict[RelationSymbol, set[tuple]] = {}
+        for fact in added:
+            added_rows.setdefault(fact.relation, set()).add(fact.arguments)
+        touched = set(added_rows)
+        for relation, rows in added_rows.items():
+            by_relation[relation] = by_relation.get(relation, frozenset()) | rows
+        by_constant = None
+        if self._by_constant is not None:
+            by_constant = dict(self._by_constant)
+            for fact in added:
+                for argument in fact.arguments:
+                    by_constant[argument] = by_constant.get(
+                        argument, frozenset()
+                    ) | {fact}
+        return Instance._from_parts(
+            new_facts,
+            Schema(by_relation),
+            adom,
+            by_relation,
+            self._derived_position_index(touched),
+            by_constant,
+        )
 
     def without_facts(self, facts: Iterable[Fact]) -> "Instance":
-        return Instance(self._facts - set(facts))
+        """Remove facts, delta-copying the parent's indexes.
+
+        Constants are dropped from the active domain through the per-constant
+        index (built once on the parent and carried forward), so a long chain
+        of streaming deletions costs one scan total instead of one per step.
+        """
+        removed_set = {f for f in facts if f in self._facts}
+        if not removed_set:
+            return self
+        new_facts = self._facts - removed_set
+        by_relation = dict(self._force_by_relation())
+        removed_rows: dict[RelationSymbol, set[tuple]] = {}
+        for fact in removed_set:
+            removed_rows.setdefault(fact.relation, set()).add(fact.arguments)
+        touched = set(removed_rows)
+        for relation, rows in removed_rows.items():
+            remaining = by_relation[relation] - rows
+            if remaining:
+                by_relation[relation] = remaining
+            else:
+                del by_relation[relation]
+        # The per-constant index decides which constants leave the domain.
+        by_constant = dict(self._force_by_constant())
+        dropped: set[Constant] = set()
+        for constant in {a for fact in removed_set for a in fact.arguments}:
+            remaining_facts = by_constant.get(constant, frozenset()) - removed_set
+            if remaining_facts:
+                by_constant[constant] = remaining_facts
+            else:
+                by_constant.pop(constant, None)
+                dropped.add(constant)
+        return Instance._from_parts(
+            new_facts,
+            Schema(by_relation),
+            self._adom - dropped,
+            by_relation,
+            self._derived_position_index(touched),
+            by_constant,
+        )
 
     def union(self, other: "Instance") -> "Instance":
-        return Instance(self._facts | other._facts)
+        return self.with_facts(other._facts)
 
     def __or__(self, other: "Instance") -> "Instance":
         return self.union(other)

@@ -8,12 +8,12 @@ the datalog-rewritability experiments executable.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from typing import Hashable, Iterator, Sequence
 
 from ..core.cq import Atom, Variable
 from ..core.instance import Fact, Instance, InstanceBuilder
 from ..core.schema import RelationSymbol
-from ..engine.joins import join_assignments
+from ..engine.joins import canonical_key, extend_assignment, join_assignments
 from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
 
 Element = Hashable
@@ -36,30 +36,39 @@ class DatalogProgram(DisjunctiveDatalogProgram):
     def least_fixpoint(self, instance: Instance) -> Instance:
         """The minimal model of the program extending the instance.
 
-        Rounds run the join-planned body matcher of the engine against the
-        current instance; facts accumulate in an :class:`InstanceBuilder`,
-        whose freeze skips re-deriving the active domain and per-relation
-        index from scratch (the fact set itself is still copied per round).
+        Evaluation is *semi-naive*: after the first round, a rule body is
+        only re-joined through instantiations that touch at least one fact
+        derived in the previous round (the delta), instead of re-enumerating
+        every body match against the full instance on every round.  Facts
+        accumulate in an :class:`InstanceBuilder`, whose freeze skips
+        re-deriving the active domain and per-relation index from scratch.
         """
         builder = InstanceBuilder.from_instance(instance)
         builder.add_all(
             Fact(RelationSymbol(ADOM, 1), (element,))
             for element in instance.active_domain
         )
-        changed = True
-        while changed:
-            current = builder.build()
-            changed = False
+        current = builder.build()
+        delta = current  # first round: every fact is new
+        while True:
+            fresh: list[Fact] = []
             for rule in self.rules:
                 head_atom = rule.head[0]
-                for assignment in _body_matches(rule, current):
+                for assignment in delta_body_matches(rule, current, delta):
                     arguments = tuple(
                         assignment[a] if isinstance(a, Variable) else a
                         for a in head_atom.arguments
                     )
-                    if builder.add(Fact(head_atom.relation, arguments)):
-                        changed = True
-        return builder.build()
+                    fact = Fact(head_atom.relation, arguments)
+                    # adding immediately dedups facts derived several times
+                    # in one round (the round's joins run against `current`,
+                    # which the builder does not affect until rebuilt)
+                    if builder.add(fact):
+                        fresh.append(fact)
+            if not fresh:
+                return current
+            current = builder.build()
+            delta = Instance(fresh)
 
     def evaluate(self, instance: Instance) -> frozenset[tuple]:
         """The answers of the datalog query: goal facts in the least fixpoint."""
@@ -75,13 +84,37 @@ class DatalogProgram(DisjunctiveDatalogProgram):
         return tuple(answer) in self.evaluate(instance)
 
 
-def _body_matches(rule: Rule, instance: Instance):
-    """Enumerate assignments of body variables satisfying the body in ``instance``.
+def delta_body_matches(
+    rule: Rule, current: Instance, delta: Instance
+) -> Iterator[dict[Variable, Element]]:
+    """Body matches of ``rule`` in ``current`` touching at least one ``delta`` fact.
 
-    Rule safety guarantees every rule variable occurs in the body, so the
-    engine's selectivity-ordered join binds them all.
+    The semi-naive primitive shared by :meth:`DatalogProgram.least_fixpoint`
+    and the incremental maintenance of :mod:`repro.service.delta`: for every
+    body atom in turn, the atom is matched against the delta and the
+    remaining atoms are joined against the full instance (selectivity-ordered
+    through the engine's join planner).  Matches are deduplicated by their
+    canonical assignment key, so instantiations touching several delta facts
+    are yielded once.
     """
-    yield from join_assignments(rule.body, instance)
+    if delta.is_empty():
+        return
+    seen: set[tuple] = set()
+    for index, atom in enumerate(rule.body):
+        rows = delta.tuples(atom.relation)
+        if not rows:
+            continue
+        rest = [a for i, a in enumerate(rule.body) if i != index]
+        for row in rows:
+            seed = extend_assignment(atom, row, {})
+            if seed is None:
+                continue
+            for assignment in join_assignments(rest, current, initial=seed):
+                key = canonical_key(assignment)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield assignment
 
 
 def conjoin_datalog_queries(

@@ -58,12 +58,93 @@ def _split_body(
     return edb_atoms, adom_atoms, idb_atoms
 
 
+class GroundAux:
+    """A fresh auxiliary atom factoring an independent free-variable block.
+
+    When a rule's free variables split into blocks that share no literal,
+    the conjunction of its ground clauses factors as
+    ``bound-part ∨ (∧_σ1 C1σ1) ∨ ... ∨ (∧_σm Cmσm)`` — one auxiliary atom
+    per block replaces the ``|domain|^(k1+...+km)`` cartesian product by
+    ``|domain|^k1 + ... + |domain|^km`` definitional clauses (one-sided
+    encoding, sound for the satisfiability queries the engine issues).
+    """
+
+    __slots__ = ("index",)
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"GroundAux({self.index})"
+
+
+def _instantiate_literals(
+    literals: Sequence[tuple[Atom, bool]], assignment: dict[Variable, Element]
+) -> tuple[frozenset, frozenset]:
+    negative = frozenset(
+        instantiate_atom(atom, assignment) for atom, pos in literals if not pos
+    )
+    positive = frozenset(
+        instantiate_atom(atom, assignment) for atom, pos in literals if pos
+    )
+    return negative, positive
+
+
+def _free_variable_blocks(
+    free: Sequence[Variable], literals: Sequence[tuple[Atom, bool]]
+) -> tuple[list[tuple[list[Variable], list[tuple[Atom, bool]]]], list]:
+    """Partition free variables and literals into co-occurrence blocks.
+
+    Two free variables belong to the same block when some literal mentions
+    both (transitively); a literal belongs to the block of its free
+    variables.  Returns ``(blocks, bound_literals)`` where bound literals
+    mention no free variable at all.  Free variables mentioned by no literal
+    (they occur only in variable ``adom`` atoms) span no block: enumerating
+    them would only multiply duplicate clauses.
+    """
+    free_set = set(free)
+    parent: dict[Variable, Variable] = {v: v for v in free}
+
+    def find(v: Variable) -> Variable:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    bound_literals: list[tuple[Atom, bool]] = []
+    placed: list[tuple[tuple[Atom, bool], list[Variable]]] = []
+    for literal in literals:
+        atom_free = [v for v in literal[0].variables if v in free_set]
+        if not atom_free:
+            bound_literals.append(literal)
+            continue
+        placed.append((literal, atom_free))
+        for other in atom_free[1:]:
+            root_a, root_b = find(atom_free[0]), find(other)
+            if root_a != root_b:
+                parent[root_a] = root_b
+    blocks: dict[Variable, tuple[list[Variable], list[tuple[Atom, bool]]]] = {}
+    for variable in free:
+        root = find(variable)
+        if root not in blocks:
+            blocks[root] = ([], [])
+        blocks[root][0].append(variable)
+    for literal, atom_free in placed:
+        blocks[find(atom_free[0])][1].append(literal)
+    ordered = sorted(
+        (block for block in blocks.values() if block[1]),
+        key=lambda block: str(block[0][0]),
+    )
+    return ordered, bound_literals
+
+
 def _rule_clauses(
     rule: Rule,
     instance: Instance,
     idb_names: frozenset[str],
     adom_name: str,
     domain: Sequence[Element],
+    aux_counter: Iterator[int],
 ) -> Iterator[Clause]:
     edb_atoms, adom_atoms, idb_atoms = _split_body(rule, idb_names, adom_name)
     # Constant adom atoms are static guards; variable ones are subsumed by the
@@ -77,6 +158,16 @@ def _rule_clauses(
         {v for v in rule.variables if not any(v in a.variables for a in edb_atoms)},
         key=str,
     )
+    if free and not domain:
+        return
+    literals = [(a, False) for a in idb_atoms] + [(a, True) for a in rule.head]
+    blocks, bound_literals = _free_variable_blocks(free, literals)
+    # Per-block assignment tuples, computed once per rule instead of per join
+    # result (the former inner ``domain ** len(free)`` cartesian product).
+    block_tuples = [
+        list(itertools.product(domain, repeat=len(variables)))
+        for variables, _ in blocks
+    ]
     seen_partials: set[tuple] = set()
     for partial in join_assignments(edb_atoms, instance):
         # Canonical (variable name, value) dedup key — never repr-based, so
@@ -85,12 +176,40 @@ def _rule_clauses(
         if key in seen_partials:
             continue
         seen_partials.add(key)
-        for values in itertools.product(domain, repeat=len(free)):
-            assignment = dict(partial)
-            assignment.update(zip(free, values))
-            negative = frozenset(instantiate_atom(a, assignment) for a in idb_atoms)
-            positive = frozenset(instantiate_atom(a, assignment) for a in rule.head)
-            yield (negative, positive)
+        bound_negative, bound_positive = _instantiate_literals(
+            bound_literals, dict(partial)
+        )
+        if bound_negative & bound_positive:
+            continue  # every clause of this join result is tautological
+        if not blocks:
+            yield (bound_negative, bound_positive)
+            continue
+        if len(blocks) == 1:
+            variables, block_literals = blocks[0]
+            for values in block_tuples[0]:
+                assignment = dict(partial)
+                assignment.update(zip(variables, values))
+                negative, positive = _instantiate_literals(
+                    block_literals, assignment
+                )
+                yield (bound_negative | negative, bound_positive | positive)
+            continue
+        # Independent blocks: factor the cartesian product through one
+        # auxiliary atom per block (see :class:`GroundAux`).
+        aux_atoms = [GroundAux(next(aux_counter)) for _ in blocks]
+        for (variables, block_literals), tuples, aux in zip(
+            blocks, block_tuples, aux_atoms
+        ):
+            for values in tuples:
+                assignment = dict(partial)
+                assignment.update(zip(variables, values))
+                negative, positive = _instantiate_literals(
+                    block_literals, assignment
+                )
+                if negative & positive:
+                    continue  # valid conjunct: drop from the block's AND
+                yield (negative | {aux}, positive)
+        yield (bound_negative, bound_positive | frozenset(aux_atoms))
 
 
 def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
@@ -211,6 +330,9 @@ def ground_program(
         {sym.name for sym in program.idb_relations} | {GOAL}
     ) - {ADOM}
     clauses: list[Clause] = []
+    aux_counter = itertools.count()
     for rule in program.rules:
-        clauses.extend(_rule_clauses(rule, instance, idb_names, ADOM, domain))
+        clauses.extend(
+            _rule_clauses(rule, instance, idb_names, ADOM, domain, aux_counter)
+        )
     return GroundProgram(program, instance, _dedupe_and_subsume(clauses))

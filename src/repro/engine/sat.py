@@ -23,6 +23,7 @@ satisfiability queries the bounded counter-model engine issues.
 
 from __future__ import annotations
 
+import heapq
 from typing import Hashable, Iterable, Sequence
 
 Atom = Hashable
@@ -55,11 +56,13 @@ class ClauseSolver:
         self._reason: list[int | None] = []  # var -> implying clause index
         self._level: list[int] = []  # var -> decision level of assignment
         self._activity: list[float] = []
+        self._heap: list[tuple[float, int]] = []  # lazy (-activity, var) entries
         self._bump = 1.0
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._qhead = 0
         self._ok = True  # False once a root-level conflict is derived
+        self._sticky: dict[Atom, bool] = {}  # persistent assumptions
         self.last_model: dict[Atom, bool] = {}
 
     # -- atoms and literals ----------------------------------------------------
@@ -74,6 +77,7 @@ class ClauseSolver:
             self._reason.append(None)
             self._level.append(0)
             self._activity.append(0.0)
+            heapq.heappush(self._heap, (0.0, index))
             self._watches.append([])
             self._watches.append([])
         return index
@@ -154,6 +158,8 @@ class ClauseSolver:
                 var = self._trail.pop() >> 1
                 self._assign[var] = 0
                 self._reason[var] = None
+                # re-enter the branching heap with the current activity
+                heapq.heappush(self._heap, (-self._activity[var], var))
         self._qhead = min(self._qhead, len(self._trail))
 
     def _propagate(self) -> int | None:
@@ -194,6 +200,17 @@ class ClauseSolver:
             scale = 1.0 / self._ACTIVITY_LIMIT
             self._activity = [a * scale for a in self._activity]
             self._bump *= scale
+            self._rebuild_heap()
+        else:
+            heapq.heappush(self._heap, (-self._activity[var], var))
+
+    def _rebuild_heap(self) -> None:
+        self._heap = [
+            (-activity, var)
+            for var, activity in enumerate(self._activity)
+            if self._assign[var] == 0
+        ]
+        heapq.heapify(self._heap)
 
     def _analyze(self, conflict: int) -> tuple[list[int], int]:
         """1UIP conflict analysis: (learned clause, backjump level).
@@ -239,13 +256,45 @@ class ClauseSolver:
         return learned, self._level[learned[1] >> 1]
 
     def _pick_branch(self) -> int | None:
-        best = None
-        best_activity = -1.0
-        for var, value in enumerate(self._assign):
-            if value == 0 and self._activity[var] > best_activity:
-                best = var
-                best_activity = self._activity[var]
-        return best
+        """The unassigned variable of maximal activity (lowest index on ties).
+
+        The heap holds lazy ``(-activity, var)`` entries: every variable
+        creation, activity bump and unassignment pushes a fresh entry, so an
+        entry is discarded when its variable is assigned or its recorded
+        activity is stale (a fresher entry must then exist).
+        """
+        heap = self._heap
+        if len(heap) > 4 * len(self._atoms) + 1024:
+            self._rebuild_heap()
+            heap = self._heap
+        while heap:
+            negated, var = heap[0]
+            if self._assign[var] != 0 or -negated != self._activity[var]:
+                heapq.heappop(heap)
+                continue
+            return var
+        return None
+
+    # -- persistent assumptions ------------------------------------------------
+
+    def assume(self, atom: Atom, value: bool = True) -> None:
+        """Register a *persistent* assumption applied to every ``solve`` call.
+
+        Unlike a root-level unit clause, a persistent assumption can later be
+        withdrawn with :meth:`retract_assumption` — this is what lets the
+        serving layer guard each ground clause with an activation literal and
+        retract a whole epoch of clauses without touching the clause database
+        or the learned clauses (MiniSat-style assumption interface).
+        """
+        self._sticky[atom] = value
+
+    def retract_assumption(self, atom: Atom) -> None:
+        """Withdraw a persistent assumption; the atom becomes free again."""
+        self._sticky.pop(atom, None)
+
+    @property
+    def persistent_assumptions(self) -> dict[Atom, bool]:
+        return dict(self._sticky)
 
     # -- solving ---------------------------------------------------------------
 
@@ -256,9 +305,10 @@ class ClauseSolver:
     ) -> bool:
         """Satisfiability under the assumptions; solver state survives the call.
 
-        Atoms never mentioned in a clause are unconstrained, so assuming them
-        true/false cannot conflict and they are skipped (except that mutually
-        contradictory assumptions still answer False).
+        Persistent assumptions (:meth:`assume`) are applied first, then the
+        per-call atoms.  Atoms never mentioned in a clause are unconstrained,
+        so assuming them true/false cannot conflict and they are skipped
+        (except that mutually contradictory assumptions still answer False).
         """
         self._backtrack(0)
         if not self._ok or self._propagate() is not None:
@@ -266,9 +316,11 @@ class ClauseSolver:
             return False
         assumed: dict[Atom, bool] = {}
         assumptions: list[int] = []
-        for atom, polarity in [(a, False) for a in false_atoms] + [
-            (a, True) for a in true_atoms
-        ]:
+        for atom, polarity in (
+            list(self._sticky.items())
+            + [(a, False) for a in false_atoms]
+            + [(a, True) for a in true_atoms]
+        ):
             if atom in assumed:
                 if assumed[atom] != polarity:
                     return False

@@ -117,17 +117,168 @@ def ground(
         return ground(rewritten, domain, assignment, positive)
     if isinstance(formula, (ExistsF, ForallF)):
         existential = isinstance(formula, ExistsF)
-        kind = ("or" if existential else "and") if positive else ("and" if existential else "or")
+        effective_or = existential == positive
         variables = list(formula.variables)
-        children = []
-        for values in itertools.product(domain, repeat=len(variables)):
-            extended = dict(assignment)
-            extended.update(zip(variables, values))
-            children.append(ground(formula.body, domain, extended, positive))
-            if children[-1] is (kind == "or"):
-                return kind == "or"
-        return _simplify_junction(kind, children)
+        if variables and not domain:
+            # ∃ over the empty domain is false, ∀ is true.
+            return not effective_or
+        return _ground_quantified(
+            formula.body, variables, domain, assignment, positive, effective_or
+        )
     raise TypeError(f"cannot ground formula {formula!r}")
+
+
+def _junction_parts(body: Formula, positive: bool) -> tuple[str | None, list[Formula]]:
+    """``body``'s subformulas under its effective top-level junction.
+
+    The junction kind accounts for the polarity the caller will ground with
+    (an ``AndF`` grounded negatively behaves as an "or", etc.); non-junction
+    bodies return ``(None, [body])``.
+    """
+    if isinstance(body, NotF):
+        # ¬(p1 ∧ p2) splits as ¬p1 ∨ ¬p2: each part is re-wrapped in a
+        # negation, cancelling double negations instead of stacking them.
+        kind, parts = _junction_parts(body.operand, not positive)
+        return kind, [
+            part.operand if isinstance(part, NotF) else NotF(part)
+            for part in parts
+        ]
+    if isinstance(body, AndF):
+        return ("and" if positive else "or"), list(body.conjuncts)
+    if isinstance(body, OrF):
+        return ("or" if positive else "and"), list(body.disjuncts)
+    if isinstance(body, Implies):
+        rewritten = OrF((NotF(body.antecedent), body.consequent))
+        return ("or" if positive else "and"), list(rewritten.disjuncts)
+    return None, [body]
+
+
+def _variable_blocks(
+    variables: Sequence[Variable], parts: Sequence[Formula]
+) -> tuple[list[tuple[list[Variable], list[Formula]]], list[Formula]]:
+    """Group ``parts`` into blocks linked by shared quantified variables.
+
+    Returns ``(blocks, hoisted)``: each block pairs its quantified variables
+    with the parts mentioning them (transitively), and ``hoisted`` collects
+    the parts mentioning no quantified variable at all.
+    """
+    variable_set = set(variables)
+    parent: dict[Variable, Variable] = {v: v for v in variables}
+
+    def find(v: Variable) -> Variable:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    hoisted: list[Formula] = []
+    placed: list[tuple[Formula, list[Variable]]] = []
+    for part in parts:
+        part_vars = [v for v in part.free_variables() if v in variable_set]
+        if not part_vars:
+            hoisted.append(part)
+            continue
+        placed.append((part, part_vars))
+        for other in part_vars[1:]:
+            root_a, root_b = find(part_vars[0]), find(other)
+            if root_a != root_b:
+                parent[root_a] = root_b
+    blocks: dict[Variable, tuple[list[Variable], list[Formula]]] = {}
+    for variable in variables:
+        root = find(variable)
+        if root not in blocks:
+            blocks[root] = ([], [])
+        blocks[root][0].append(variable)
+    for part, part_vars in placed:
+        blocks[find(part_vars[0])][1].append(part)
+    ordered = sorted(
+        (block for block in blocks.values() if block[1]),
+        key=lambda block: str(block[0][0]),
+    )
+    return ordered, hoisted
+
+
+def _ground_quantified(
+    body: Formula,
+    variables: Sequence[Variable],
+    domain: Sequence[Element],
+    assignment: Mapping,
+    positive: bool,
+    effective_or: bool,
+) -> GroundFormula:
+    """Ground ``Q variables . body`` by miniscoping instead of ``domain**k``.
+
+    The quantifier block is distributed over the body's junction where the
+    quantifier commutes with it, and split across variable-disjoint
+    components where it does not (``∃x̄ (φ1 ∧ φ2) ≡ ∃x̄1 φ1 ∧ ∃x̄2 φ2`` when
+    ``φ1, φ2`` share no quantified variable, dually for ``∀``/``∨``) — the
+    same co-occurrence analysis the engine's join planner performs on rule
+    bodies.  Only the variables of a connected component are enumerated
+    together, so the grounding is ``Σ |domain|^ki`` instead of
+    ``|domain|^(k1+...+km)``.
+    """
+    kind = "or" if effective_or else "and"
+    relevant = body.free_variables()
+    needed = [v for v in variables if v in relevant]
+    if not needed:
+        # The domain is non-empty here (the caller handled the empty case),
+        # so vacuous quantification does not change the truth value.
+        return ground(body, domain, assignment, positive)
+    inner_kind, parts = _junction_parts(body, positive)
+    if len(parts) > 1 and inner_kind == kind:
+        # The quantifier commutes with the junction: distribute it.
+        children = []
+        for part in parts:
+            child = _ground_quantified(
+                part, needed, domain, assignment, positive, effective_or
+            )
+            if child is (kind == "or"):
+                return kind == "or"
+            children.append(child)
+        return _simplify_junction(kind, children)
+    if len(parts) > 1 and inner_kind is not None:
+        blocks, hoisted = _variable_blocks(needed, parts)
+        if len(blocks) > 1 or hoisted:
+            children = [ground(part, domain, assignment, positive) for part in hoisted]
+            for block_variables, block_parts in blocks:
+                child = _enumerate_block(
+                    block_parts,
+                    block_variables,
+                    domain,
+                    assignment,
+                    positive,
+                    kind,
+                    inner_kind,
+                )
+                children.append(child)
+            return _simplify_junction(inner_kind, children)
+    # A single connected component: plain enumeration over its variables.
+    return _enumerate_block(
+        parts, needed, domain, assignment, positive, kind, inner_kind or kind
+    )
+
+
+def _enumerate_block(
+    parts: Sequence[Formula],
+    variables: Sequence[Variable],
+    domain: Sequence[Element],
+    assignment: Mapping,
+    positive: bool,
+    kind: str,
+    inner_kind: str,
+) -> GroundFormula:
+    """Enumerate one variable block: ``kind`` over assignments of the
+    ``inner_kind``-junction of the parts' groundings."""
+    children = []
+    for values in itertools.product(domain, repeat=len(variables)):
+        extended = dict(assignment)
+        extended.update(zip(variables, values))
+        grounded = [ground(part, domain, extended, positive) for part in parts]
+        child = _simplify_junction(inner_kind, grounded)
+        if child is (kind == "or"):
+            return kind == "or"
+        children.append(child)
+    return _simplify_junction(kind, children)
 
 
 def ground_cq(
@@ -136,20 +287,75 @@ def ground_cq(
     answer: Sequence[Element],
     positive: bool = True,
 ) -> GroundFormula:
-    """Ground ``q(answer)`` (or its negation) over the domain."""
+    """Ground ``q(answer)`` (or its negation) over the domain.
+
+    The existential variables are enumerated per connected component of the
+    query's atom graph (atoms linked by shared existential variables), not
+    as one flat ``domain ** k`` product: ``∃ȳ (C1 ∧ C2)`` with
+    variable-disjoint ``C1, C2`` factors into ``∃ȳ1 C1 ∧ ∃ȳ2 C2``, dually
+    for the negation.  Atoms without existential variables are grounded
+    once, outside any enumeration.
+    """
     assignment = dict(zip(query.answer_variables, answer))
-    existential = sorted(query.variables - set(query.answer_variables), key=str)
-    kind = "or" if positive else "and"
-    children = []
-    for values in itertools.product(domain, repeat=len(existential)):
-        extended = dict(assignment)
-        extended.update(zip(existential, values))
-        lits = []
-        for atom in sorted(query.atoms, key=str):
-            fact = Fact(atom.relation, tuple(_resolve(a, extended) for a in atom.arguments))
-            lits.append(("lit", fact, positive))
-        children.append(_simplify_junction("and" if positive else "or", lits))
-    return _simplify_junction(kind, children)
+    existential_set = query.variables - set(query.answer_variables)
+    atoms = sorted(query.atoms, key=str)
+    conjunction = "and" if positive else "or"  # junction of (negated) atoms
+    quantifier = "or" if positive else "and"  # junction over assignments
+
+    def literal(atom, values: Mapping) -> tuple:
+        fact = Fact(
+            atom.relation, tuple(_resolve(a, values) for a in atom.arguments)
+        )
+        return ("lit", fact, positive)
+
+    bound_atoms = [a for a in atoms if not set(a.variables) & existential_set]
+    parts: list = [literal(atom, assignment) for atom in bound_atoms]
+    linked_atoms = [a for a in atoms if set(a.variables) & existential_set]
+    for component_vars, component_atoms in _atom_components(
+        sorted(existential_set, key=str), linked_atoms, existential_set
+    ):
+        children = []
+        for values in itertools.product(domain, repeat=len(component_vars)):
+            extended = dict(assignment)
+            extended.update(zip(component_vars, values))
+            lits = [literal(atom, extended) for atom in component_atoms]
+            children.append(_simplify_junction(conjunction, lits))
+        parts.append(_simplify_junction(quantifier, children))
+    return _simplify_junction(conjunction, parts)
+
+
+def _atom_components(
+    variables: Sequence,
+    atoms: Sequence,
+    existential_set: frozenset,
+) -> list[tuple[list, list]]:
+    """Connected components of query atoms under shared existential variables."""
+    parent = {v: v for v in variables}
+
+    def find(v):
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    placed = []
+    for atom in atoms:
+        atom_vars = [v for v in atom.variables if v in existential_set]
+        placed.append((atom, atom_vars))
+        for other in atom_vars[1:]:
+            root_a, root_b = find(atom_vars[0]), find(other)
+            if root_a != root_b:
+                parent[root_a] = root_b
+    components: dict = {}
+    for variable in variables:
+        root = find(variable)
+        components.setdefault(root, ([], []))[0].append(variable)
+    for atom, atom_vars in placed:
+        components[find(atom_vars[0])][1].append(atom)
+    return sorted(
+        (c for c in components.values() if c[1]),
+        key=lambda c: str(c[0][0]),
+    )
 
 
 def ground_ucq(

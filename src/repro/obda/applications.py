@@ -226,3 +226,24 @@ def restrict_to_schema(instance: Instance, schema: Schema) -> Instance:
     """Drop facts outside the schema — how schema-free answering reduces to the
     fixed-schema case for ontologies that cannot see the extra symbols."""
     return instance.restrict_to_schema(schema)
+
+
+# ---------------------------------------------------------------------------
+# Serving (repro.service)
+# ---------------------------------------------------------------------------
+
+
+def serve_omq_workload(workload, initial_instance: Instance | None = None):
+    """Compile an OMQ workload into a live serving session.
+
+    ``workload`` is one OMQ (or DDlog program) or a mapping of query names
+    to them; the result is an :class:`repro.service.session.ObdaSession`
+    whose certain answers are maintained incrementally under
+    ``insert_facts`` / ``delete_facts``.  This is the deployment-facing
+    entry point tying Section 5's one-shot applications to the streaming
+    serving layer.
+    """
+    from ..service.session import ObdaSession
+
+    initial = () if initial_instance is None else initial_instance.facts
+    return ObdaSession(workload, initial_facts=initial)

@@ -79,6 +79,35 @@ def _select_engine(omq: OntologyMediatedQuery, engine: str):
     return ForestEngine(normalised)
 
 
+def compile_to_mddlog(omq: OntologyMediatedQuery):
+    """Compile the OMQ once into an equivalent MDDlog program (Theorem 3.3).
+
+    This is the ahead-of-time path of the serving layer
+    (:mod:`repro.service`): inverse and transitive roles are compiled away
+    where the rewritings of Theorems 3.6 / 3.11 apply, then the normalised
+    (ALC(H), UCQ) query is translated to monadic disjunctive datalog, which
+    the session grounds incrementally under streaming updates.  Raises
+    ``ValueError`` for ontology features with no complete MDDlog
+    translation (functional roles; transitive or universal roles beyond the
+    atomic-query rewritings).
+    """
+    from ..translations.alc_ucq_mddlog import alc_ucq_to_mddlog
+
+    normalised = _normalise(omq)
+    ontology = normalised.ontology
+    if ontology.uses_functional_roles():
+        raise ValueError(
+            "functional roles have no complete MDDlog translation "
+            "(certain answering for ALCF is undecidable, Theorem 5.8)"
+        )
+    if ontology.uses_transitive_roles() or ontology.uses_universal_role():
+        raise ValueError(
+            "transitive / universal roles are not supported by the "
+            "Theorem 3.3 translation for non-atomic queries"
+        )
+    return alc_ucq_to_mddlog(normalised)
+
+
 def certain_answers(
     omq: OntologyMediatedQuery, instance: Instance, engine: str = "auto"
 ) -> frozenset[tuple]:

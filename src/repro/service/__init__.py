@@ -1,0 +1,46 @@
+"""The OBDA serving layer: compiled sessions over streaming ABox updates.
+
+``repro.service`` turns the one-shot pipeline (translate an OMQ to
+disjunctive datalog, ground, solve) into a *server*: a workload of queries
+is compiled once into an :class:`ObdaSession`, and certain answers are then
+maintained incrementally while facts are inserted and deleted — delta
+grounding into a persistent CDCL solver with assumption-guarded retraction
+for disjunctive programs, semi-naive/DRed fixpoint maintenance for plain
+datalog.  See ``examples/streaming_obda.py`` for a tour and
+``benchmarks/bench_service_streaming.py`` for the speedup over from-scratch
+recomputation.
+"""
+
+from .delta import DeltaGrounder, IncrementalFixpoint, adom_guard, fact_guard
+from .session import ObdaSession, SessionStats
+from .workload import (
+    StreamEvent,
+    StreamReport,
+    deletes,
+    from_scratch_answers,
+    from_scratch_stream_cost,
+    graph_universe,
+    inserts,
+    medical_universe,
+    random_stream,
+    replay,
+)
+
+__all__ = [
+    "DeltaGrounder",
+    "IncrementalFixpoint",
+    "ObdaSession",
+    "SessionStats",
+    "StreamEvent",
+    "StreamReport",
+    "adom_guard",
+    "deletes",
+    "fact_guard",
+    "from_scratch_answers",
+    "from_scratch_stream_cost",
+    "graph_universe",
+    "inserts",
+    "medical_universe",
+    "random_stream",
+    "replay",
+]

@@ -1,0 +1,382 @@
+"""Delta grounding and incremental certain-answer maintenance.
+
+The serving layer keeps a ground disjunctive-datalog program *warm* across a
+stream of ABox updates.  Two maintenance strategies cover the two program
+classes:
+
+**Support-guarded delta grounding** (:class:`DeltaGrounder`), for arbitrary
+(disjunctive) programs.  Every ground clause instantiation carries its
+*support* as extra assumption literals:
+
+* one *fact guard* ``guard(f)`` per EDB fact ``f`` used by the clause's body
+  join, and
+* one *domain guard* ``in_adom(c)`` per active-domain element ``c`` the
+  clause's free variables were instantiated with (and per constant ``adom``
+  guard of the rule).
+
+Domain guards are derived, never assumed: for every fact ``f`` and constant
+``c`` occurring in it, a support clause ``guard(f) → in_adom(c)`` is emitted,
+so ``in_adom(c)`` is forced true exactly while some live fact mentions ``c``.
+The session asserts ``guard(f)`` as a persistent solver assumption while
+``f`` is live and simply retracts it on deletion — the clause database and
+all learned clauses survive, because guards are ordinary atoms and learned
+clauses are implied by the clause database alone.  On insertion, only clause
+instantiations whose body join touches the delta (semi-naive, through the
+engine's join planner) or whose free variables touch a new domain element
+are grounded and pushed into the live solver.
+
+**DRed maintenance** (:class:`IncrementalFixpoint`), for disjunction-free
+programs: the materialized least fixpoint is maintained by semi-naive
+insertion and delete-and-rederive (over-delete everything whose derivation
+touched a deleted fact, then re-derive what survives from the remainder).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable, Mapping
+
+from ..core.cq import Atom, Variable
+from ..core.instance import Fact, Instance, InstanceBuilder
+from ..core.schema import RelationSymbol
+from ..datalog.ddlog import ADOM, GOAL, DisjunctiveDatalogProgram, Rule
+from ..datalog.plain import DatalogProgram, delta_body_matches
+from ..engine.grounder import _split_body, instantiate_atom
+from ..engine.joins import canonical_key, extend_assignment, join_assignments
+from ..engine.sat import Clause
+
+Element = Hashable
+
+_ADOM_SYMBOL = RelationSymbol(ADOM, 1)
+
+
+def fact_guard(fact: Fact) -> tuple:
+    """The activation literal standing for "fact is live"."""
+    return ("guard", fact)
+
+
+def adom_guard(element: Element) -> tuple:
+    """The derived literal standing for "element is in the active domain"."""
+    return ("in_adom", element)
+
+
+@dataclass
+class _RuleState:
+    """Per-rule grounding state: the body split and the join results seen."""
+
+    rule: Rule
+    edb_atoms: list[Atom]
+    adom_atoms: list[Atom]
+    idb_atoms: list[Atom]
+    free: list[Variable]
+    partials: dict[tuple, dict] = field(default_factory=dict)
+
+
+class DeltaGrounder:
+    """Grounds only what an insertion can newly justify.
+
+    The grounder mirrors the from-scratch semantics of
+    :func:`repro.engine.grounder.ground_program` exactly — for the live fact
+    set, a clause is *active* (all its guards hold) iff the from-scratch
+    grounding over the current instance would contain its unguarded core —
+    so a session's answers always agree with a fresh recomputation.
+    """
+
+    def __init__(self, program: DisjunctiveDatalogProgram) -> None:
+        self.program = program
+        self._idb_names = frozenset(
+            {sym.name for sym in program.idb_relations} | {GOAL}
+        ) - {ADOM}
+        self._rules: list[_RuleState] = []
+        self._emitted: set[Clause] = set()
+        self.clauses_emitted = 0
+        bootstrap: list[Clause] = []
+        for rule in program.rules:
+            edb_atoms, adom_atoms, idb_atoms = _split_body(
+                rule, self._idb_names, ADOM
+            )
+            free = sorted(
+                {
+                    v
+                    for v in rule.variables
+                    if not any(v in a.variables for a in edb_atoms)
+                },
+                key=str,
+            )
+            state = _RuleState(rule, edb_atoms, adom_atoms, idb_atoms, free)
+            self._rules.append(state)
+            if not edb_atoms:
+                # The empty join result holds in every instance (including
+                # the empty one a session starts from); store it now so later
+                # epochs only top it up with new domain elements.
+                state.partials[canonical_key({})] = {}
+                if not free:
+                    self._emit_clause(state, {}, (), bootstrap.append)
+        self._bootstrap = bootstrap
+
+    def bootstrap_clauses(self) -> list[Clause]:
+        """Clauses valid over the empty instance (rules without EDB atoms or
+        free variables); push these into the solver before the first epoch."""
+        return list(self._bootstrap)
+
+    # -- insertion -------------------------------------------------------------
+
+    def insert(
+        self,
+        old_instance: Instance,
+        delta: Instance,
+        new_instance: Instance,
+    ) -> list[Clause]:
+        """The guarded clauses newly justified by inserting ``delta``.
+
+        ``new_instance`` must equal ``old_instance`` plus ``delta``.  Clauses
+        already emitted in an earlier epoch (a deleted fact being re-inserted)
+        are not re-emitted: retracting and re-asserting their guards is all
+        the reactivation they need.
+        """
+        emitted: list[Clause] = []
+
+        def emit(clause: Clause) -> None:
+            if clause not in self._emitted:
+                self._emitted.add(clause)
+                emitted.append(clause)
+
+        # guard(f) -> in_adom(c) for every constant of every new fact
+        for fact in sorted(delta, key=str):
+            for constant in set(fact.arguments):
+                emit(
+                    (
+                        frozenset([fact_guard(fact)]),
+                        frozenset([adom_guard(constant)]),
+                    )
+                )
+
+        new_elements = delta.active_domain - old_instance.active_domain
+        full_domain = sorted(new_instance.active_domain, key=repr)
+        for state in self._rules:
+            arity = len(state.free)
+            # Existing join results meet the new domain elements: enumerate
+            # only the free-variable tuples touching at least one of them.
+            if new_elements and arity and state.partials:
+                top_up = [
+                    values
+                    for values in itertools.product(full_domain, repeat=arity)
+                    if any(value in new_elements for value in values)
+                ]
+                for partial in state.partials.values():
+                    for values in top_up:
+                        self._emit_clause(state, partial, values, emit)
+            # New join results: semi-naive over the EDB atoms, each atom in
+            # turn matched against the delta, the rest against the full
+            # instance through the join planner.
+            if not state.edb_atoms:
+                continue
+            new_partials: list[dict] = []
+            for index, atom in enumerate(state.edb_atoms):
+                rows = delta.tuples(atom.relation)
+                if not rows:
+                    continue
+                rest = state.edb_atoms[:index] + state.edb_atoms[index + 1 :]
+                for row in rows:
+                    seed = extend_assignment(atom, row, {})
+                    if seed is None:
+                        continue
+                    for assignment in join_assignments(
+                        rest, new_instance, initial=seed
+                    ):
+                        key = canonical_key(assignment)
+                        if key in state.partials:
+                            continue
+                        state.partials[key] = assignment
+                        new_partials.append(assignment)
+            if new_partials:
+                all_tuples = list(itertools.product(full_domain, repeat=arity))
+                for assignment in new_partials:
+                    for values in all_tuples:
+                        self._emit_clause(state, assignment, values, emit)
+        self.clauses_emitted += len(emitted)
+        return emitted
+
+    # -- clause construction ---------------------------------------------------
+
+    def _emit_clause(
+        self,
+        state: _RuleState,
+        partial: Mapping[Variable, Element],
+        values: tuple,
+        emit: Callable[[Clause], None],
+    ) -> None:
+        assignment = dict(partial)
+        assignment.update(zip(state.free, values))
+        negative = {instantiate_atom(a, assignment) for a in state.idb_atoms}
+        positive = frozenset(
+            instantiate_atom(a, assignment) for a in state.rule.head
+        )
+        if negative & positive:
+            return  # tautology
+        for atom in state.edb_atoms:
+            relation, arguments = instantiate_atom(atom, assignment)
+            negative.add(fact_guard(Fact(relation, arguments)))
+        for value in values:
+            negative.add(adom_guard(value))
+        for atom in state.adom_atoms:
+            term = atom.arguments[0]
+            if not isinstance(term, Variable):
+                negative.add(adom_guard(term))
+        emit((frozenset(negative), positive))
+
+
+# ---------------------------------------------------------------------------
+# DRed maintenance of plain-datalog fixpoints
+# ---------------------------------------------------------------------------
+
+
+def _match_head(head: Atom, fact: Fact) -> dict[Variable, Element] | None:
+    """Unify a head atom with a ground fact; None when they do not match."""
+    if head.relation != fact.relation:
+        return None
+    assignment: dict[Variable, Element] = {}
+    for term, value in zip(head.arguments, fact.arguments):
+        if isinstance(term, Variable):
+            existing = assignment.get(term, value)
+            if existing != value:
+                return None
+            assignment[term] = value
+        elif term != value:
+            return None
+    return assignment
+
+
+class IncrementalFixpoint:
+    """A materialized least fixpoint maintained under fact-level updates.
+
+    Insertions run semi-naive rounds seeded by the delta; deletions use
+    DRed (delete-and-rederive): over-delete every fact whose derivation may
+    have used a deleted fact, then re-derive the survivors from what is
+    left.  ``adom`` facts are maintained directly from the EDB instance's
+    active domain, exactly as :meth:`DatalogProgram.least_fixpoint` seeds
+    them.
+    """
+
+    def __init__(
+        self, program: DatalogProgram, instance: Instance | None = None
+    ) -> None:
+        self.program = program
+        self._edb = instance if instance is not None else Instance([])
+        self._fixpoint = program.least_fixpoint(self._edb)
+
+    @property
+    def edb(self) -> Instance:
+        return self._edb
+
+    @property
+    def fixpoint(self) -> Instance:
+        return self._fixpoint
+
+    def goal_answers(self) -> frozenset[tuple]:
+        """Goal tuples over the active domain (the certain answers of a
+        disjunction-free program)."""
+        adom = self._edb.active_domain
+        return frozenset(
+            row
+            for row in self._fixpoint.tuples(self.program.goal_relation)
+            if all(value in adom for value in row)
+        )
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert(self, facts: Iterable[Fact]) -> None:
+        added = [f for f in facts if f not in self._edb.facts]
+        if not added:
+            return
+        new_edb = self._edb.with_facts(added)
+        new_elements = new_edb.active_domain - self._edb.active_domain
+        self._edb = new_edb
+        delta = list(added) + [
+            Fact(_ADOM_SYMBOL, (element,)) for element in new_elements
+        ]
+        self._propagate(delta)
+
+    def delete(self, facts: Iterable[Fact]) -> None:
+        removed = [f for f in facts if f in self._edb.facts]
+        if not removed:
+            return
+        new_edb = self._edb.without_facts(removed)
+        dropped = self._edb.active_domain - new_edb.active_domain
+        self._edb = new_edb
+        seeds = list(removed) + [
+            Fact(_ADOM_SYMBOL, (element,)) for element in dropped
+        ]
+        protected = set(new_edb.facts) | {
+            Fact(_ADOM_SYMBOL, (element,)) for element in new_edb.active_domain
+        }
+        # Over-deletion: anything derivable through a deleted fact, computed
+        # against the pre-deletion fixpoint (the standard over-approximation).
+        old_fixpoint = self._fixpoint
+        overdeleted: set[Fact] = set(seeds)
+        frontier = Instance(seeds)
+        while not frontier.is_empty():
+            wave: list[Fact] = []
+            for rule in self.program.rules:
+                head = rule.head[0]
+                for assignment in delta_body_matches(rule, old_fixpoint, frontier):
+                    fact = Fact(
+                        head.relation,
+                        tuple(
+                            assignment[a] if isinstance(a, Variable) else a
+                            for a in head.arguments
+                        ),
+                    )
+                    if fact in overdeleted or fact in protected:
+                        continue
+                    if fact in old_fixpoint:
+                        overdeleted.add(fact)
+                        wave.append(fact)
+            frontier = Instance(wave)
+        remaining = self._fixpoint.without_facts(overdeleted)
+        self._fixpoint = remaining
+        # Re-derivation: an over-deleted fact with an alternative derivation
+        # from the remainder comes back (and propagates semi-naively).  The
+        # removed facts themselves are candidates too — a deleted fact over
+        # an IDB relation stays derived exactly when some rule still derives
+        # it, matching a from-scratch recomputation.
+        rederived = []
+        for fact in sorted(overdeleted, key=str):
+            for rule in self.program.rules:
+                seed = _match_head(rule.head[0], fact)
+                if seed is None:
+                    continue
+                found = next(
+                    iter(join_assignments(rule.body, remaining, initial=seed)),
+                    None,
+                )
+                if found is not None:
+                    rederived.append(fact)
+                    break
+        if rederived:
+            self._propagate(rederived)
+
+    # -- semi-naive propagation ------------------------------------------------
+
+    def _propagate(self, delta_facts: list[Fact]) -> None:
+        builder = InstanceBuilder.from_instance(self._fixpoint)
+        fresh = [fact for fact in delta_facts if builder.add(fact)]
+        current = builder.build()
+        while fresh:
+            delta = Instance(fresh)
+            fresh = []
+            for rule in self.program.rules:
+                head = rule.head[0]
+                for assignment in delta_body_matches(rule, current, delta):
+                    fact = Fact(
+                        head.relation,
+                        tuple(
+                            assignment[a] if isinstance(a, Variable) else a
+                            for a in head.arguments
+                        ),
+                    )
+                    if builder.add(fact):
+                        fresh.append(fact)
+            current = builder.build()
+        self._fixpoint = current

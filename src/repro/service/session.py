@@ -1,0 +1,302 @@
+"""Compiled OBDA serving sessions.
+
+An :class:`ObdaSession` is the unit of deployment of the serving layer: a
+*workload* of ontology-mediated queries is compiled once — DL ontology plus
+UCQ into MDDlog through the Theorem 3.3 translation
+(:func:`repro.omq.certain.compile_to_mddlog`), or any disjunctive datalog
+program used directly — and the session then answers every query against a
+single mutable data instance that evolves fact-by-fact.
+
+Each compiled query owns persistent evaluation state:
+
+* disjunction-free programs keep a materialized least fixpoint maintained by
+  semi-naive insertion and DRed deletion
+  (:class:`repro.service.delta.IncrementalFixpoint`);
+* all other programs keep a live CDCL solver fed by support-guarded delta
+  grounding (:class:`repro.service.delta.DeltaGrounder`): insertions push
+  only the newly justified clauses, deletions retract the facts' guard
+  assumptions, and certain answers are assumption queries against the warm
+  solver with all learned clauses intact.
+
+Answers after every update are identical to a from-scratch recomputation
+over the current instance (the streaming test-suite cross-validates this on
+randomized update streams).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..core.instance import Fact, Instance
+from ..datalog.ddlog import DisjunctiveDatalogProgram
+from ..datalog.plain import DatalogProgram
+from ..engine.sat import ClauseSolver
+from ..omq.query import OntologyMediatedQuery
+from .delta import DeltaGrounder, IncrementalFixpoint, fact_guard
+
+DEFAULT_QUERY = "q"
+
+
+def _compile(entry) -> DisjunctiveDatalogProgram:
+    if isinstance(entry, DisjunctiveDatalogProgram):
+        return entry
+    if isinstance(entry, OntologyMediatedQuery):
+        from ..omq.certain import compile_to_mddlog
+
+        return compile_to_mddlog(entry)
+    raise TypeError(
+        f"workload entries must be OMQs or DDlog programs, got {entry!r}"
+    )
+
+
+class _SatState:
+    """Guarded ground program + persistent CDCL solver for one query."""
+
+    def __init__(self, program: DisjunctiveDatalogProgram) -> None:
+        self.program = program
+        self.grounder = DeltaGrounder(program)
+        self.solver = ClauseSolver()
+        for negative, positive in self.grounder.bootstrap_clauses():
+            self.solver.add_clause(negative, positive)
+
+    def insert(self, old: Instance, delta: Instance, new: Instance) -> int:
+        clauses = self.grounder.insert(old, delta, new)
+        for negative, positive in clauses:
+            self.solver.add_clause(negative, positive)
+        for fact in delta:
+            self.solver.assume(fact_guard(fact))
+        return len(clauses)
+
+    def delete(self, removed: Iterable[Fact]) -> None:
+        for fact in removed:
+            self.solver.retract_assumption(fact_guard(fact))
+
+    def certain_answers(self, instance: Instance) -> frozenset[tuple]:
+        domain = sorted(instance.active_domain, key=repr)
+        candidates = list(itertools.product(domain, repeat=self.program.arity))
+        decided = self.decide_batch(instance, candidates)
+        return frozenset(c for c, certain in decided.items() if certain)
+
+    def decide_batch(
+        self, instance: Instance, candidates: Sequence[tuple]
+    ) -> dict[tuple, bool]:
+        goal = self.program.goal_relation
+        adom = instance.active_domain
+        if not self.solver.solve():
+            # No model extends the data at all: every tuple is vacuously
+            # certain (mirrors GroundProgram.certain_answers).
+            return {candidate: True for candidate in candidates}
+        model = self.solver.last_model
+        decided: dict[tuple, bool] = {}
+        for candidate in candidates:
+            if any(value not in adom for value in candidate):
+                decided[candidate] = False
+                continue
+            atom = (goal, candidate)
+            if not model.get(atom, False):
+                # The screening model is already a counter-model.
+                decided[candidate] = False
+                continue
+            decided[candidate] = not self.solver.solve(false_atoms=[atom])
+        return decided
+
+    def is_certain(self, instance: Instance, answer: tuple) -> bool:
+        return self.decide_batch(instance, [answer])[answer]
+
+
+class _FixpointState:
+    """Materialized incremental fixpoint for a disjunction-free query."""
+
+    def __init__(self, program: DisjunctiveDatalogProgram) -> None:
+        self.program = program
+        datalog = (
+            program
+            if isinstance(program, DatalogProgram)
+            else DatalogProgram(program.rules, goal_relation=program.goal_relation)
+        )
+        self.fixpoint = IncrementalFixpoint(datalog)
+
+    def insert(self, old: Instance, delta: Instance, new: Instance) -> int:
+        self.fixpoint.insert(delta)
+        return 0
+
+    def delete(self, removed: Iterable[Fact]) -> None:
+        self.fixpoint.delete(removed)
+
+    def certain_answers(self, instance: Instance) -> frozenset[tuple]:
+        return self.fixpoint.goal_answers()
+
+    def decide_batch(
+        self, instance: Instance, candidates: Sequence[tuple]
+    ) -> dict[tuple, bool]:
+        answers = self.fixpoint.goal_answers()
+        return {candidate: candidate in answers for candidate in candidates}
+
+    def is_certain(self, instance: Instance, answer: tuple) -> bool:
+        return answer in self.fixpoint.goal_answers()
+
+
+@dataclass
+class SessionStats:
+    """Counters describing the work a session has done so far."""
+
+    epoch: int = 0
+    facts_inserted: int = 0
+    facts_deleted: int = 0
+    clauses_pushed: int = 0
+    queries_answered: int = 0
+    epochs: list[dict] = field(default_factory=list)
+
+
+class ObdaSession:
+    """A compiled OMQ workload served against a streaming data instance.
+
+    ``workload`` is a single OMQ / DDlog program or a mapping from query
+    names to them; OMQs are compiled to MDDlog once, at session start.
+    ``insert_facts`` / ``delete_facts`` advance the *epoch*, updating every
+    query's persistent state; ``certain_answers`` / ``answer_batch`` /
+    ``is_certain`` answer from the warm state without regrounding.
+    """
+
+    def __init__(
+        self,
+        workload,
+        initial_facts: Iterable[Fact] = (),
+    ) -> None:
+        if isinstance(workload, Mapping):
+            entries = dict(workload)
+        else:
+            entries = {DEFAULT_QUERY: workload}
+        if not entries:
+            raise ValueError("a session needs at least one query")
+        self._states: dict[str, _SatState | _FixpointState] = {}
+        for name, entry in entries.items():
+            program = _compile(entry)
+            if program.is_disjunction_free() and not any(
+                rule.is_constraint() for rule in program.rules
+            ):
+                self._states[name] = _FixpointState(program)
+            else:
+                self._states[name] = _SatState(program)
+        self._instance = Instance([])
+        self.stats = SessionStats()
+        initial = list(initial_facts)
+        if initial:
+            self.insert_facts(initial)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def instance(self) -> Instance:
+        """The current data instance."""
+        return self._instance
+
+    @property
+    def query_names(self) -> tuple[str, ...]:
+        return tuple(self._states)
+
+    def program(self, name: str | None = None) -> DisjunctiveDatalogProgram:
+        return self._state(name).program
+
+    def _state(self, name: str | None) -> "_SatState | _FixpointState":
+        if name is None:
+            if len(self._states) == 1:
+                return next(iter(self._states.values()))
+            raise ValueError(
+                f"session serves {sorted(self._states)}; pass a query name"
+            )
+        try:
+            return self._states[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown query {name!r}; session serves {sorted(self._states)}"
+            ) from None
+
+    # -- updates ---------------------------------------------------------------
+
+    def insert_facts(self, facts: Iterable[Fact]) -> int:
+        """Insert facts; returns how many were new.  One epoch."""
+        added = [f for f in facts if f not in self._instance.facts]
+        if not added:
+            return 0
+        old = self._instance
+        delta = Instance(added)
+        new = old.with_facts(added)
+        pushed = 0
+        for state in self._states.values():
+            pushed += state.insert(old, delta, new)
+        self._instance = new
+        self.stats.epoch += 1
+        self.stats.facts_inserted += len(added)
+        self.stats.clauses_pushed += pushed
+        self.stats.epochs.append(
+            {"epoch": self.stats.epoch, "op": "insert", "facts": len(added), "clauses": pushed}
+        )
+        return len(added)
+
+    def delete_facts(self, facts: Iterable[Fact]) -> int:
+        """Delete facts; returns how many were present.  One epoch."""
+        removed = [f for f in facts if f in self._instance.facts]
+        if not removed:
+            return 0
+        for state in self._states.values():
+            state.delete(removed)
+        self._instance = self._instance.without_facts(removed)
+        self.stats.epoch += 1
+        self.stats.facts_deleted += len(removed)
+        self.stats.epochs.append(
+            {"epoch": self.stats.epoch, "op": "delete", "facts": len(removed), "clauses": 0}
+        )
+        return len(removed)
+
+    # -- queries ---------------------------------------------------------------
+
+    def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
+        """The certain answers of the (named) query on the current instance."""
+        self.stats.queries_answered += 1
+        return self._state(name).certain_answers(self._instance)
+
+    def is_certain(self, answer: Sequence = (), name: str | None = None) -> bool:
+        """Does the tuple belong to the certain answers right now?"""
+        self.stats.queries_answered += 1
+        return self._state(name).is_certain(self._instance, tuple(answer))
+
+    def answer_batch(
+        self,
+        candidates: Iterable[Sequence],
+        name: str | None = None,
+    ) -> dict[tuple, bool]:
+        """Decide a batch of candidate tuples in one pass over the warm state."""
+        state = self._state(name)
+        self.stats.queries_answered += 1
+        batch = [tuple(candidate) for candidate in candidates]
+        return state.decide_batch(self._instance, batch)
+
+    def answer_all(self) -> dict[str, frozenset[tuple]]:
+        """Certain answers of every query in the workload."""
+        return {name: self.certain_answers(name) for name in self._states}
+
+    # -- maintenance -----------------------------------------------------------
+
+    def compact(self) -> None:
+        """Rebuild every query's state from the current instance.
+
+        A long stream accumulates clauses for retracted epochs; compaction
+        regrounds from the live facts only, resetting solver and guard
+        state (the streaming equivalent of a VACUUM).
+        """
+        facts = sorted(self._instance.facts, key=str)
+        rebuilt: dict[str, _SatState | _FixpointState] = {}
+        old = Instance([])
+        delta = Instance(facts)
+        for name, state in self._states.items():
+            if isinstance(state, _FixpointState):
+                fresh: "_SatState | _FixpointState" = _FixpointState(state.program)
+            else:
+                fresh = _SatState(state.program)
+            if facts:
+                fresh.insert(old, delta, self._instance)
+            rebuilt[name] = fresh
+        self._states = rebuilt

@@ -1,0 +1,230 @@
+"""Streaming traffic drivers for OBDA serving sessions.
+
+A *stream* is a sequence of :class:`StreamEvent` — fact insertions, fact
+deletions and query requests.  :func:`replay` feeds a stream to an
+:class:`~repro.service.session.ObdaSession` and (optionally) cross-validates
+every answer against a from-scratch recomputation of the compiled program
+over the instance as it stands, which is how the streaming benchmark and the
+randomized correctness suite certify the incremental maintenance.
+
+:func:`random_stream` generates reproducible interleaved insert / delete /
+query traffic over a fact universe, weighted so instances grow, shrink and
+churn; :func:`medical_stream` builds such a universe for the paper's Table 1
+medical workload and :func:`graph_stream` for the CSP zoo's ``edge`` schema.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..core.instance import Fact, Instance
+from ..core.schema import RelationSymbol
+from ..engine.grounder import ground_program
+from .session import ObdaSession
+
+INSERT = "insert"
+DELETE = "delete"
+QUERY = "query"
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One unit of serving traffic."""
+
+    kind: str  # "insert" | "delete" | "query"
+    facts: tuple[Fact, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in (INSERT, DELETE, QUERY):
+            raise ValueError(f"unknown stream event kind {self.kind!r}")
+
+
+def inserts(*facts: Fact) -> StreamEvent:
+    return StreamEvent(INSERT, tuple(facts))
+
+
+def deletes(*facts: Fact) -> StreamEvent:
+    return StreamEvent(DELETE, tuple(facts))
+
+
+QUERY_EVENT = StreamEvent(QUERY)
+
+
+@dataclass
+class StreamReport:
+    """What a replay did and how long it took."""
+
+    events: int = 0
+    inserts: int = 0
+    deletes: int = 0
+    queries: int = 0
+    answers: list[dict[str, frozenset[tuple]]] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    validated: bool = False
+
+
+def random_stream(
+    universe: Sequence[Fact],
+    length: int,
+    seed: int = 0,
+    batch_size: int = 3,
+    query_every: int = 1,
+    insert_bias: float = 0.7,
+) -> list[StreamEvent]:
+    """A reproducible interleaved insert/delete/query stream.
+
+    Facts are drawn from ``universe``; the stream starts on an empty
+    instance, inserts are biased over deletes (so instances grow and churn
+    rather than staying empty), deletes only target currently-live facts,
+    and every ``query_every``-th update is followed by a query event.
+    """
+    rng = random.Random(seed)
+    live: set[Fact] = set()
+    events: list[StreamEvent] = []
+    updates = 0
+    while updates < length:
+        if not live:
+            do_insert = True
+        elif len(live) == len(universe):
+            do_insert = False
+        else:
+            do_insert = rng.random() < insert_bias
+        if do_insert:
+            pool = [f for f in universe if f not in live]
+            batch = rng.sample(pool, min(len(pool), rng.randint(1, batch_size)))
+            live.update(batch)
+            events.append(StreamEvent(INSERT, tuple(batch)))
+        else:
+            pool = sorted(live, key=str)
+            if not pool:
+                continue
+            batch = rng.sample(pool, min(len(pool), rng.randint(1, batch_size)))
+            live.difference_update(batch)
+            events.append(StreamEvent(DELETE, tuple(batch)))
+        updates += 1
+        if updates % query_every == 0:
+            events.append(QUERY_EVENT)
+    return events
+
+
+def replay(
+    session: ObdaSession,
+    events: Iterable[StreamEvent],
+    validate: bool = False,
+) -> StreamReport:
+    """Feed a stream to a session; optionally cross-validate every answer.
+
+    With ``validate=True``, each query event's answers are compared to a
+    from-scratch grounding of the same compiled program over the current
+    instance (:func:`repro.engine.grounder.ground_program`); a mismatch
+    raises ``AssertionError`` with the offending epoch.
+    """
+    report = StreamReport()
+    started = time.perf_counter()
+    for event in events:
+        report.events += 1
+        if event.kind == INSERT:
+            session.insert_facts(event.facts)
+            report.inserts += 1
+        elif event.kind == DELETE:
+            session.delete_facts(event.facts)
+            report.deletes += 1
+        else:
+            answers = session.answer_all()
+            report.queries += 1
+            report.answers.append(answers)
+            if validate:
+                for name, got in answers.items():
+                    expected = from_scratch_answers(session, name)
+                    if got != expected:
+                        raise AssertionError(
+                            f"epoch {session.stats.epoch}: incremental answers "
+                            f"for {name!r} diverge: {sorted(got)} != "
+                            f"{sorted(expected)}"
+                        )
+    report.elapsed_s = time.perf_counter() - started
+    report.validated = validate
+    return report
+
+
+def from_scratch_answers(session: ObdaSession, name: str | None = None) -> frozenset:
+    """Reference recomputation: reground the compiled program over the
+    session's current instance and solve from zero."""
+    program = session.program(name)
+    return ground_program(program, session.instance).certain_answers()
+
+
+# ---------------------------------------------------------------------------
+# Fact universes for the paper's workloads
+# ---------------------------------------------------------------------------
+
+
+def medical_universe(patients: int = 8, generations: int = 5) -> list[Fact]:
+    """A pool of facts over the Table 1 medical schema: patients with
+    findings and diagnoses, plus a ``HasParent`` chain with a predisposed
+    ancestor (exercises both the UCQ and the recursive AQ)."""
+    has_finding = RelationSymbol("HasFinding", 2)
+    has_diagnosis = RelationSymbol("HasDiagnosis", 2)
+    has_parent = RelationSymbol("HasParent", 2)
+    erythema = RelationSymbol("ErythemaMigrans", 1)
+    listeriosis = RelationSymbol("Listeriosis", 1)
+    lyme = RelationSymbol("LymeDisease", 1)
+    predisposition = RelationSymbol("HereditaryPredisposition", 1)
+    facts: list[Fact] = []
+    for index in range(patients):
+        patient = f"patient{index}"
+        finding = f"finding{index}"
+        diagnosis = f"diag{index}"
+        facts.append(Fact(has_finding, (patient, finding)))
+        facts.append(Fact(has_diagnosis, (patient, diagnosis)))
+        if index % 3 == 0:
+            facts.append(Fact(erythema, (finding,)))
+        if index % 3 == 1:
+            facts.append(Fact(listeriosis, (diagnosis,)))
+        if index % 3 == 2:
+            facts.append(Fact(lyme, (diagnosis,)))
+    for index in range(generations):
+        facts.append(Fact(has_parent, (f"person{index}", f"person{index + 1}")))
+    facts.append(Fact(predisposition, (f"person{generations}",)))
+    return facts
+
+
+def graph_universe(vertices: int = 8, seed: int = 0, density: float = 0.5) -> list[Fact]:
+    """A pool of directed ``edge`` facts for streaming CSP-zoo workloads."""
+    edge = RelationSymbol("edge", 2)
+    rng = random.Random(seed)
+    facts = []
+    for i in range(vertices):
+        for j in range(vertices):
+            if i != j and rng.random() < density:
+                facts.append(Fact(edge, (f"v{i}", f"v{j}")))
+    return facts
+
+
+def from_scratch_stream_cost(
+    session: ObdaSession, events: Sequence[StreamEvent]
+) -> tuple[float, list[frozenset]]:
+    """Replay the stream with *from-scratch* evaluation only.
+
+    The baseline the streaming benchmark compares against: the instance is
+    rebuilt per update and every query event regrounds the compiled
+    program(s) and solves from zero.  Returns (elapsed seconds, answers per
+    query event, concatenated across queries in workload order).
+    """
+    programs = [session.program(name) for name in session.query_names]
+    instance = Instance([])
+    answers: list[frozenset] = []
+    started = time.perf_counter()
+    for event in events:
+        if event.kind == INSERT:
+            instance = instance.with_facts(event.facts)
+        elif event.kind == DELETE:
+            instance = instance.without_facts(event.facts)
+        else:
+            for program in programs:
+                answers.append(ground_program(program, instance).certain_answers())
+    elapsed = time.perf_counter() - started
+    return elapsed, answers

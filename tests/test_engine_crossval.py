@@ -263,6 +263,195 @@ def test_incremental_clause_addition_stays_sound(seed):
                 )
 
 
+def _eval_ground(formula, valuation):
+    """Truth value of a ground formula under a fact valuation."""
+    if isinstance(formula, bool):
+        return formula
+    tag = formula[0]
+    if tag == "lit":
+        _tag, fact, positive = formula
+        value = valuation[fact]
+        return value if positive else not value
+    children = [_eval_ground(child, valuation) for child in formula[1]]
+    return all(children) if tag == "and" else any(children)
+
+
+def _ground_facts(formula, accumulator):
+    if isinstance(formula, bool):
+        return accumulator
+    if formula[0] == "lit":
+        accumulator.add(formula[1])
+        return accumulator
+    for child in formula[1]:
+        _ground_facts(child, accumulator)
+    return accumulator
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_miniscoped_cq_grounding_is_equivalent_to_flat(seed):
+    """ground_cq's per-component enumeration equals the flat domain**k product."""
+    import itertools as it
+
+    from repro.core.cq import ConjunctiveQuery
+    from repro.fo.grounding import ground_cq
+
+    rng = random.Random(7000 + seed)
+    variables = [Variable(f"y{i}") for i in range(rng.randint(1, 4))]
+    answer = (Variable("x"),) if rng.random() < 0.5 else ()
+    pool = list(variables) + list(answer)
+    atoms = []
+    for _ in range(rng.randint(1, 4)):
+        symbol = rng.choice([A, B, EDGE])
+        args = tuple(rng.choice(pool) for _ in range(symbol.arity))
+        atoms.append(Atom(symbol, args))
+    used = {v for atom in atoms for v in atom.variables}
+    if answer and answer[0] not in used:
+        atoms.append(Atom(A, (answer[0],)))
+    query = ConjunctiveQuery(answer, atoms)
+    domain = list(range(rng.randint(0, 3)))
+    answer_values = tuple("c" for _ in answer)
+    for positive in (True, False):
+        grounded = ground_cq(query, domain, answer_values, positive=positive)
+        # flat reference: one big product over every existential variable
+        existential = sorted(query.variables - set(query.answer_variables), key=str)
+        assignment = dict(zip(query.answer_variables, answer_values))
+        flat_children = []
+        for values in it.product(domain, repeat=len(existential)):
+            extended = dict(assignment)
+            extended.update(zip(existential, values))
+            lits = []
+            for atom in sorted(query.atoms, key=str):
+                arguments = tuple(
+                    extended[a] if isinstance(a, Variable) else a
+                    for a in atom.arguments
+                )
+                lits.append(("lit", Fact(atom.relation, arguments), positive))
+            conj = all if positive else any
+            flat_children.append((conj, lits))
+        facts = sorted(_ground_facts(grounded, set()), key=str)
+        for _ in range(25):
+            valuation = {}
+            for _conj, lits in flat_children:
+                for lit in lits:
+                    valuation.setdefault(lit[1], rng.random() < 0.5)
+            for fact in facts:
+                valuation.setdefault(fact, rng.random() < 0.5)
+            flat_value_parts = [
+                (all if positive else any)(
+                    (valuation[lit[1]] if lit[2] else not valuation[lit[1]])
+                    for lit in lits
+                )
+                for _conj, lits in flat_children
+            ]
+            flat_value = (
+                any(flat_value_parts) if positive else all(flat_value_parts)
+            )
+            assert _eval_ground(grounded, valuation) == flat_value
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_miniscoped_quantifier_grounding_is_equivalent_to_flat(seed):
+    """ground()'s block-split quantifier enumeration preserves truth values."""
+    import itertools as it
+
+    from repro.fo.formulas import (
+        AndF,
+        ExistsF,
+        ForallF,
+        NotF,
+        OrF,
+        RelationalAtom,
+    )
+    from repro.fo.grounding import ground
+
+    rng = random.Random(8000 + seed)
+    fo_vars = [Variable(f"v{i}") for i in range(3)]
+
+    def random_formula(depth, scope):
+        choice = rng.random()
+        if depth == 0 or choice < 0.3:
+            symbol = rng.choice([A, B, EDGE])
+            args = tuple(rng.choice(scope) for _ in range(symbol.arity))
+            atom = RelationalAtom(symbol, args)
+            return NotF(atom) if rng.random() < 0.3 else atom
+        if choice < 0.5:
+            return AndF(
+                tuple(random_formula(depth - 1, scope) for _ in range(2))
+            )
+        if choice < 0.7:
+            return OrF(
+                tuple(random_formula(depth - 1, scope) for _ in range(2))
+            )
+        if choice < 0.82:
+            # negation over a composite subformula: exercises the
+            # double-negation cancellation of the miniscoped decomposition
+            return NotF(random_formula(depth - 1, scope))
+        quantifier = ExistsF if rng.random() < 0.5 else ForallF
+        bound = tuple(
+            rng.sample(fo_vars, rng.randint(1, 2))
+        )
+        return quantifier(bound, random_formula(depth - 1, list(scope) + list(bound)))
+
+    quantifier = ExistsF if rng.random() < 0.5 else ForallF
+    formula = quantifier(tuple(fo_vars), random_formula(2, fo_vars))
+    domain = list(range(rng.randint(1, 3)))
+    grounded = ground(formula, domain)
+
+    def flat(node, values, positive):
+        """Reference grounding evaluated directly under a valuation."""
+        if isinstance(node, RelationalAtom):
+            arguments = tuple(
+                values[a] if isinstance(a, Variable) else a for a in node.arguments
+            )
+            result = valuation[Fact(node.relation, arguments)]
+            return result if positive else not result
+        if isinstance(node, NotF):
+            return flat(node.operand, values, not positive)
+        if isinstance(node, AndF):
+            op = all if positive else any
+            return op(flat(c, values, positive) for c in node.conjuncts)
+        if isinstance(node, OrF):
+            op = any if positive else all
+            return op(flat(c, values, positive) for c in node.disjuncts)
+        existential_node = isinstance(node, ExistsF)
+        op = any if existential_node == positive else all
+        results = []
+        for assignment in it.product(domain, repeat=len(node.variables)):
+            extended = dict(values)
+            extended.update(zip(node.variables, assignment))
+            results.append(flat(node.body, extended, positive))
+        return op(results)
+
+    all_facts = set()
+    for symbol in (A, B, EDGE):
+        for args in it.product(domain, repeat=symbol.arity):
+            all_facts.add(Fact(symbol, args))
+    _ground_facts(grounded, all_facts)
+    for _ in range(25):
+        valuation = {fact: rng.random() < 0.5 for fact in all_facts}
+        assert _eval_ground(grounded, valuation) == flat(formula, {}, True)
+
+
+def test_negated_junction_with_nested_negation_grounds_correctly():
+    """Regression: ∀x ¬(¬A(x) ∧ B(x)) must ground to A(c) ∨ ¬B(c) — the
+    miniscoped decomposition has to cancel the double negation, not stack
+    a new one on top of it."""
+    from repro.fo.formulas import AndF, ForallF, NotF, RelationalAtom
+    from repro.fo.grounding import ground
+
+    x = Variable("x")
+    formula = ForallF(
+        (x,),
+        NotF(AndF((NotF(RelationalAtom(A, (x,))), RelationalAtom(B, (x,))))),
+    )
+    grounded = ground(formula, ["c"])
+    fact_a, fact_b = Fact(A, ("c",)), Fact(B, ("c",))
+    for value_a in (False, True):
+        for value_b in (False, True):
+            valuation = {fact_a: value_a, fact_b: value_b}
+            assert _eval_ground(grounded, valuation) == (value_a or not value_b)
+
+
 @pytest.mark.parametrize("seed", range(10))
 def test_instance_indexes_match_linear_scans(seed):
     rng = random.Random(5000 + seed)

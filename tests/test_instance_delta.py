@@ -1,0 +1,115 @@
+"""Delta-copied instance indexes stay equal to from-scratch construction.
+
+``with_facts`` / ``without_facts`` share or incrementally update the
+parent's per-relation / per-position / per-constant indexes; these tests
+drive randomized add/remove chains and assert every observable — fact set,
+schema, active domain and all three indexes — matches a freshly built
+instance at every step.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+
+A = RelationSymbol("A", 1)
+R = RelationSymbol("R", 2)
+T = RelationSymbol("T", 3)
+SYMBOLS = (A, R, T)
+
+
+def _universe(domain):
+    facts = [Fact(A, (e,)) for e in domain]
+    facts += [Fact(R, (x, y)) for x in domain for y in domain]
+    facts += [Fact(T, (x, y, x)) for x in domain for y in domain]
+    return facts
+
+
+def _assert_equivalent(instance: Instance, facts: set) -> None:
+    reference = Instance(facts)
+    assert instance == reference
+    assert instance.active_domain == reference.active_domain
+    assert set(instance.schema) == set(reference.schema)
+    for symbol in SYMBOLS:
+        assert instance.tuples(symbol) == reference.tuples(symbol)
+        rows = reference.tuples(symbol)
+        for position in range(symbol.arity):
+            values = {row[position] for row in rows}
+            assert instance.position_values(symbol, position) == values
+            for value in values:
+                assert instance.tuples_with(symbol, position, value) == frozenset(
+                    row for row in rows if row[position] == value
+                )
+    for constant in list(instance.active_domain) + ["missing"]:
+        assert instance.facts_with_constant(constant) == frozenset(
+            f for f in facts if constant in f.arguments
+        )
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_delta_chain_matches_from_scratch(seed):
+    rng = random.Random(seed)
+    universe = _universe([1, 2, 3])
+    instance = Instance([])
+    live: set = set()
+    for step in range(30):
+        # exercise both cold and warm index paths: sometimes touch the
+        # indexes before updating so the delta copy has something to carry
+        if rng.random() < 0.5:
+            instance.facts_with_constant(1)
+            instance.tuples_with(R, 0, 1)
+        free = [f for f in universe if f not in live]
+        if free and (not live or rng.random() < 0.6):
+            batch = rng.sample(free, min(len(free), rng.randint(1, 4)))
+            live.update(batch)
+            instance = instance.with_facts(batch)
+        else:
+            batch = rng.sample(
+                sorted(live, key=str), min(len(live), rng.randint(1, 4))
+            )
+            live.difference_update(batch)
+            instance = instance.without_facts(batch)
+        _assert_equivalent(instance, live)
+
+
+def test_with_facts_noop_returns_self():
+    instance = Instance([Fact(A, (1,))])
+    assert instance.with_facts([Fact(A, (1,))]) is instance
+    assert instance.without_facts([Fact(A, (2,))]) is instance
+
+
+def test_schema_is_reinferred_like_before():
+    """A relation emptied by deletion leaves the schema, as it always did."""
+    instance = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
+    shrunk = instance.without_facts([Fact(R, (1, 2))])
+    assert set(shrunk.schema) == {A}
+    grown = shrunk.with_facts([Fact(T, (1, 1, 1))])
+    assert set(grown.schema) == {A, T}
+
+
+def test_domain_shrinks_only_when_last_mention_goes():
+    instance = Instance([Fact(R, (1, 2)), Fact(A, (2,))])
+    after = instance.without_facts([Fact(R, (1, 2))])
+    assert after.active_domain == frozenset({2})
+    assert instance.active_domain == frozenset({1, 2})  # parent untouched
+
+
+def test_position_index_shared_for_untouched_relations():
+    instance = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
+    # build the parent's position index for both relations
+    instance.tuples_with(A, 0, 1)
+    instance.tuples_with(R, 0, 1)
+    child = instance.with_facts([Fact(R, (2, 1))])
+    # untouched relation shares the parent's index object; touched rebuilt
+    assert child._by_position[A] is instance._by_position[A]
+    assert R not in child._by_position
+    assert child.tuples_with(R, 1, 1) == frozenset({(2, 1)})
+
+
+def test_union_still_infers_schema():
+    left = Instance([Fact(A, (1,))])
+    right = Instance([Fact(R, (1, 2))])
+    union = left | right
+    assert set(union.schema) == {A, R}
+    assert union.facts == left.facts | right.facts

@@ -1,0 +1,308 @@
+"""Incremental correctness of the OBDA serving layer.
+
+Randomized insert/delete/query streams are replayed through
+:class:`ObdaSession` and every answer is cross-validated against a fresh
+from-scratch recomputation (``ground_program(...).certain_answers()``) over
+the instance as it stands — the serving layer is only allowed to be faster,
+never different.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Atom, Fact, Instance, RelationSymbol, Variable
+from repro.datalog import DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
+from repro.datalog.plain import DatalogProgram
+from repro.engine.grounder import ground_program
+from repro.omq.certain import compile_to_mddlog
+from repro.service import (
+    IncrementalFixpoint,
+    ObdaSession,
+    graph_universe,
+    medical_universe,
+    random_stream,
+    replay,
+)
+from repro.service.session import _FixpointState, _SatState
+from repro.translations.csp_templates import csp_to_mddlog
+from repro.workloads.csp_zoo import two_colourability_template
+from repro.workloads.medical import example_2_1_omq, patient_instance
+
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+EDGE = RelationSymbol("edge", 2)
+P = RelationSymbol("P", 1)
+Q = RelationSymbol("Q", 1)
+X, Y = Variable("x"), Variable("y")
+
+
+def _random_body(rng):
+    pool = []
+    for symbol in (A, B, EDGE, P, Q):
+        if symbol.arity == 1:
+            pool.extend([Atom(symbol, (X,)), Atom(symbol, (Y,))])
+        else:
+            pool.extend(
+                [Atom(symbol, (X, Y)), Atom(symbol, (Y, X)), Atom(symbol, (X, X))]
+            )
+    pool.extend([adom_atom(X), adom_atom(Y)])
+    return tuple(rng.sample(pool, rng.randint(1, 3)))
+
+
+def _random_program(rng, goal_arity):
+    rules = []
+    for _ in range(rng.randint(2, 4)):
+        body = _random_body(rng)
+        body_vars = sorted({v for atom in body for v in atom.variables}, key=str)
+        head_pool = [Atom(s, (v,)) for s in (P, Q) for v in body_vars]
+        kind = rng.random()
+        if kind < 0.25:
+            head = ()
+        elif kind < 0.55:
+            if goal_arity == 0:
+                head = (goal_atom(),)
+            else:
+                head = (goal_atom(rng.choice(body_vars)),)
+        else:
+            head = tuple(
+                rng.sample(head_pool, min(len(head_pool), rng.randint(1, 2)))
+            )
+        rules.append(Rule(head, body))
+    if not any(rule.is_goal_rule() for rule in rules):
+        goal_head = (goal_atom(),) if goal_arity == 0 else (goal_atom(X),)
+        rules.append(Rule(goal_head, (Atom(P, (X,)),)))
+    return DisjunctiveDatalogProgram(rules)
+
+
+def _fact_universe(domain):
+    facts = []
+    for element in domain:
+        facts.extend([Fact(A, (element,)), Fact(B, (element,))])
+    for source in domain:
+        for target in domain:
+            facts.append(Fact(EDGE, (source, target)))
+    return facts
+
+
+def _run_stream(rng, session, universe, steps, check_every=1):
+    """Drive random updates, cross-validating against from-scratch answers."""
+    live = set()
+    for step in range(steps):
+        free = [f for f in universe if f not in live]
+        if free and (not live or rng.random() < 0.65):
+            batch = rng.sample(free, min(len(free), rng.randint(1, 3)))
+            live.update(batch)
+            session.insert_facts(batch)
+        else:
+            batch = rng.sample(
+                sorted(live, key=str), min(len(live), rng.randint(1, 3))
+            )
+            live.difference_update(batch)
+            session.delete_facts(batch)
+        assert session.instance == Instance(live)
+        if step % check_every == 0:
+            for name in session.query_names:
+                got = session.certain_answers(name)
+                expected = ground_program(
+                    session.program(name), session.instance
+                ).certain_answers()
+                assert got == expected, (
+                    f"step {step}: {sorted(got)} != {sorted(expected)}"
+                )
+    return live
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_random_streams_match_from_scratch(seed):
+    rng = random.Random(seed)
+    program = _random_program(rng, rng.choice([0, 1]))
+    session = ObdaSession(program)
+    _run_stream(rng, session, _fact_universe([1, 2, 3]), steps=18)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_disjunctive_streams_use_guarded_solver(seed):
+    """Force the SAT path (disjunctive head) and validate across churn."""
+    rng = random.Random(100 + seed)
+    rules = [
+        Rule((Atom(P, (X,)), Atom(Q, (X,))), (adom_atom(X),)),
+        Rule((), (Atom(P, (X,)), Atom(A, (X,)))),
+        Rule((goal_atom(X),), (Atom(Q, (X,)), Atom(EDGE, (X, Y)))),
+    ]
+    program = DisjunctiveDatalogProgram(rules)
+    session = ObdaSession(program)
+    assert isinstance(session._state(None), _SatState)
+    _run_stream(rng, session, _fact_universe([1, 2, 3]), steps=20)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_plain_datalog_streams_use_incremental_fixpoint(seed):
+    """Force the fixpoint path (disjunction-free) and validate across churn."""
+    rng = random.Random(200 + seed)
+    rules = [
+        Rule((Atom(P, (X,)),), (Atom(A, (X,)),)),
+        Rule((Atom(P, (Y,)),), (Atom(P, (X,)), Atom(EDGE, (X, Y)))),
+        Rule((goal_atom(X),), (Atom(P, (X,)), Atom(B, (X,)))),
+    ]
+    program = DisjunctiveDatalogProgram(rules)
+    session = ObdaSession(program)
+    assert isinstance(session._state(None), _FixpointState)
+    _run_stream(rng, session, _fact_universe([1, 2, 3, 4]), steps=22)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_incremental_fixpoint_matches_least_fixpoint(seed):
+    """IncrementalFixpoint (semi-naive + DRed) equals a fresh fixpoint."""
+    rng = random.Random(300 + seed)
+    rules = [
+        Rule((Atom(P, (X,)),), (Atom(A, (X,)),)),
+        Rule((Atom(P, (Y,)),), (Atom(P, (X,)), Atom(EDGE, (X, Y)))),
+        Rule((Atom(Q, (X,)),), (Atom(P, (X,)), Atom(B, (X,)))),
+        Rule((goal_atom(X),), (Atom(Q, (X,)), adom_atom(X))),
+    ]
+    program = DatalogProgram(rules)
+    incremental = IncrementalFixpoint(program)
+    universe = _fact_universe([1, 2, 3, 4])
+    live = set()
+    for _ in range(25):
+        free = [f for f in universe if f not in live]
+        if free and (not live or rng.random() < 0.6):
+            batch = rng.sample(free, min(len(free), rng.randint(1, 4)))
+            live.update(batch)
+            incremental.insert(batch)
+        else:
+            batch = rng.sample(
+                sorted(live, key=str), min(len(live), rng.randint(1, 4))
+            )
+            live.difference_update(batch)
+            incremental.delete(batch)
+        assert incremental.edb == Instance(live)
+        assert incremental.fixpoint == program.least_fixpoint(Instance(live))
+
+
+def test_medical_workload_session():
+    """The Table 1 workload: compile once, stream updates, stay correct."""
+    omq = example_2_1_omq()
+    program = compile_to_mddlog(omq)
+    session = ObdaSession(program, initial_facts=patient_instance().facts)
+    assert session.certain_answers() == frozenset(
+        {("patient1",), ("patient2",)}
+    )
+    # the session agrees with the OMQ engines on the same data
+    assert session.certain_answers() == omq.certain_answers(patient_instance())
+    # batch interface
+    decided = session.answer_batch([("patient1",), ("jan12find1",)])
+    assert decided == {("patient1",): True, ("jan12find1",): False}
+    # a deletion retracts the Lyme-disease chain for patient1
+    finding = Fact(RelationSymbol("ErythemaMigrans", 1), ("jan12find1",))
+    session.delete_facts([finding])
+    assert session.certain_answers() == frozenset({("patient2",)})
+    # re-insertion reactivates the retracted epoch's clauses
+    session.insert_facts([finding])
+    assert session.certain_answers() == frozenset(
+        {("patient1",), ("patient2",)}
+    )
+
+
+def test_medical_stream_replay_validates():
+    program = compile_to_mddlog(example_2_1_omq())
+    events = random_stream(
+        medical_universe(patients=3, generations=3), length=12, seed=7, query_every=2
+    )
+    report = replay(ObdaSession(program), events, validate=True)
+    assert report.validated and report.queries > 0
+
+
+def test_csp_zoo_stream_replay_validates():
+    """coCSP(K2) over a churning random graph: non-2-colourability serving."""
+    program = csp_to_mddlog(two_colourability_template())
+    events = random_stream(graph_universe(6, seed=3), length=30, seed=9)
+    session = ObdaSession({"non2col": program})
+    report = replay(session, events, validate=True)
+    assert report.validated and report.queries == 30
+
+
+def test_multi_query_workload_shares_the_stream():
+    rules_reach = [
+        Rule((Atom(P, (X,)),), (Atom(A, (X,)),)),
+        Rule((Atom(P, (Y,)),), (Atom(P, (X,)), Atom(EDGE, (X, Y)))),
+        Rule((goal_atom(X),), (Atom(P, (X,)),)),
+    ]
+    guess = [
+        Rule((Atom(P, (X,)), Atom(Q, (X,))), (adom_atom(X),)),
+        Rule((goal_atom(),), (Atom(P, (X,)), Atom(Q, (X,)))),
+    ]
+    session = ObdaSession(
+        {
+            "reach": DisjunctiveDatalogProgram(rules_reach),
+            "guess": DisjunctiveDatalogProgram(guess),
+        }
+    )
+    session.insert_facts(
+        [Fact(A, (1,)), Fact(EDGE, (1, 2)), Fact(EDGE, (2, 3))]
+    )
+    answers = session.answer_all()
+    assert answers["reach"] == frozenset({(1,), (2,), (3,)})
+    for name in session.query_names:
+        assert answers[name] == ground_program(
+            session.program(name), session.instance
+        ).certain_answers()
+    with pytest.raises(ValueError):
+        session.certain_answers()  # ambiguous without a name
+    with pytest.raises(KeyError):
+        session.certain_answers("missing")
+
+
+def test_compact_preserves_answers_and_resets_state():
+    rng = random.Random(42)
+    program = _random_program(rng, 1)
+    session = ObdaSession(program)
+    _run_stream(rng, session, _fact_universe([1, 2, 3]), steps=12, check_every=3)
+    before = session.certain_answers()
+    session.compact()
+    assert session.certain_answers() == before
+    expected = ground_program(program, session.instance).certain_answers()
+    assert before == expected
+
+
+def test_session_stats_track_epochs():
+    program = csp_to_mddlog(two_colourability_template())
+    session = ObdaSession(program)
+    edge = RelationSymbol("edge", 2)
+    session.insert_facts([Fact(edge, ("a", "b"))])
+    session.insert_facts([Fact(edge, ("b", "a"))])
+    session.delete_facts([Fact(edge, ("a", "b"))])
+    assert session.stats.epoch == 3
+    assert session.stats.facts_inserted == 2
+    assert session.stats.facts_deleted == 1
+    assert [entry["op"] for entry in session.stats.epochs] == [
+        "insert",
+        "insert",
+        "delete",
+    ]
+    # no-op updates do not advance the epoch
+    session.insert_facts([Fact(edge, ("b", "a"))])
+    session.delete_facts([Fact(edge, ("a", "b"))])
+    assert session.stats.epoch == 3
+
+
+def test_inconsistent_data_makes_every_tuple_certain():
+    """Mirrors GroundProgram.certain_answers: no model -> vacuously certain."""
+    program = DisjunctiveDatalogProgram(
+        [
+            Rule((), (Atom(A, (X,)),)),  # data with an A-fact is inconsistent
+            Rule((goal_atom(X),), (Atom(B, (X,)),)),
+        ]
+    )
+    session = ObdaSession(program)
+    session.insert_facts([Fact(B, (1,))])
+    assert session.certain_answers() == frozenset({(1,)})
+    session.insert_facts([Fact(A, (2,))])
+    assert session.certain_answers() == ground_program(
+        program, session.instance
+    ).certain_answers()
+    assert session.certain_answers() == frozenset({(1,), (2,)})
+    # deleting the offending fact restores consistency
+    session.delete_facts([Fact(A, (2,))])
+    assert session.certain_answers() == frozenset({(1,)})
