@@ -1,0 +1,150 @@
+"""E-PAR — Sharded / parallel certain-answer serving scaling curves.
+
+The Theorem 3.3 reduction makes candidate tuples independently decidable
+against one ground program, and the serving layer exploits that two ways:
+
+* **Sharding** (`ShardedObdaSession`): the Table 1 medical workload is
+  consistent-hash-partitioned across 1/2/4 per-shard sessions and driven
+  through a churn-and-query serving stream (bulk load, then delete /
+  re-insert epochs with certain-answer queries after every update).  The
+  per-candidate solve cost is proportional to the shard's clause database,
+  so sharding is an *algorithmic* win — the curve below holds even on a
+  single core, before any process placement.
+* **Worker pools** (`ParallelEvaluator`): one-shot evaluation dispatches
+  candidate chunks across replica workers with learned-clause feedback.
+  Recorded for the curve; on a single-core host the pool pays process
+  overhead without gaining hardware, so only the sharded curve is gated.
+
+Acceptance: 4-shard serving must be ≥ 1.5x over 1-shard on the Table
+1-scale workload, with identical certain answers at every epoch (the
+curve test cross-validates the answer streams, not just the timings).
+"""
+
+import time
+
+import pytest
+
+from repro.engine import ParallelEvaluator, ground_program
+from repro.omq.certain import compile_to_mddlog
+from repro.service import ObdaSession, ShardedObdaSession, medical_universe
+from repro.workloads.medical import example_2_1_omq
+
+REQUIRED_SPEEDUP = 1.5
+SHARD_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (1, 2, 4)
+
+_shard_runs: dict[int, tuple[float, list]] = {}
+_worker_runs: dict[int, tuple[float, frozenset]] = {}
+_compiled = {}
+_timing_asserted = {"enabled": True}
+
+
+def _medical_program():
+    if "q1" not in _compiled:
+        _compiled["q1"] = compile_to_mddlog(example_2_1_omq())
+    return _compiled["q1"]
+
+
+def _universe():
+    return medical_universe(patients=16, generations=8)
+
+
+def _serve_stream(shards: int, epochs: int = 10) -> tuple[float, list]:
+    """Bulk-load the workload, then churn-and-query; returns (s, answers)."""
+    program = _medical_program()
+    universe = _universe()
+    if shards > 1:
+        session = ShardedObdaSession({"q1": program}, shards=shards)
+    else:
+        session = ObdaSession({"q1": program})
+    victims = sorted(universe, key=str)
+    started = time.perf_counter()
+    session.insert_facts(universe)
+    answers = [session.certain_answers("q1")]
+    for epoch in range(epochs):
+        offset = 3 * epoch % len(victims)
+        batch = victims[offset : offset + 2]
+        session.delete_facts(batch)
+        answers.append(session.certain_answers("q1"))
+        session.insert_facts(batch)
+        answers.append(session.certain_answers("q1"))
+    return time.perf_counter() - started, answers
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_serving_scaling(benchmark, shards):
+    # CI's smoke run passes --benchmark-disable: the stream still executes
+    # (and the curve test still checks answer equivalence), but wall-clock
+    # assertions are reserved for real, timed benchmark runs on an
+    # otherwise idle machine.
+    if not getattr(benchmark, "enabled", True):
+        _timing_asserted["enabled"] = False
+
+    def run():
+        elapsed, answers = _serve_stream(shards)
+        _shard_runs[shards] = (elapsed, answers)
+        return answers
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_sharded_scaling_curve_and_equivalence():
+    """The committed acceptance: ≥ 1.5x at 4 shards, identical answers."""
+    if set(SHARD_COUNTS) - set(_shard_runs):
+        pytest.skip("scaling runs did not execute")
+    base_time, base_answers = _shard_runs[1]
+    curve = {}
+    for shards in SHARD_COUNTS:
+        elapsed, answers = _shard_runs[shards]
+        assert answers == base_answers, f"{shards}-shard answers diverge"
+        curve[shards] = base_time / elapsed
+    print(
+        "\n[E-PAR] sharded serving stream: "
+        + ", ".join(
+            f"{shards} shards {_shard_runs[shards][0]:.2f}s "
+            f"({curve[shards]:.2f}x)"
+            for shards in SHARD_COUNTS
+        )
+    )
+    if _timing_asserted["enabled"]:
+        assert curve[4] >= REQUIRED_SPEEDUP, (
+            f"4-shard serving only {curve[4]:.2f}x over 1-shard "
+            f"(required {REQUIRED_SPEEDUP}x)"
+        )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_worker_pool_candidate_decision(benchmark, workers):
+    """Chunked worker-pool decision of all candidates of one ground medical
+    program (grounding excluded — it is shared, the decisions are not)."""
+    program = _medical_program()
+    from repro.core.instance import Instance
+
+    ground = ground_program(program, Instance(_universe()))
+
+    def run():
+        started = time.perf_counter()
+        with ParallelEvaluator(ground, workers=workers) as evaluator:
+            answers = evaluator.certain_answers()
+        _worker_runs[workers] = (time.perf_counter() - started, answers)
+        return answers
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_worker_pool_equivalence():
+    """Every worker count returns the serial engine's answers (the timing
+    curve is recorded by the benchmark harness; on single-core hosts the
+    pool is overhead, so no speedup is asserted here)."""
+    if set(WORKER_COUNTS) - set(_worker_runs):
+        pytest.skip("worker runs did not execute")
+    baseline = _worker_runs[1][1]
+    for workers in WORKER_COUNTS:
+        assert _worker_runs[workers][1] == baseline
+    print(
+        "\n[E-PAR] worker-pool candidate decision: "
+        + ", ".join(
+            f"{workers}w {_worker_runs[workers][0]:.2f}s"
+            for workers in WORKER_COUNTS
+        )
+    )

@@ -16,8 +16,16 @@ Examples::
 When a baseline is available (``--baseline``, or ``results/BENCH_seed.json``
 by default) the run acts as a regression gate: a geometric-mean slowdown
 beyond ``--max-regression`` (default 1.5x) across the shared benchmarks
-fails the run with a non-zero exit code.  ``--no-regression-gate`` disables
-the gate (e.g. on noisy shared machines).
+fails the run with a non-zero exit code.  The gate also fails when the
+baseline and the current run share *no* benchmark names — an empty overlap
+means nothing was compared, which used to slip through silently (e.g. after
+a rename sweep).  ``--no-regression-gate`` disables the gate (e.g. on noisy
+shared machines).
+
+``--check-only`` skips running the benchmarks and re-applies the gate to an
+existing consolidated results file (``--output``, by default the committed
+``results/BENCH_RESULTS.json``) — a cheap CI smoke test that the gate logic
+itself, empty-overlap behavior included, stays exercised on every PR.
 """
 
 from __future__ import annotations
@@ -95,23 +103,75 @@ def consolidate(
         "results": results,
     }
     if baseline:
-        consolidated["baseline_label"] = baseline.get("label", "baseline")
-        base_results = baseline.get("results", {})
-        speedups = []
-        for name, entry in results.items():
-            base = base_results.get(name)
-            if base and entry["mean_s"]:
-                entry["baseline_mean_s"] = base["mean_s"]
-                entry["speedup_vs_baseline"] = base["mean_s"] / entry["mean_s"]
-                speedups.append(entry["speedup_vs_baseline"])
-        if speedups:
-            product = 1.0
-            for value in speedups:
-                product *= value
-            consolidated["geomean_speedup_vs_baseline"] = product ** (
-                1.0 / len(speedups)
-            )
+        apply_baseline(consolidated, baseline)
     return consolidated
+
+
+def apply_baseline(consolidated: dict, baseline: dict) -> dict:
+    """Embed per-benchmark speedups and the geomean against a baseline.
+
+    Records ``baseline_overlap`` — the number of benchmarks shared with the
+    baseline — so the regression gate can distinguish "no regression" from
+    "nothing was compared at all".
+    """
+    consolidated["baseline_label"] = baseline.get("label", "baseline")
+    base_results = baseline.get("results", {})
+    speedups = []
+    for name, entry in consolidated.get("results", {}).items():
+        base = base_results.get(name)
+        if base and entry["mean_s"]:
+            entry["baseline_mean_s"] = base["mean_s"]
+            entry["speedup_vs_baseline"] = base["mean_s"] / entry["mean_s"]
+            speedups.append(entry["speedup_vs_baseline"])
+    consolidated["baseline_overlap"] = len(speedups)
+    consolidated.pop("geomean_speedup_vs_baseline", None)
+    if speedups:
+        product = 1.0
+        for value in speedups:
+            product *= value
+        consolidated["geomean_speedup_vs_baseline"] = product ** (
+            1.0 / len(speedups)
+        )
+    return consolidated
+
+
+def gate_verdict(consolidated: dict, max_regression: float) -> tuple[bool, str]:
+    """Apply the regression gate to a baseline-annotated consolidated file.
+
+    Returns ``(ok, message)``.  The gate fails on a geomean slowdown beyond
+    ``max_regression`` — and on an *empty overlap* with the baseline, which
+    previously passed silently because no geomean existed to compare.
+    """
+    if "baseline_label" not in consolidated:
+        return True, "no baseline: regression gate not applicable"
+    label = consolidated["baseline_label"]
+    overlap = consolidated.get("baseline_overlap")
+    if overlap is None:
+        # pre-overlap-tracking file: derive it from the embedded speedups
+        overlap = sum(
+            1
+            for entry in consolidated.get("results", {}).values()
+            if "speedup_vs_baseline" in entry
+        )
+    if overlap == 0:
+        return False, (
+            f"GATE FAILURE: baseline {label!r} and the current run share no "
+            "benchmark names — nothing was compared, so the regression gate "
+            "cannot pass (did a rename sweep or an empty run slip through?)"
+        )
+    geomean = consolidated.get("geomean_speedup_vs_baseline")
+    if geomean is None:
+        return False, (
+            f"GATE FAILURE: baseline {label!r} is present but no geomean "
+            "was computed — nothing was compared"
+        )
+    message = f"geomean speedup vs {label}: {geomean:.2f}x ({overlap} shared)"
+    if geomean < 1.0 / max_regression:
+        return False, (
+            f"REGRESSION: geomean slowdown {1.0 / geomean:.2f}x exceeds the "
+            f"allowed {max_regression:.2f}x ({message})"
+        )
+    return True, message
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -145,6 +205,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="report the baseline comparison but never fail because of it",
     )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help=(
+            "do not run benchmarks; re-apply the regression gate to the "
+            "existing consolidated file at --output"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.baseline is None:
         default_baseline = BENCH_DIR / "results" / "BENCH_seed.json"
@@ -164,26 +232,36 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, json.JSONDecodeError) as error:
             parser.error(f"cannot read baseline {args.baseline}: {error}")
 
-    raw, wall, returncode = run_pytest_benchmarks(paths)
-    consolidated = consolidate(raw, args.label, wall, baseline)
-
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    with open(args.output, "w") as fh:
-        json.dump(consolidated, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-
-    print(f"\nconsolidated {len(consolidated['results'])} benchmarks -> {args.output}")
-    if "geomean_speedup_vs_baseline" in consolidated:
-        geomean = consolidated["geomean_speedup_vs_baseline"]
+    if args.check_only:
+        try:
+            with open(args.output) as fh:
+                consolidated = json.load(fh)
+        except (OSError, json.JSONDecodeError) as error:
+            parser.error(f"cannot read results {args.output}: {error}")
+        if baseline is not None:
+            apply_baseline(consolidated, baseline)
+        returncode = 0
         print(
-            f"geomean speedup vs {consolidated['baseline_label']}: {geomean:.2f}x"
+            f"checking {len(consolidated.get('results', {}))} consolidated "
+            f"benchmarks from {args.output}"
         )
-        if not args.no_regression_gate and geomean < 1.0 / args.max_regression:
-            print(
-                f"REGRESSION: geomean slowdown {1.0 / geomean:.2f}x exceeds the "
-                f"allowed {args.max_regression:.2f}x"
-            )
-            return returncode or 1
+    else:
+        raw, wall, returncode = run_pytest_benchmarks(paths)
+        consolidated = consolidate(raw, args.label, wall, baseline)
+
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(consolidated, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(
+            f"\nconsolidated {len(consolidated['results'])} benchmarks "
+            f"-> {args.output}"
+        )
+
+    ok, message = gate_verdict(consolidated, args.max_regression)
+    print(message)
+    if not ok and not args.no_regression_gate:
+        return returncode or 1
     return returncode
 
 

@@ -1,0 +1,92 @@
+"""Tour: sharded and worker-pool parallel certain-answer serving.
+
+The Theorem 3.3 reduction (ontology-mediated query -> one disjunctive
+datalog program) leaves every candidate answer tuple independently
+decidable, and the data itself splits into connected components that never
+interact under connected, constant-free programs.  This tour drives both
+parallel layers built on those observations:
+
+1. a :class:`ShardedObdaSession` consistent-hash-partitions the Table 1
+   medical fact stream across per-shard compiled sessions and merges their
+   certain answers — identical to a single session, but every shard grounds
+   and solves a fraction of the data;
+2. a :class:`ParallelEvaluator` dispatches candidate-tuple decisions in
+   chunks across a persistent worker pool whose workers replicate the
+   ground program (with learned-clause summaries fed back between chunks).
+
+Run with ``PYTHONPATH=src python examples/parallel_obda.py``.
+"""
+
+import time
+
+from repro.core.instance import Instance
+from repro.engine import ParallelEvaluator, ground_program
+from repro.omq.certain import compile_to_mddlog
+from repro.service import (
+    ObdaSession,
+    ShardedObdaSession,
+    is_shardable,
+    medical_universe,
+)
+from repro.workloads.medical import example_2_1_omq
+
+
+def main() -> None:
+    print("== compile the Table 1 workload once ==")
+    program = compile_to_mddlog(example_2_1_omq())
+    print(
+        f"bacterial-infection UCQ -> MDDlog: {len(program.rules)} rules, "
+        f"shardable={is_shardable(program)}"
+    )
+    universe = medical_universe(patients=10, generations=6)
+    print(f"fact universe: {len(universe)} facts")
+
+    print("\n== 1. sharded serving ==")
+    single = ObdaSession({"q1": program})
+    sharded = ShardedObdaSession({"q1": program}, shards=4)
+
+    def serve(session):
+        started = time.perf_counter()
+        session.insert_facts(universe)
+        answers = [session.certain_answers("q1")]
+        victims = sorted(universe, key=str)[::5]
+        for fact in victims:  # churn: delete, re-answer, restore, re-answer
+            session.delete_facts([fact])
+            answers.append(session.certain_answers("q1"))
+            session.insert_facts([fact])
+            answers.append(session.certain_answers("q1"))
+        return answers, time.perf_counter() - started
+
+    single_answers, single_s = serve(single)
+    sharded_answers, sharded_s = serve(sharded)
+    assert sharded_answers == single_answers, "sharded answers must be identical"
+    print(f"1 shard : {single_s:.2f}s")
+    print(
+        f"4 shards: {sharded_s:.2f}s ({single_s / sharded_s:.2f}x), "
+        f"shard sizes {sharded.shard_sizes()}, "
+        f"{sharded.stats.facts_migrated} facts migrated between shards"
+    )
+    patients = sorted(a[0] for a in sharded.certain_answers("q1"))
+    print(f"certain bacterial-infection patients: {patients}")
+
+    print("\n== 2. worker-pool candidate decision ==")
+    instance = Instance(universe)
+    ground = ground_program(program, instance)
+    serial_started = time.perf_counter()
+    serial = ground.certain_answers()
+    serial_s = time.perf_counter() - serial_started
+    pool_started = time.perf_counter()
+    with ParallelEvaluator(ground, workers=2, chunk_size=8) as evaluator:
+        parallel = evaluator.certain_answers()
+    pool_s = time.perf_counter() - pool_started
+    assert parallel == serial, "worker-pool answers must be identical"
+    print(
+        f"{len(list(instance.active_domain))} candidates: serial {serial_s:.2f}s, "
+        f"2-worker pool {pool_s:.2f}s (worker pools trade process overhead "
+        "for cores; on a single-core host the sharded path is the win)"
+    )
+    print(f"both engines agree on {len(serial)} certain answers")
+
+
+if __name__ == "__main__":
+    main()

@@ -256,9 +256,10 @@ class Instance:
         The active domain and the per-relation / per-constant indexes are
         updated from the delta instead of being rediscovered by a full scan;
         per-position indexes are shared for relations the delta does not
-        touch.  As before, the schema of the result is re-inferred from the
-        facts (new relation symbols are admitted, declared-but-unused ones
-        are not carried over).
+        touch.  The schema is the parent schema grown by the symbols of the
+        new facts — declared-but-empty relations are preserved, so a
+        compiled query mentioning a relation keeps resolving it across the
+        whole update stream.
         """
         added = {f for f in facts if f not in self._facts}
         if not added:
@@ -280,9 +281,13 @@ class Instance:
                     by_constant[argument] = by_constant.get(
                         argument, frozenset()
                     ) | {fact}
+        new_symbols = [rel for rel in touched if rel not in self._schema]
+        schema = (
+            self._schema.union(new_symbols) if new_symbols else self._schema
+        )
         return Instance._from_parts(
             new_facts,
-            Schema(by_relation),
+            schema,
             adom,
             by_relation,
             self._derived_position_index(touched),
@@ -295,6 +300,11 @@ class Instance:
         Constants are dropped from the active domain through the per-constant
         index (built once on the parent and carried forward), so a long chain
         of streaming deletions costs one scan total instead of one per step.
+        The parent schema is preserved even when a relation loses its last
+        fact: shrinking it made a compiled session/query that still mentions
+        the relation unable to resolve it by name on the delete-to-empty
+        instance (and re-inference on the next insert flip-flopped the
+        schema), so an emptied relation now stays declared.
         """
         removed_set = {f for f in facts if f in self._facts}
         if not removed_set:
@@ -323,7 +333,7 @@ class Instance:
                 dropped.add(constant)
         return Instance._from_parts(
             new_facts,
-            Schema(by_relation),
+            self._schema,
             self._adom - dropped,
             by_relation,
             self._derived_position_index(touched),

@@ -25,6 +25,7 @@ from ..engine.grounder import (
     instantiate_atom as _ground_atom,
     ground_program,
 )
+from ..engine.parallel import parallel_certain_answers, resolve_workers
 from ..engine.sat import solver_for_clauses
 from .ddlog import ADOM, DisjunctiveDatalogProgram
 
@@ -75,14 +76,25 @@ def has_model_avoiding(
 
 
 def evaluate(
-    program: DisjunctiveDatalogProgram, instance: Instance
+    program: DisjunctiveDatalogProgram,
+    instance: Instance,
+    parallel: int | None = None,
+    chunk_size: int | None = None,
 ) -> frozenset[tuple]:
     """The certain answers ``qΠ(D)`` of a DDlog program on an instance.
 
     Grounds once, then decides all ``domain ** arity`` candidates against the
-    ground program's persistent solver.
+    ground program's persistent solver.  With ``parallel`` > 1 the candidate
+    decisions are dispatched in chunks across a worker pool in which every
+    worker replicates the ground program (:mod:`repro.engine.parallel`);
+    answers are identical for every worker count and chunk size.
     """
-    return ground_program(program, instance).certain_answers()
+    ground = ground_program(program, instance)
+    if parallel is not None and resolve_workers(parallel) > 1:
+        return parallel_certain_answers(
+            ground, workers=parallel, chunk_size=chunk_size
+        )
+    return ground.certain_answers()
 
 
 def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:

@@ -18,6 +18,12 @@ the indexed homomorphism search in :mod:`repro.core.homomorphism`); see
 """
 
 from .grounder import Clause, GroundAtom, GroundProgram, ground_program
+from .parallel import (
+    ParallelEvaluator,
+    ReplicaPool,
+    parallel_certain_answers,
+    resolve_workers,
+)
 from .joins import (
     canonical_key,
     extend_assignment,
@@ -38,6 +44,8 @@ __all__ = [
     "ClauseSolver",
     "GroundAtom",
     "GroundProgram",
+    "ParallelEvaluator",
+    "ReplicaPool",
     "TseitinAux",
     "canonical_key",
     "extend_assignment",
@@ -45,6 +53,8 @@ __all__ = [
     "join_assignments",
     "matching_rows",
     "order_atoms",
+    "parallel_certain_answers",
+    "resolve_workers",
     "solver_for_clauses",
     "tseitin_clauses",
     "tseitin_encode",

@@ -233,17 +233,28 @@ def restrict_to_schema(instance: Instance, schema: Schema) -> Instance:
 # ---------------------------------------------------------------------------
 
 
-def serve_omq_workload(workload, initial_instance: Instance | None = None):
+def serve_omq_workload(
+    workload,
+    initial_instance: Instance | None = None,
+    shards: int = 1,
+):
     """Compile an OMQ workload into a live serving session.
 
     ``workload`` is one OMQ (or DDlog program) or a mapping of query names
     to them; the result is an :class:`repro.service.session.ObdaSession`
     whose certain answers are maintained incrementally under
-    ``insert_facts`` / ``delete_facts``.  This is the deployment-facing
-    entry point tying Section 5's one-shot applications to the streaming
-    serving layer.
+    ``insert_facts`` / ``delete_facts``.  With ``shards`` > 1 the fact
+    stream is consistent-hash-partitioned across that many per-shard
+    sessions (:class:`repro.service.shards.ShardedObdaSession`; requires
+    shardable — connected, constant-free — programs) and per-shard certain
+    answers are merged.  This is the deployment-facing entry point tying
+    Section 5's one-shot applications to the streaming serving layer.
     """
+    initial = () if initial_instance is None else initial_instance.facts
+    if shards > 1:
+        from ..service.shards import ShardedObdaSession
+
+        return ShardedObdaSession(workload, shards=shards, initial_facts=initial)
     from ..service.session import ObdaSession
 
-    initial = () if initial_instance is None else initial_instance.facts
     return ObdaSession(workload, initial_facts=initial)

@@ -13,6 +13,12 @@ recomputation.
 
 from .delta import DeltaGrounder, IncrementalFixpoint, adom_guard, fact_guard
 from .session import ObdaSession, SessionStats
+from .shards import (
+    ShardedObdaSession,
+    ShardedStats,
+    is_shardable,
+    shardability_violation,
+)
 from .workload import (
     StreamEvent,
     StreamReport,
@@ -31,6 +37,8 @@ __all__ = [
     "IncrementalFixpoint",
     "ObdaSession",
     "SessionStats",
+    "ShardedObdaSession",
+    "ShardedStats",
     "StreamEvent",
     "StreamReport",
     "adom_guard",
@@ -40,7 +48,9 @@ __all__ = [
     "from_scratch_stream_cost",
     "graph_universe",
     "inserts",
+    "is_shardable",
     "medical_universe",
     "random_stream",
     "replay",
+    "shardability_violation",
 ]

@@ -79,15 +79,23 @@ class _SatState:
         decided = self.decide_batch(instance, candidates)
         return frozenset(c for c, certain in decided.items() if certain)
 
+    def is_consistent(self) -> bool:
+        return self.solver.solve()
+
     def decide_batch(
         self, instance: Instance, candidates: Sequence[tuple]
     ) -> dict[tuple, bool]:
         goal = self.program.goal_relation
         adom = instance.active_domain
         if not self.solver.solve():
-            # No model extends the data at all: every tuple is vacuously
-            # certain (mirrors GroundProgram.certain_answers).
-            return {candidate: True for candidate in candidates}
+            # No model extends the data at all: every tuple over the active
+            # domain is vacuously certain (mirrors
+            # GroundProgram.certain_answers, which only enumerates adom
+            # tuples; candidates outside it are never answers).
+            return {
+                candidate: all(value in adom for value in candidate)
+                for candidate in candidates
+            }
         model = self.solver.last_model
         decided: dict[tuple, bool] = {}
         for candidate in candidates:
@@ -124,6 +132,9 @@ class _FixpointState:
 
     def delete(self, removed: Iterable[Fact]) -> None:
         self.fixpoint.delete(removed)
+
+    def is_consistent(self) -> bool:
+        return True  # a least fixpoint is always a model
 
     def certain_answers(self, instance: Instance) -> frozenset[tuple]:
         return self.fixpoint.goal_answers()
@@ -217,8 +228,18 @@ class ObdaSession:
     # -- updates ---------------------------------------------------------------
 
     def insert_facts(self, facts: Iterable[Fact]) -> int:
-        """Insert facts; returns how many were new.  One epoch."""
-        added = [f for f in facts if f not in self._instance.facts]
+        """Insert facts; returns how many were new.  One epoch.
+
+        Facts already present — and duplicates within the batch — are
+        skipped, so adversarial streams (re-inserts, repeated batch
+        entries) neither advance the epoch spuriously nor skew the stats.
+        """
+        added: list[Fact] = []
+        seen: set[Fact] = set()
+        for fact in facts:
+            if fact not in self._instance.facts and fact not in seen:
+                seen.add(fact)
+                added.append(fact)
         if not added:
             return 0
         old = self._instance
@@ -237,8 +258,19 @@ class ObdaSession:
         return len(added)
 
     def delete_facts(self, facts: Iterable[Fact]) -> int:
-        """Delete facts; returns how many were present.  One epoch."""
-        removed = [f for f in facts if f in self._instance.facts]
+        """Delete facts; returns how many were present.  One epoch.
+
+        Deleting a fact that was never inserted (or deleting one twice,
+        within a batch or across epochs) is a clean no-op: unknown facts
+        are filtered here, and the solver layer's ``retract_assumption``
+        ignores guards that are not registered.
+        """
+        removed: list[Fact] = []
+        seen: set[Fact] = set()
+        for fact in facts:
+            if fact in self._instance.facts and fact not in seen:
+                seen.add(fact)
+                removed.append(fact)
         if not removed:
             return 0
         for state in self._states.values():
@@ -252,6 +284,16 @@ class ObdaSession:
         return len(removed)
 
     # -- queries ---------------------------------------------------------------
+
+    def is_consistent(self, name: str | None = None) -> bool:
+        """Does any model extend the current data for the (named) query?
+
+        ``False`` means every tuple over the active domain is vacuously
+        certain.  Disjunction-free, constraint-free queries are always
+        consistent (their least fixpoint is a model); SAT-backed queries
+        ask the warm solver.
+        """
+        return self._state(name).is_consistent()
 
     def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
         """The certain answers of the (named) query on the current instance."""

@@ -30,7 +30,10 @@ def _assert_equivalent(instance: Instance, facts: set) -> None:
     reference = Instance(facts)
     assert instance == reference
     assert instance.active_domain == reference.active_domain
-    assert set(instance.schema) == set(reference.schema)
+    # the delta chain's schema may additionally preserve emptied relations,
+    # but must cover every populated one
+    assert set(reference.schema) <= set(instance.schema)
+    assert set(instance.schema) <= set(SYMBOLS)
     for symbol in SYMBOLS:
         assert instance.tuples(symbol) == reference.tuples(symbol)
         rows = reference.tuples(symbol)
@@ -79,13 +82,36 @@ def test_with_facts_noop_returns_self():
     assert instance.without_facts([Fact(A, (2,))]) is instance
 
 
-def test_schema_is_reinferred_like_before():
-    """A relation emptied by deletion leaves the schema, as it always did."""
+def test_schema_survives_emptying_a_relation():
+    """Regression: deleting the last fact of a relation used to re-infer the
+    schema from the remaining relations, so a compiled session/query that
+    still mentioned the emptied relation could no longer resolve it by name.
+    The parent schema is preserved across deletions now."""
     instance = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
     shrunk = instance.without_facts([Fact(R, (1, 2))])
-    assert set(shrunk.schema) == {A}
+    assert set(shrunk.schema) == {A, R}
+    assert shrunk.tuples("R") == frozenset()
+    assert shrunk.tuples_with("R", 0, 1) == frozenset()
     grown = shrunk.with_facts([Fact(T, (1, 1, 1))])
-    assert set(grown.schema) == {A, T}
+    assert set(grown.schema) == {A, R, T}
+
+
+def test_delete_to_empty_then_reinsert_round_trips():
+    """Empty a relation, then bring it back: every index and the schema must
+    behave exactly like a fresh instance with the same facts."""
+    fact = Fact(R, (1, 2))
+    instance = Instance([Fact(A, (1,)), fact])
+    emptied = instance.without_facts([fact])
+    refilled = emptied.with_facts([fact])
+    assert refilled == instance
+    assert refilled.tuples(R) == frozenset({(1, 2)})
+    assert refilled.tuples("R") == frozenset({(1, 2)})
+    assert refilled.tuples_with(R, 1, 2) == frozenset({(1, 2)})
+    assert refilled.active_domain == frozenset({1, 2})
+    assert set(refilled.schema) == {A, R}
+    # repeated empty/refill cycles stay stable
+    again = refilled.without_facts([fact]).with_facts([fact])
+    assert again == instance and set(again.schema) == {A, R}
 
 
 def test_domain_shrinks_only_when_last_mention_goes():

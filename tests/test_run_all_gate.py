@@ -1,0 +1,117 @@
+"""The benchmark regression gate, including the empty-overlap failure mode.
+
+Regression under test: when the baseline and the current run shared *no*
+benchmark names, ``speedups`` stayed empty, no geomean was computed, and the
+``--max-regression`` gate silently passed — a rename sweep (or an empty run)
+could disable the gate without anyone noticing.  The gate must now fail
+loudly on empty overlap.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_RUN_ALL = Path(__file__).resolve().parent.parent / "benchmarks" / "run_all.py"
+_spec = importlib.util.spec_from_file_location("bench_run_all", _RUN_ALL)
+run_all = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_all)
+
+
+def _consolidated(results: dict, label: str = "current") -> dict:
+    return {
+        "label": label,
+        "results": {
+            name: {"mean_s": mean, "min_s": mean, "stddev_s": 0.0, "rounds": 1}
+            for name, mean in results.items()
+        },
+    }
+
+
+def test_apply_baseline_tracks_overlap_and_geomean():
+    current = _consolidated({"a": 1.0, "b": 2.0, "new": 3.0})
+    baseline = _consolidated({"a": 2.0, "b": 2.0, "gone": 1.0}, label="seed")
+    run_all.apply_baseline(current, baseline)
+    assert current["baseline_overlap"] == 2
+    assert current["results"]["a"]["speedup_vs_baseline"] == pytest.approx(2.0)
+    assert "speedup_vs_baseline" not in current["results"]["new"]
+    assert current["geomean_speedup_vs_baseline"] == pytest.approx(2.0 ** 0.5)
+
+
+def test_apply_baseline_with_empty_overlap_computes_no_geomean():
+    current = _consolidated({"renamed_x": 1.0})
+    baseline = _consolidated({"x": 1.0}, label="seed")
+    run_all.apply_baseline(current, baseline)
+    assert current["baseline_overlap"] == 0
+    assert "geomean_speedup_vs_baseline" not in current
+
+
+def test_gate_fails_on_empty_overlap():
+    current = _consolidated({"renamed_x": 1.0})
+    run_all.apply_baseline(current, _consolidated({"x": 1.0}, label="seed"))
+    ok, message = run_all.gate_verdict(current, max_regression=1.5)
+    assert not ok
+    assert "no benchmark names" in message
+
+
+def test_gate_passes_without_a_baseline():
+    ok, _ = run_all.gate_verdict(_consolidated({"a": 1.0}), max_regression=1.5)
+    assert ok
+
+
+def test_gate_passes_on_healthy_overlap_and_fails_on_regression():
+    current = _consolidated({"a": 1.0})
+    run_all.apply_baseline(current, _consolidated({"a": 1.2}, label="seed"))
+    ok, message = run_all.gate_verdict(current, max_regression=1.5)
+    assert ok and "1.20x" in message
+
+    slow = _consolidated({"a": 2.0})
+    run_all.apply_baseline(slow, _consolidated({"a": 1.0}, label="seed"))
+    ok, message = run_all.gate_verdict(slow, max_regression=1.5)
+    assert not ok and "REGRESSION" in message
+
+
+def test_gate_derives_overlap_for_pre_overlap_files():
+    """Consolidated files written before overlap tracking still gate."""
+    legacy = {
+        "label": "old",
+        "baseline_label": "seed",
+        "results": {"a": {"mean_s": 1.0, "speedup_vs_baseline": 1.0}},
+        "geomean_speedup_vs_baseline": 1.0,
+    }
+    ok, _ = run_all.gate_verdict(legacy, max_regression=1.5)
+    assert ok
+    legacy_empty = {"label": "old", "baseline_label": "seed", "results": {}}
+    ok, message = run_all.gate_verdict(legacy_empty, max_regression=1.5)
+    assert not ok and "no benchmark names" in message
+
+
+def _write(path: Path, payload: dict) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_check_only_exit_codes(tmp_path):
+    """End-to-end: ``--check-only`` re-gates a consolidated file."""
+    baseline = _write(tmp_path / "seed.json", _consolidated({"a": 1.0}, "seed"))
+    good = _write(tmp_path / "good.json", _consolidated({"a": 1.0, "b": 2.0}))
+    disjoint = _write(tmp_path / "disjoint.json", _consolidated({"z": 1.0}))
+    slow = _write(tmp_path / "slow.json", _consolidated({"a": 9.0}))
+
+    def check(results: Path, *extra: str) -> int:
+        argv = [
+            "--check-only",
+            "--output",
+            str(results),
+            "--baseline",
+            str(baseline),
+            *extra,
+        ]
+        return run_all.main(argv)
+
+    assert check(good) == 0
+    assert check(disjoint) != 0  # the empty-overlap bugfix
+    assert check(slow) != 0
+    assert check(disjoint, "--no-regression-gate") == 0
+    assert check(slow, "--no-regression-gate") == 0
