@@ -3,10 +3,12 @@
 ``qΠ(D)`` consists of the tuples ``a`` over ``adom(D)`` such that ``goal(a)``
 holds in *every* model of Π extending ``D`` (Section 3).  Because the
 programs are negation-free it suffices to consider models whose domain is
-``adom(D)``; the evaluator grounds the program over the active domain —
-exactly once per (program, instance) pair, via the join-planned grounder of
-:mod:`repro.engine.grounder` — and decides every candidate tuple against one
-persistent assumption-based solver (:mod:`repro.engine.sat`).
+``adom(D)``; :func:`evaluate` routes each program through the tiered
+planner (:mod:`repro.planner`) — UCQ unfolding or semi-naive fixpoint for
+disjunction-free programs, and otherwise grounding over the active domain
+(exactly once per (program, instance) pair, via the join-planned grounder
+of :mod:`repro.engine.grounder`) with every candidate tuple decided
+against one persistent assumption-based solver (:mod:`repro.engine.sat`).
 
 :func:`models` and :func:`_dpll` are intentionally naive reference
 implementations of the textbook semantics; the randomized cross-validation
@@ -25,7 +27,6 @@ from ..engine.grounder import (
     instantiate_atom as _ground_atom,
     ground_program,
 )
-from ..engine.parallel import parallel_certain_answers, resolve_workers
 from ..engine.sat import solver_for_clauses
 from .ddlog import ADOM, DisjunctiveDatalogProgram
 
@@ -78,23 +79,34 @@ def has_model_avoiding(
 def evaluate(
     program: DisjunctiveDatalogProgram,
     instance: Instance,
-    parallel: int | None = None,
+    parallel: "int | str | None" = None,
     chunk_size: int | None = None,
+    force_tier: int | None = None,
 ) -> frozenset[tuple]:
     """The certain answers ``qΠ(D)`` of a DDlog program on an instance.
 
-    Grounds once, then decides all ``domain ** arity`` candidates against the
-    ground program's persistent solver.  With ``parallel`` > 1 the candidate
-    decisions are dispatched in chunks across a worker pool in which every
-    worker replicates the ground program (:mod:`repro.engine.parallel`);
-    answers are identical for every worker count and chunk size.
+    Routed through the tiered planner (:mod:`repro.planner`): nonrecursive
+    disjunction-free programs run as UCQs against the instance indexes,
+    recursive disjunction-free programs as a semi-naive least fixpoint, and
+    only genuinely disjunctive programs ground once and decide all
+    ``domain ** arity`` candidates against the persistent solver.  Answers
+    are identical for every tier; ``force_tier`` pins one (2 is always
+    sound) for cross-validation and benchmarking.
+
+    ``parallel`` affects only the ground+CDCL tier: with > 1 worker the
+    candidate decisions are dispatched in chunks across a worker pool in
+    which every worker replicates the ground program
+    (:mod:`repro.engine.parallel`); ``"auto"`` sizes the pool from the
+    planner's cost estimate.  Answers are identical for every worker count
+    and chunk size.
     """
-    ground = ground_program(program, instance)
-    if parallel is not None and resolve_workers(parallel) > 1:
-        return parallel_certain_answers(
-            ground, workers=parallel, chunk_size=chunk_size
-        )
-    return ground.certain_answers()
+    from ..planner import execute_plan, plan_for_tier, plan_program
+
+    if force_tier is not None:
+        plan = plan_for_tier(program, force_tier)
+    else:
+        plan = plan_program(program)
+    return execute_plan(plan, instance, parallel=parallel, chunk_size=chunk_size)
 
 
 def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:

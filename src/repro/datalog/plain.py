@@ -13,7 +13,12 @@ from typing import Hashable, Iterator, Sequence
 from ..core.cq import Atom, Variable
 from ..core.instance import Fact, Instance, InstanceBuilder
 from ..core.schema import RelationSymbol
-from ..engine.joins import canonical_key, extend_assignment, join_assignments
+from ..engine.joins import (
+    canonical_key,
+    extend_assignment,
+    join_assignments,
+    order_atoms,
+)
 from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
 
 Element = Hashable
@@ -105,11 +110,16 @@ def delta_body_matches(
         if not rows:
             continue
         rest = [a for i, a in enumerate(rule.body) if i != index]
+        # The greedy join order depends only on which variables the seed
+        # binds, so it is computed once per delta atom, not once per row.
+        ordered = order_atoms(rest, current, bound=atom.variables)
         for row in rows:
             seed = extend_assignment(atom, row, {})
             if seed is None:
                 continue
-            for assignment in join_assignments(rest, current, initial=seed):
+            for assignment in join_assignments(
+                rest, current, initial=seed, ordered=ordered
+            ):
                 key = canonical_key(assignment)
                 if key in seen:
                     continue

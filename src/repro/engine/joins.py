@@ -59,7 +59,7 @@ def _estimated_rows(atom: Atom, bound: set[Variable], instance: Instance) -> flo
         if isinstance(term, Variable):
             if term not in bound:
                 continue
-            distinct = len(instance.position_values(atom.relation, position))
+            distinct = instance.position_value_count(atom.relation, position)
             if distinct:
                 best = min(best, total / distinct)
         else:
@@ -139,15 +139,19 @@ def join_assignments(
     atoms: Sequence[Atom],
     instance: Instance,
     initial: Mapping[Variable, Element] | None = None,
+    ordered: Sequence[Atom] | None = None,
 ) -> Iterator[Assignment]:
     """All assignments of the atoms' variables satisfied by the instance.
 
     The atoms are joined depth-first in greedy selectivity order; every
     yielded assignment binds exactly the variables of ``atoms`` plus those of
-    ``initial``.
+    ``initial``.  Callers issuing many joins that differ only in the seed
+    *values* (semi-naive delta rounds) may precompute the order once with
+    :func:`order_atoms` and pass it as ``ordered``.
     """
     seed: Assignment = dict(initial or {})
-    ordered = order_atoms(atoms, instance, bound=seed)
+    if ordered is None:
+        ordered = order_atoms(atoms, instance, bound=seed)
 
     def walk(index: int, assignment: Assignment) -> Iterator[Assignment]:
         if index == len(ordered):

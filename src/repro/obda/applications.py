@@ -243,12 +243,16 @@ def serve_omq_workload(
     ``workload`` is one OMQ (or DDlog program) or a mapping of query names
     to them; the result is an :class:`repro.service.session.ObdaSession`
     whose certain answers are maintained incrementally under
-    ``insert_facts`` / ``delete_facts``.  With ``shards`` > 1 the fact
-    stream is consistent-hash-partitioned across that many per-shard
-    sessions (:class:`repro.service.shards.ShardedObdaSession`; requires
-    shardable — connected, constant-free — programs) and per-shard certain
-    answers are merged.  This is the deployment-facing entry point tying
-    Section 5's one-shot applications to the streaming serving layer.
+    ``insert_facts`` / ``delete_facts``.  Each compiled query is routed by
+    the tiered planner (:mod:`repro.planner`) to its cheapest sound
+    serving state — stateless UCQ evaluation, DRed-maintained fixpoint, or
+    the guarded CDCL solver; ``session.explain()`` reports the decisions.
+    With ``shards`` > 1 the fact stream is consistent-hash-partitioned
+    across that many per-shard sessions
+    (:class:`repro.service.shards.ShardedObdaSession`; requires shardable —
+    connected, constant-free — programs) and per-shard certain answers are
+    merged.  This is the deployment-facing entry point tying Section 5's
+    one-shot applications to the streaming serving layer.
     """
     initial = () if initial_instance is None else initial_instance.facts
     if shards > 1:
@@ -258,3 +262,24 @@ def serve_omq_workload(
     from ..service.session import ObdaSession
 
     return ObdaSession(workload, initial_facts=initial)
+
+
+def plan_omq_workload(workload) -> dict:
+    """Plan a workload without serving it: query name -> :class:`QueryPlan`.
+
+    Compiles each entry exactly as :func:`serve_omq_workload` would (OMQs
+    through the Theorem 3.3 translation, DDlog programs as-is) and returns
+    the planner's explainable routing decisions — which queries run as
+    plain UCQs, which as datalog fixpoints, and which genuinely need the
+    ground+CDCL engine.  The runtime mirror of the Section 5 dichotomy.
+    """
+    from collections.abc import Mapping
+
+    from ..planner import plan_workload
+    from ..service.session import DEFAULT_QUERY, _compile
+
+    if not isinstance(workload, Mapping):
+        workload = {DEFAULT_QUERY: workload}
+    return plan_workload(
+        {name: _compile(entry) for name, entry in workload.items()}
+    )

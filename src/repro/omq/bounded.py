@@ -115,7 +115,7 @@ class BoundedModelEngine:
         return self.countermodel(instance, answer) is None
 
     def certain_answers(
-        self, instance: Instance, parallel: int | None = None
+        self, instance: Instance, parallel: "int | str | None" = None
     ) -> frozenset[tuple]:
         """All certain answers, grounding the ontology once per domain.
 
@@ -129,12 +129,21 @@ class BoundedModelEngine:
         Candidate tuples are independently decidable, so with ``parallel``
         > 1 they are partitioned into chunks across a worker pool in which
         every worker replicates this engine and runs the same incremental
-        loop over its chunk (:mod:`repro.engine.parallel`).
+        loop over its chunk (:mod:`repro.engine.parallel`).  With
+        ``parallel="auto"`` the pool is sized by the planner's cost
+        heuristic — candidates times the grounded ontology's rough clause
+        count — so small problems stay serial and skip the pool start-up.
         """
         base = sorted(instance.active_domain, key=repr)
         if not base:
             return frozenset()
         candidates = list(itertools.product(base, repeat=self.ucq.arity))
+        if parallel == "auto":
+            from ..planner import auto_workers
+
+            largest = len(base) + self.extra_elements
+            score = len(candidates) * self._sentence.size() * float(largest) ** 2
+            parallel = auto_workers(score)
         if parallel is not None and resolve_workers(parallel) > 1:
             pool = ReplicaPool((self, instance), parallel)
             try:

@@ -9,6 +9,14 @@ The ``auto`` engine picks the strongest applicable complete procedure:
 3. ``bounded`` — the bounded counter-model reference engine (used for
    functional roles, or on request as an independent cross-check).
 
+The ``planned`` engine instead compiles the OMQ once into MDDlog (Theorem
+3.3) and routes the compiled program through the tiered planner
+(:mod:`repro.planner`) — UCQ rewriting, datalog fixpoint, or ground+CDCL,
+whichever is cheapest and sound; this is the one-shot twin of the serving
+sessions' routing.  When the OMQ has no complete MDDlog translation
+(functional / transitive / universal roles), ``planned`` falls back to the
+``auto`` selection.
+
 All three procedures bottom out in the shared evaluation engine: the atomic
 and forest engines reduce to the indexed homomorphism search of
 :mod:`repro.core.homomorphism`, and the bounded engine grounds into the
@@ -30,7 +38,7 @@ from .bounded import BoundedModelEngine
 from .forest import ForestEngine
 from .query import OntologyMediatedQuery
 
-ENGINES = ("auto", "atomic", "forest", "bounded")
+ENGINES = ("auto", "atomic", "forest", "bounded", "planned")
 
 
 def _normalise(omq: OntologyMediatedQuery) -> OntologyMediatedQuery:
@@ -67,6 +75,14 @@ def _select_engine(omq: OntologyMediatedQuery, engine: str):
         return AtomicEngine(_normalise(omq))
     if engine == "forest":
         return ForestEngine(_normalise(omq))
+    if engine == "planned":
+        from ..planner import PlannedMddlogEngine
+
+        try:
+            program = compile_to_mddlog(omq)
+        except ValueError:
+            return _select_engine(omq, "auto")
+        return PlannedMddlogEngine(program)
     # auto
     normalised = _normalise(omq)
     ontology = normalised.ontology

@@ -1,0 +1,89 @@
+"""The tiered query planner: route every OMQ to its cheapest engine.
+
+The paper classifies ontology-mediated queries by rewritability —
+FO-rewritable, datalog-rewritable, or genuinely disjunctive (coNP via
+MDDlog/CSP; Section 5, and Feier–Kuusisto–Lutz for the MDDlog side).  This
+package exploits that classification at runtime: every compiled
+disjunctive datalog program is inspected once and dispatched to the
+cheapest sound evaluation engine —
+
+==== ==================== ====================================================
+tier name                 engine
+==== ==================== ====================================================
+0    ``ucq-rewrite``      goal unfolded to a UCQ, evaluated by the join
+                          planner over the instance indexes (no grounding,
+                          no SAT, stateless under streaming updates)
+1    ``datalog-fixpoint`` semi-naive least fixpoint, DRed-maintained in
+                          sessions; constraints checked on the minimal model
+2    ``ground+cdcl``      ground once + incremental CDCL (serial, parallel
+                          worker pools, or sharded sessions)
+==== ==================== ====================================================
+
+:func:`plan_program` caches one explainable :class:`QueryPlan` per compiled
+program object; :func:`estimate_cost` prices a plan against an instance's
+index statistics; :func:`execute_plan` runs it.  ``datalog.evaluation``,
+the serving sessions and the OMQ layer all route through here — see the
+planner section of ``ARCHITECTURE.md``.
+"""
+
+from .analysis import (
+    MAX_DISJUNCT_ATOMS,
+    MAX_UNFOLDED_DISJUNCTS,
+    ProgramShape,
+    UcqUnfolding,
+    UnfoldedDisjunct,
+    analyse_program,
+    unfold_to_ucq,
+)
+from .execute import (
+    PlannedMddlogEngine,
+    execute_plan,
+    fixpoint_certain_answers,
+    ucq_candidate_certain,
+    ucq_certain_answers,
+    unfolding_consistent,
+    vacuous_answers,
+    vacuous_decisions,
+)
+from .plan import (
+    TIER_FIXPOINT,
+    TIER_GROUND_SAT,
+    TIER_NAMES,
+    TIER_REWRITE,
+    CostEstimate,
+    QueryPlan,
+    auto_workers,
+    estimate_cost,
+    plan_for_tier,
+    plan_program,
+    plan_workload,
+)
+
+__all__ = [
+    "MAX_DISJUNCT_ATOMS",
+    "MAX_UNFOLDED_DISJUNCTS",
+    "CostEstimate",
+    "PlannedMddlogEngine",
+    "ProgramShape",
+    "QueryPlan",
+    "TIER_FIXPOINT",
+    "TIER_GROUND_SAT",
+    "TIER_NAMES",
+    "TIER_REWRITE",
+    "UcqUnfolding",
+    "UnfoldedDisjunct",
+    "analyse_program",
+    "auto_workers",
+    "estimate_cost",
+    "execute_plan",
+    "fixpoint_certain_answers",
+    "plan_for_tier",
+    "plan_program",
+    "plan_workload",
+    "ucq_candidate_certain",
+    "ucq_certain_answers",
+    "unfold_to_ucq",
+    "unfolding_consistent",
+    "vacuous_answers",
+    "vacuous_decisions",
+]

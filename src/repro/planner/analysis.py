@@ -1,0 +1,332 @@
+"""Structural analysis of compiled DDlog programs for the tiered planner.
+
+The paper's classification results (Section 5, and the dichotomy discussion
+of Theorems 5.15/5.16) say that many ontology-mediated queries are much
+easier than the generic coNP certain-answer problem: some are equivalent to
+UCQs (FO-rewritable), some to plain datalog, and only the rest genuinely
+need disjunction.  This module provides the *syntactic* counterpart the
+planner acts on, for an already-compiled disjunctive datalog program:
+
+* :func:`analyse_program` — a census of the program (disjunctive rules,
+  constraints, recursion through the IDB dependency graph);
+* :func:`unfold_to_ucq` — for nonrecursive disjunction-free programs, the
+  classical unfolding of the goal (and of every constraint) through the
+  IDB definitions into a union of conjunctive queries over the EDB
+  relations, which the tier-0 executor then evaluates directly against the
+  instance indexes with the engine's join planner.
+
+Unfolding can blow up exponentially in the rule nesting, so it is guarded
+by caps on the number of disjuncts and the atoms per disjunct; when a cap
+trips, the planner falls back to the fixpoint tier, which is always
+available for disjunction-free programs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from ..core.cq import Atom, Variable
+from ..core.schema import RelationSymbol
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule
+
+Element = Hashable
+
+# Unfolding guards: beyond these, tier 1 (fixpoint) is the better plan
+# anyway — the UCQ would be evaluated disjunct by disjunct.
+MAX_UNFOLDED_DISJUNCTS = 256
+MAX_DISJUNCT_ATOMS = 24
+
+
+@dataclass(frozen=True)
+class ProgramShape:
+    """Syntactic census of a program: the input to tier selection."""
+
+    rule_count: int
+    constraint_count: int
+    disjunctive_rule_count: int
+    recursive_relations: tuple[str, ...]
+    defines_adom: bool
+
+    @property
+    def recursive(self) -> bool:
+        return bool(self.recursive_relations)
+
+    @property
+    def disjunction_free(self) -> bool:
+        return self.disjunctive_rule_count == 0
+
+
+def analyse_program(program: DisjunctiveDatalogProgram) -> ProgramShape:
+    """Census the program and detect recursion through its IDB dependencies."""
+    constraint_count = sum(1 for rule in program.rules if rule.is_constraint())
+    disjunctive_rule_count = sum(1 for rule in program.rules if len(rule.head) > 1)
+    defines_adom = any(
+        atom.relation.name == ADOM for rule in program.rules for atom in rule.head
+    )
+    idb_names = {
+        atom.relation.name for rule in program.rules for atom in rule.head
+    } - {ADOM}
+    graph: dict[str, set[str]] = {name: set() for name in idb_names}
+    for rule in program.rules:
+        body_idb = {
+            atom.relation.name
+            for atom in rule.body
+            if atom.relation.name in idb_names
+        }
+        for atom in rule.head:
+            if atom.relation.name in idb_names:
+                graph[atom.relation.name] |= body_idb
+    return ProgramShape(
+        rule_count=len(program.rules),
+        constraint_count=constraint_count,
+        disjunctive_rule_count=disjunctive_rule_count,
+        recursive_relations=tuple(sorted(_cyclic_relations(graph))),
+        defines_adom=defines_adom,
+    )
+
+
+def _cyclic_relations(graph: dict[str, set[str]]) -> set[str]:
+    """Relation names on a dependency cycle (Tarjan SCCs, iteratively)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = itertools.count()
+    cyclic: set[str] = set()
+    for root in graph:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator over successors) frames.
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = next(counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = next(counter)
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    cyclic.update(component)
+    return cyclic
+
+
+# ---------------------------------------------------------------------------
+# UCQ unfolding of nonrecursive disjunction-free programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UnfoldedDisjunct:
+    """One CQ disjunct of an unfolded goal or constraint.
+
+    ``atoms`` are EDB atoms evaluated by the join planner; ``adom_terms``
+    are terms that must additionally lie in the active domain (they came
+    from ``adom`` atoms, or from rule variables bound by no EDB atom).  A
+    constraint disjunct has an empty ``answer_terms``.
+    """
+
+    answer_terms: tuple
+    atoms: tuple[Atom, ...]
+    adom_terms: tuple
+
+    def variables(self) -> frozenset[Variable]:
+        result = {v for atom in self.atoms for v in atom.variables}
+        result.update(t for t in self.adom_terms if isinstance(t, Variable))
+        result.update(t for t in self.answer_terms if isinstance(t, Variable))
+        return frozenset(result)
+
+
+@dataclass(frozen=True)
+class UcqUnfolding:
+    """The goal and constraints of a program, unfolded into UCQs."""
+
+    goal_disjuncts: tuple[UnfoldedDisjunct, ...]
+    constraint_disjuncts: tuple[UnfoldedDisjunct, ...]
+
+    @property
+    def disjunct_count(self) -> int:
+        return len(self.goal_disjuncts) + len(self.constraint_disjuncts)
+
+
+def _resolve(term, sigma: dict):
+    while isinstance(term, Variable) and term in sigma:
+        term = sigma[term]
+    return term
+
+
+def _unify(
+    head_args: Sequence, call_args: Sequence, sigma: dict
+) -> dict | None:
+    """Extend ``sigma`` so the (renamed-apart) head matches the call atom.
+
+    Head variables are fresh, so unification only ever walks bindings one
+    way; repeated head variables and constants on either side induce
+    equalities on the caller's terms (or failure on a constant clash).
+    """
+    sigma = dict(sigma)
+    for head_term, call_term in zip(head_args, call_args):
+        head_term = _resolve(head_term, sigma)
+        call_term = _resolve(call_term, sigma)
+        if head_term == call_term and isinstance(head_term, Variable) == isinstance(
+            call_term, Variable
+        ):
+            continue
+        if isinstance(head_term, Variable):
+            sigma[head_term] = call_term
+        elif isinstance(call_term, Variable):
+            sigma[call_term] = head_term
+        elif head_term != call_term:
+            return None
+    return sigma
+
+
+def _substitute_atom(atom: Atom, sigma: dict) -> Atom:
+    return Atom(
+        atom.relation, tuple(_resolve(term, sigma) for term in atom.arguments)
+    )
+
+
+@dataclass(frozen=True)
+class _Branch:
+    """One partially-unfolded disjunct: resolved parts plus pending atoms."""
+
+    answer_terms: tuple
+    pending: tuple[Atom, ...]
+    atoms: tuple[Atom, ...]
+    adom_terms: tuple
+
+    def substituted(self, sigma: dict, extra_pending: tuple[Atom, ...]) -> "_Branch":
+        return _Branch(
+            tuple(_resolve(t, sigma) for t in self.answer_terms),
+            tuple(_substitute_atom(a, sigma) for a in self.pending[1:])
+            + tuple(_substitute_atom(a, sigma) for a in extra_pending),
+            tuple(_substitute_atom(a, sigma) for a in self.atoms),
+            tuple(_resolve(t, sigma) for t in self.adom_terms),
+        )
+
+
+def unfold_to_ucq(
+    program: DisjunctiveDatalogProgram,
+    max_disjuncts: int = MAX_UNFOLDED_DISJUNCTS,
+    max_atoms: int = MAX_DISJUNCT_ATOMS,
+) -> UcqUnfolding | None:
+    """Unfold a nonrecursive disjunction-free program into UCQs.
+
+    Every IDB body atom is replaced, one definition at a time, by the body
+    of a defining rule (renamed apart and unified with the call); an IDB
+    atom with no defining rule kills its branch — it is empty in the
+    minimal model, and certain answers of a disjunction-free program are
+    exactly its minimal-model answers.  Returns ``None`` when a cap trips.
+    """
+    definitions: dict[RelationSymbol, list[Rule]] = {}
+    idb_names: set[str] = set()
+    for rule in program.rules:
+        if rule.head:
+            definitions.setdefault(rule.head[0].relation, []).append(rule)
+            idb_names.add(rule.head[0].relation.name)
+    idb_names.add(program.goal_relation.name)
+    counter = itertools.count()
+
+    # Termination is guaranteed by nonrecursion; the step budget is a
+    # belt-and-braces guard so a misuse on a recursive program (where a
+    # pure-IDB cycle grows no disjunct and trips no cap) degrades to the
+    # fixpoint tier instead of spinning.
+    step_budget = max_disjuncts * (max_atoms + 8) * max(len(program.rules), 1)
+
+    def expand(seed: _Branch) -> list[UnfoldedDisjunct] | None:
+        nonlocal step_budget
+        finished: list[UnfoldedDisjunct] = []
+        stack = [seed]
+        while stack:
+            step_budget -= 1
+            if step_budget <= 0 or len(stack) + len(finished) > max_disjuncts:
+                return None
+            branch = stack.pop()
+            if not branch.pending:
+                finished.append(
+                    UnfoldedDisjunct(
+                        branch.answer_terms,
+                        branch.atoms,
+                        tuple(dict.fromkeys(branch.adom_terms)),
+                    )
+                )
+                continue
+            atom = branch.pending[0]
+            name = atom.relation.name
+            if name == ADOM:
+                stack.append(
+                    _Branch(
+                        branch.answer_terms,
+                        branch.pending[1:],
+                        branch.atoms,
+                        branch.adom_terms + (atom.arguments[0],),
+                    )
+                )
+            elif name in idb_names:
+                for rule in definitions.get(atom.relation, ()):
+                    renaming = {
+                        v: Variable(f"{v.name}~u{next(counter)}")
+                        for v in rule.variables
+                    }
+                    head = rule.head[0].substitute(renaming)
+                    sigma = _unify(head.arguments, atom.arguments, {})
+                    if sigma is None:
+                        continue
+                    body = tuple(a.substitute(renaming) for a in rule.body)
+                    stack.append(branch.substituted(sigma, body))
+            else:
+                if len(branch.atoms) + 1 > max_atoms:
+                    return None
+                stack.append(
+                    _Branch(
+                        branch.answer_terms,
+                        branch.pending[1:],
+                        branch.atoms + (atom,),
+                        branch.adom_terms,
+                    )
+                )
+        return finished
+
+    goal_disjuncts: list[UnfoldedDisjunct] = []
+    constraint_disjuncts: list[UnfoldedDisjunct] = []
+    for rule in program.rules:
+        if rule.is_constraint():
+            expanded = expand(_Branch((), tuple(rule.body), (), ()))
+            if expanded is None:
+                return None
+            constraint_disjuncts.extend(expanded)
+        elif rule.head[0].relation == program.goal_relation:
+            expanded = expand(
+                _Branch(tuple(rule.head[0].arguments), tuple(rule.body), (), ())
+            )
+            if expanded is None:
+                return None
+            goal_disjuncts.extend(expanded)
+        if len(goal_disjuncts) + len(constraint_disjuncts) > max_disjuncts:
+            return None
+    return UcqUnfolding(tuple(goal_disjuncts), tuple(constraint_disjuncts))

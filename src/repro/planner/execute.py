@@ -1,0 +1,288 @@
+"""Executors for the planner's three tiers.
+
+Every executor computes exactly the certain answers the ground+CDCL engine
+(:mod:`repro.engine.grounder`) would — including the vacuous-certainty
+convention for inconsistent programs (every tuple over the active domain)
+and the restriction of answers to the active domain — so routing never
+changes answers, only cost:
+
+* tier 0 evaluates the UCQ unfolding disjunct-by-disjunct with the
+  engine's join planner directly over the instance indexes;
+* tier 1 runs the semi-naive least fixpoint of
+  :mod:`repro.datalog.plain` and checks constraints against the
+  materialized minimal model (rule bodies are positive, hence monotone: a
+  constraint body satisfied in the minimal model is satisfied in every
+  model, so firing means *no* model exists);
+* tier 2 grounds once and decides candidates against the persistent
+  incremental CDCL solver, optionally across a worker pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..core.cq import Variable
+from ..core.instance import Instance
+from ..datalog.plain import DatalogProgram
+from ..engine.grounder import ground_program
+from ..engine.joins import join_assignments
+from ..engine.parallel import parallel_certain_answers, resolve_workers
+from .analysis import UcqUnfolding, UnfoldedDisjunct
+from .plan import (
+    TIER_FIXPOINT,
+    TIER_REWRITE,
+    QueryPlan,
+    auto_workers,
+    estimate_cost,
+    plan_program,
+)
+
+
+def vacuous_answers(instance: Instance, arity: int) -> frozenset[tuple]:
+    """Every tuple over the active domain (the no-model convention)."""
+    domain = sorted(instance.active_domain, key=repr)
+    return frozenset(itertools.product(domain, repeat=arity))
+
+
+def vacuous_decisions(
+    instance: Instance, candidates: "Sequence[tuple]"
+) -> dict[tuple, bool]:
+    """Per-candidate verdicts when no model exists: certain iff over adom."""
+    adom = instance.active_domain
+    return {
+        candidate: all(value in adom for value in candidate)
+        for candidate in candidates
+    }
+
+
+# ---------------------------------------------------------------------------
+# Tier 0: UCQ evaluation through the join planner
+# ---------------------------------------------------------------------------
+
+
+def _disjunct_guards_hold(disjunct: UnfoldedDisjunct, adom: frozenset) -> bool:
+    """Constant guards: constants under adom atoms / answer positions."""
+    for term in disjunct.adom_terms:
+        if not isinstance(term, Variable) and term not in adom:
+            return False
+    for term in disjunct.answer_terms:
+        if not isinstance(term, Variable) and term not in adom:
+            return False
+    return True
+
+
+def _free_adom_variables(
+    disjunct: UnfoldedDisjunct, bound: set[Variable]
+) -> set[Variable]:
+    """Variables constrained only by adom membership, given ``bound``."""
+    atom_vars = {v for atom in disjunct.atoms for v in atom.variables}
+    return {
+        term
+        for term in disjunct.adom_terms + disjunct.answer_terms
+        if isinstance(term, Variable)
+        and term not in atom_vars
+        and term not in bound
+    }
+
+
+def _disjunct_answers(
+    disjunct: UnfoldedDisjunct, instance: Instance, domain: Sequence
+) -> Iterator[tuple]:
+    adom = instance.active_domain
+    if not _disjunct_guards_hold(disjunct, adom):
+        return
+    free_all = _free_adom_variables(disjunct, set())
+    if free_all and not domain:
+        return
+    answer_vars = {t for t in disjunct.answer_terms if isinstance(t, Variable)}
+    # Existential adom-only variables only need a nonempty domain (checked
+    # above); enumerating them would yield each answer |domain| extra times.
+    free = sorted(free_all & answer_vars, key=str)
+    for assignment in join_assignments(disjunct.atoms, instance):
+        if free:
+            for values in itertools.product(domain, repeat=len(free)):
+                full = dict(assignment)
+                full.update(zip(free, values))
+                yield tuple(
+                    full[t] if isinstance(t, Variable) else t
+                    for t in disjunct.answer_terms
+                )
+        else:
+            yield tuple(
+                assignment[t] if isinstance(t, Variable) else t
+                for t in disjunct.answer_terms
+            )
+
+
+def _disjunct_satisfiable(
+    disjunct: UnfoldedDisjunct,
+    instance: Instance,
+    initial: dict | None = None,
+) -> bool:
+    """Is the (Boolean, possibly partially bound) disjunct satisfiable?"""
+    adom = instance.active_domain
+    if not _disjunct_guards_hold(disjunct, adom):
+        return False
+    if _free_adom_variables(disjunct, set(initial or ())) and not adom:
+        return False
+    found = next(
+        iter(join_assignments(disjunct.atoms, instance, initial=initial)), None
+    )
+    return found is not None
+
+
+def unfolding_consistent(unfolding: UcqUnfolding, instance: Instance) -> bool:
+    """Does some model exist — i.e. no unfolded constraint fires?"""
+    return not any(
+        _disjunct_satisfiable(disjunct, instance)
+        for disjunct in unfolding.constraint_disjuncts
+    )
+
+
+def ucq_certain_answers(plan: QueryPlan, instance: Instance) -> frozenset[tuple]:
+    """Tier-0 certain answers: evaluate the unfolded UCQ, no grounding."""
+    unfolding = plan.unfolding
+    assert unfolding is not None
+    if not unfolding_consistent(unfolding, instance):
+        return vacuous_answers(instance, plan.program.arity)
+    domain = sorted(instance.active_domain, key=repr)
+    answers: set[tuple] = set()
+    for disjunct in unfolding.goal_disjuncts:
+        answers.update(_disjunct_answers(disjunct, instance, domain))
+    return frozenset(answers)
+
+
+def ucq_candidate_certain(
+    unfolding: UcqUnfolding, instance: Instance, candidate: tuple
+) -> bool:
+    """Decide one candidate tuple against the unfolded goal.
+
+    Assumes consistency was checked; binds the answer terms and asks the
+    join planner for a single witness per disjunct.
+    """
+    adom = instance.active_domain
+    if any(value not in adom for value in candidate):
+        return False
+    for disjunct in unfolding.goal_disjuncts:
+        if len(disjunct.answer_terms) != len(candidate):
+            continue
+        initial: dict = {}
+        feasible = True
+        for term, value in zip(disjunct.answer_terms, candidate):
+            if isinstance(term, Variable):
+                if initial.setdefault(term, value) != value:
+                    feasible = False
+                    break
+            elif term != value:
+                feasible = False
+                break
+        if feasible and _disjunct_satisfiable(disjunct, instance, initial):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Tier 1: semi-naive fixpoint plus constraint checking
+# ---------------------------------------------------------------------------
+
+
+def fixpoint_program(plan: QueryPlan) -> DatalogProgram:
+    """The disjunction-free rules as a plain datalog program."""
+    program = plan.program
+    if isinstance(program, DatalogProgram) and not plan.shape.constraint_count:
+        return program
+    return DatalogProgram(
+        [rule for rule in program.rules if rule.head],
+        goal_relation=program.goal_relation,
+    )
+
+
+def constraint_fires(rule, fixpoint: Instance) -> bool:
+    """Does a constraint body match the materialized fixpoint?
+
+    ``fixpoint`` holds the derived IDB facts *and* the ``adom`` facts the
+    fixpoint evaluator seeds, so constraint bodies (EDB, IDB and adom
+    atoms alike) are plain joins against it.
+    """
+    return next(iter(join_assignments(rule.body, fixpoint)), None) is not None
+
+
+def fixpoint_certain_answers(plan: QueryPlan, instance: Instance) -> frozenset[tuple]:
+    """Tier-1 certain answers: least fixpoint + constraint check, no SAT."""
+    program = plan.program
+    datalog = fixpoint_program(plan)
+    fixpoint = datalog.least_fixpoint(instance)
+    constraints = [rule for rule in program.rules if not rule.head]
+    if any(constraint_fires(rule, fixpoint) for rule in constraints):
+        return vacuous_answers(instance, program.arity)
+    adom = instance.active_domain
+    return frozenset(
+        row
+        for row in fixpoint.tuples(program.goal_relation)
+        if all(value in adom for value in row)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dispatch
+# ---------------------------------------------------------------------------
+
+
+def execute_plan(
+    plan: QueryPlan,
+    instance: Instance,
+    parallel: "int | str | None" = None,
+    chunk_size: int | None = None,
+) -> frozenset[tuple]:
+    """Certain answers via the plan's tier.
+
+    ``parallel`` only affects tier 2 (the SAT-free tiers have no candidate
+    decisions to fan out); ``"auto"`` sizes the pool from the cost
+    estimate's work score.
+    """
+    if plan.tier == TIER_REWRITE:
+        return ucq_certain_answers(plan, instance)
+    if plan.tier == TIER_FIXPOINT:
+        return fixpoint_certain_answers(plan, instance)
+    ground = ground_program(plan.program, instance)
+    if parallel == "auto":
+        parallel = auto_workers(estimate_cost(plan, instance).tier2_work_score)
+    if parallel is not None and resolve_workers(parallel) > 1:
+        return parallel_certain_answers(
+            ground, workers=parallel, chunk_size=chunk_size
+        )
+    return ground.certain_answers()
+
+
+class PlannedMddlogEngine:
+    """A complete certain-answer engine over a compiled MDDlog program.
+
+    Wraps a Theorem 3.3 compilation (or any DDlog program) behind the
+    planner: certain answers are computed by the cheapest sound tier.
+    Unlike the bounded counter-model engine this is complete — the
+    compiled program *is* the query (Theorem 3.3), and every tier computes
+    its certain answers exactly.
+    """
+
+    def __init__(self, program) -> None:
+        self.program = program
+        self.plan = plan_program(program)
+
+    def certain_answers(
+        self, instance: Instance, parallel: "int | str | None" = None
+    ) -> frozenset[tuple]:
+        return execute_plan(self.plan, instance, parallel=parallel)
+
+    def is_certain(self, instance: Instance, answer: Sequence = ()) -> bool:
+        answer = tuple(answer)
+        if self.plan.tier == TIER_REWRITE:
+            unfolding = self.plan.unfolding
+            assert unfolding is not None
+            if not unfolding_consistent(unfolding, instance):
+                adom = instance.active_domain
+                return all(value in adom for value in answer)
+            return ucq_candidate_certain(unfolding, instance, answer)
+        if self.plan.tier == TIER_FIXPOINT:
+            return answer in fixpoint_certain_answers(self.plan, instance)
+        return ground_program(self.program, instance).holds(answer)

@@ -1,0 +1,323 @@
+"""Tiered query plans: route a compiled program to its cheapest engine.
+
+The paper's Section 5 dichotomy separates OMQs that are FO-rewritable,
+datalog-rewritable, and genuinely disjunctive (coNP via MDDlog/CSP).  The
+planner is the runtime mirror of that classification over *compiled*
+disjunctive datalog programs:
+
+* **tier 0** (``ucq-rewrite``) — nonrecursive, disjunction-free: the goal
+  (and every constraint) unfolds into a UCQ over the EDB relations, which
+  is evaluated directly against the instance indexes with the engine's
+  join planner.  No grounding, no SAT, and nothing to maintain under
+  streaming updates.
+* **tier 1** (``datalog-fixpoint``) — disjunction-free but recursive (or
+  past the unfolding caps): semi-naive least-fixpoint evaluation
+  (:mod:`repro.datalog.plain`), DRed-maintained in serving sessions.
+  Constraints are checked against the materialized fixpoint — rule bodies
+  are positive, so a constraint firing in the minimal model fires in every
+  model, and the certain answers are vacuously all tuples over the active
+  domain (exactly the engine's convention for unsatisfiable programs).
+* **tier 2** (``ground+cdcl``) — everything else: the ground-once +
+  incremental CDCL engine (serial, worker-pool parallel, or sharded).
+
+Plans are cached per compiled program object, so a workload compiled once
+into a session (or shared across shards) is planned once.  Cost estimates
+come from the instance's per-relation / per-position index statistics via
+:func:`estimate_cost` and make the plan explainable; they also drive the
+``parallel="auto"`` worker-count choice of the tier-2 paths.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.cq import Variable
+from ..core.instance import Instance
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram
+from ..engine.grounder import _free_variable_blocks, _split_body
+from ..engine.joins import _estimated_rows, order_atoms
+from ..engine.parallel import resolve_workers
+from .analysis import (
+    ProgramShape,
+    UcqUnfolding,
+    analyse_program,
+    unfold_to_ucq,
+)
+
+TIER_REWRITE = 0
+TIER_FIXPOINT = 1
+TIER_GROUND_SAT = 2
+TIER_NAMES = {
+    TIER_REWRITE: "ucq-rewrite",
+    TIER_FIXPOINT: "datalog-fixpoint",
+    TIER_GROUND_SAT: "ground+cdcl",
+}
+
+# Below this tier-2 work score (estimated ground clauses x candidate
+# tuples) a worker pool costs more to start than it saves.
+AUTO_PARALLEL_THRESHOLD = 2_000_000.0
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Instance-statistics-based cost figures for one plan.
+
+    All figures are estimates from the index statistics (relation
+    cardinalities and per-position bucket sizes), not measurements: they
+    explain *why* a tier is cheap and size the tier-2 work score.
+    """
+
+    tier: int
+    domain_size: int
+    candidates: int
+    join_cost: float
+    ground_clauses: float
+    fixpoint_bound: float
+
+    @property
+    def tier2_work_score(self) -> float:
+        """The score ``parallel="auto"`` compares against the threshold."""
+        return self.ground_clauses * max(1, self.candidates)
+
+    def describe(self) -> dict:
+        return {
+            "tier": self.tier,
+            "domain_size": self.domain_size,
+            "candidates": self.candidates,
+            "estimated_join_cost": round(self.join_cost, 1),
+            "estimated_ground_clauses": round(self.ground_clauses, 1),
+            "fixpoint_bound": round(self.fixpoint_bound, 1),
+        }
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An explainable routing decision for one compiled program."""
+
+    tier: int
+    rationale: str
+    program: DisjunctiveDatalogProgram = field(repr=False)
+    shape: ProgramShape
+    unfolding: UcqUnfolding | None = field(repr=False, default=None)
+
+    @property
+    def tier_name(self) -> str:
+        return TIER_NAMES[self.tier]
+
+    @property
+    def skips_sat(self) -> bool:
+        return self.tier != TIER_GROUND_SAT
+
+    def describe(self) -> dict:
+        """A JSON-able explanation (what sessions expose as ``explain()``)."""
+        info = {
+            "tier": self.tier,
+            "tier_name": self.tier_name,
+            "rationale": self.rationale,
+            "rules": self.shape.rule_count,
+            "constraints": self.shape.constraint_count,
+            "disjunctive_rules": self.shape.disjunctive_rule_count,
+            "recursive_relations": list(self.shape.recursive_relations),
+        }
+        if self.unfolding is not None:
+            info["unfolded_goal_disjuncts"] = len(self.unfolding.goal_disjuncts)
+            info["unfolded_constraint_disjuncts"] = len(
+                self.unfolding.constraint_disjuncts
+            )
+        return info
+
+
+_PLAN_CACHE: "weakref.WeakKeyDictionary[DisjunctiveDatalogProgram, QueryPlan]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def plan_program(program: DisjunctiveDatalogProgram) -> QueryPlan:
+    """The (cached) cheapest-correct-engine plan for a compiled program."""
+    plan = _PLAN_CACHE.get(program)
+    if plan is None:
+        plan = _classify(program)
+        _PLAN_CACHE[program] = plan
+    return plan
+
+
+def _classify(program: DisjunctiveDatalogProgram) -> QueryPlan:
+    shape = analyse_program(program)
+    if shape.defines_adom:
+        return QueryPlan(
+            TIER_GROUND_SAT,
+            "program derives the built-in adom relation; only the ground "
+            "engine implements that faithfully",
+            program,
+            shape,
+        )
+    if not shape.disjunction_free:
+        return QueryPlan(
+            TIER_GROUND_SAT,
+            f"{shape.disjunctive_rule_count} disjunctive rule(s): certain "
+            "answers need the ground-once + incremental CDCL engine",
+            program,
+            shape,
+        )
+    if shape.recursive:
+        shown = ", ".join(shape.recursive_relations[:4])
+        return QueryPlan(
+            TIER_FIXPOINT,
+            "disjunction-free but recursive through "
+            f"{shown}: semi-naive least fixpoint, no SAT",
+            program,
+            shape,
+        )
+    unfolding = unfold_to_ucq(program)
+    if unfolding is None:
+        return QueryPlan(
+            TIER_FIXPOINT,
+            "disjunction-free and nonrecursive, but the UCQ unfolding "
+            "exceeds the disjunct/atom caps: semi-naive least fixpoint, "
+            "no SAT",
+            program,
+            shape,
+        )
+    return QueryPlan(
+        TIER_REWRITE,
+        "nonrecursive and disjunction-free: goal unfolds into a UCQ with "
+        f"{len(unfolding.goal_disjuncts)} disjunct(s) "
+        f"(+{len(unfolding.constraint_disjuncts)} constraint disjunct(s)); "
+        "evaluated by the join planner over the instance indexes — no "
+        "grounding, no SAT",
+        program,
+        shape,
+        unfolding,
+    )
+
+
+def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
+    """Force a specific tier (for cross-validation and benchmarks).
+
+    Raises ``ValueError`` when the tier is not sound for the program:
+    tier 2 is always legal, tier 1 needs a disjunction-free program, and
+    tier 0 additionally needs the UCQ unfolding to exist.
+    """
+    if tier not in TIER_NAMES:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {sorted(TIER_NAMES)}")
+    natural = plan_program(program)
+    if tier == natural.tier:
+        return natural
+    shape = natural.shape
+    if tier == TIER_GROUND_SAT:
+        return QueryPlan(
+            TIER_GROUND_SAT, "forced to the ground+CDCL tier", program, shape
+        )
+    if shape.defines_adom or not shape.disjunction_free:
+        raise ValueError(
+            f"tier {tier} is unsound for this program: {natural.rationale}"
+        )
+    if tier == TIER_FIXPOINT:
+        return QueryPlan(
+            TIER_FIXPOINT, "forced to the fixpoint tier", program, shape
+        )
+    if shape.recursive:
+        raise ValueError(
+            "tier 0 is unsound for this program: recursive through "
+            + ", ".join(shape.recursive_relations)
+        )
+    unfolding = natural.unfolding
+    if unfolding is None:
+        unfolding = unfold_to_ucq(program)
+    if unfolding is None:
+        raise ValueError(
+            "tier 0 is unavailable: the UCQ unfolding exceeds its caps"
+        )
+    return QueryPlan(
+        TIER_REWRITE, "forced to the UCQ-rewrite tier", program, shape, unfolding
+    )
+
+
+def plan_workload(programs: Mapping[str, DisjunctiveDatalogProgram]) -> dict[str, QueryPlan]:
+    """Plan every compiled query of a workload (cached per program)."""
+    return {name: plan_program(program) for name, program in programs.items()}
+
+
+# ---------------------------------------------------------------------------
+# Cost model over instance index statistics
+# ---------------------------------------------------------------------------
+
+
+def _chain_cost(atoms, instance: Instance, bound=frozenset()) -> tuple[float, float]:
+    """Greedy-join cost of a CQ body: (total intermediate rows, result rows).
+
+    Follows the same greedy selectivity order the executor uses; per-step
+    estimates come from the instance's relation cardinalities and position
+    index bucket sizes.
+    """
+    total = 0.0
+    acc = 1.0
+    bound_now = set(bound)
+    for atom in order_atoms(atoms, instance, bound=bound_now):
+        acc *= max(_estimated_rows(atom, bound_now, instance), 0.0)
+        total += acc
+        bound_now.update(atom.variables)
+    return total, acc
+
+
+def estimate_cost(plan: QueryPlan, instance: Instance) -> CostEstimate:
+    """Cost figures for executing the plan on this instance."""
+    program = plan.program
+    domain_size = len(instance.active_domain)
+    candidates = domain_size ** program.arity
+    join_cost = 0.0
+    if plan.unfolding is not None:
+        for disjunct in (
+            plan.unfolding.goal_disjuncts + plan.unfolding.constraint_disjuncts
+        ):
+            steps, results = _chain_cost(disjunct.atoms, instance)
+            atom_vars = {v for atom in disjunct.atoms for v in atom.variables}
+            free_answers = {
+                t
+                for t in disjunct.answer_terms
+                if isinstance(t, Variable) and t not in atom_vars
+            }
+            join_cost += steps + results * max(
+                float(domain_size) ** len(free_answers), 1.0
+            )
+    idb_names = frozenset(
+        {sym.name for sym in program.idb_relations}
+    ) - {ADOM}
+    ground_clauses = 0.0
+    for rule in program.rules:
+        edb_atoms, _adom_atoms, idb_atoms = _split_body(rule, idb_names, ADOM)
+        steps, results = _chain_cost(edb_atoms, instance)
+        bound = {v for atom in edb_atoms for v in atom.variables}
+        free = sorted(
+            {v for v in rule.variables if v not in bound}, key=str
+        )
+        literals = [(a, False) for a in idb_atoms] + [(a, True) for a in rule.head]
+        blocks, _bound_literals = _free_variable_blocks(free, literals)
+        multiplier = sum(
+            float(domain_size) ** len(variables) for variables, _ in blocks
+        )
+        ground_clauses += results * max(multiplier, 1.0)
+    fixpoint_bound = float(
+        sum(
+            float(domain_size) ** sym.arity
+            for sym in program.idb_relations
+            if sym.name != ADOM
+        )
+    )
+    return CostEstimate(
+        tier=plan.tier,
+        domain_size=domain_size,
+        candidates=candidates,
+        join_cost=join_cost,
+        ground_clauses=ground_clauses,
+        fixpoint_bound=fixpoint_bound,
+    )
+
+
+def auto_workers(score: float, threshold: float = AUTO_PARALLEL_THRESHOLD) -> int | None:
+    """Worker count for ``parallel="auto"``: serial below the threshold."""
+    if score < threshold:
+        return None
+    return resolve_workers(None)

@@ -7,16 +7,23 @@ UCQ into MDDlog through the Theorem 3.3 translation
 program used directly — and the session then answers every query against a
 single mutable data instance that evolves fact-by-fact.
 
-Each compiled query owns persistent evaluation state:
+Each compiled query is routed by the tiered planner
+(:mod:`repro.planner`) to persistent evaluation state matching its
+:class:`~repro.planner.QueryPlan`:
 
-* disjunction-free programs keep a materialized least fixpoint maintained by
-  semi-naive insertion and DRed deletion
-  (:class:`repro.service.delta.IncrementalFixpoint`);
-* all other programs keep a live CDCL solver fed by support-guarded delta
-  grounding (:class:`repro.service.delta.DeltaGrounder`): insertions push
-  only the newly justified clauses, deletions retract the facts' guard
-  assumptions, and certain answers are assumption queries against the warm
-  solver with all learned clauses intact.
+* tier 0 (nonrecursive disjunction-free) needs *no* state at all: the goal
+  and constraints are unfolded into UCQs once, and every query is a join
+  against the live instance indexes (:class:`_UcqState`);
+* tier 1 (recursive disjunction-free) keeps a materialized least fixpoint
+  maintained by semi-naive insertion and DRed deletion
+  (:class:`repro.service.delta.IncrementalFixpoint`), with constraints
+  checked against the minimal model at query time;
+* tier 2 (genuinely disjunctive) keeps a live CDCL solver fed by
+  support-guarded delta grounding
+  (:class:`repro.service.delta.DeltaGrounder`): insertions push only the
+  newly justified clauses, deletions retract the facts' guard assumptions,
+  and certain answers are assumption queries against the warm solver with
+  all learned clauses intact.
 
 Answers after every update are identical to a from-scratch recomputation
 over the current instance (the streaming test-suite cross-validates this on
@@ -31,9 +38,24 @@ from typing import Iterable, Mapping, Sequence
 
 from ..core.instance import Fact, Instance
 from ..datalog.ddlog import DisjunctiveDatalogProgram
-from ..datalog.plain import DatalogProgram
 from ..engine.sat import ClauseSolver
 from ..omq.query import OntologyMediatedQuery
+from ..planner import (
+    TIER_FIXPOINT,
+    TIER_REWRITE,
+    QueryPlan,
+    plan_for_tier,
+    plan_program,
+    ucq_candidate_certain,
+    ucq_certain_answers,
+    unfolding_consistent,
+)
+from ..planner.execute import (
+    constraint_fires,
+    fixpoint_program,
+    vacuous_answers,
+    vacuous_decisions,
+)
 from .delta import DeltaGrounder, IncrementalFixpoint, fact_guard
 
 DEFAULT_QUERY = "q"
@@ -52,11 +74,12 @@ def _compile(entry) -> DisjunctiveDatalogProgram:
 
 
 class _SatState:
-    """Guarded ground program + persistent CDCL solver for one query."""
+    """Tier 2: guarded ground program + persistent CDCL solver for one query."""
 
-    def __init__(self, program: DisjunctiveDatalogProgram) -> None:
-        self.program = program
-        self.grounder = DeltaGrounder(program)
+    def __init__(self, plan: QueryPlan) -> None:
+        self.plan = plan
+        self.program = plan.program
+        self.grounder = DeltaGrounder(self.program)
         self.solver = ClauseSolver()
         for negative, positive in self.grounder.bootstrap_clauses():
             self.solver.add_clause(negative, positive)
@@ -79,7 +102,7 @@ class _SatState:
         decided = self.decide_batch(instance, candidates)
         return frozenset(c for c, certain in decided.items() if certain)
 
-    def is_consistent(self) -> bool:
+    def is_consistent(self, instance: Instance) -> bool:
         return self.solver.solve()
 
     def decide_batch(
@@ -92,10 +115,7 @@ class _SatState:
             # domain is vacuously certain (mirrors
             # GroundProgram.certain_answers, which only enumerates adom
             # tuples; candidates outside it are never answers).
-            return {
-                candidate: all(value in adom for value in candidate)
-                for candidate in candidates
-            }
+            return vacuous_decisions(instance, candidates)
         model = self.solver.last_model
         decided: dict[tuple, bool] = {}
         for candidate in candidates:
@@ -115,16 +135,22 @@ class _SatState:
 
 
 class _FixpointState:
-    """Materialized incremental fixpoint for a disjunction-free query."""
+    """Tier 1: materialized incremental fixpoint for a disjunction-free query.
 
-    def __init__(self, program: DisjunctiveDatalogProgram) -> None:
-        self.program = program
-        datalog = (
-            program
-            if isinstance(program, DatalogProgram)
-            else DatalogProgram(program.rules, goal_relation=program.goal_relation)
-        )
-        self.fixpoint = IncrementalFixpoint(datalog)
+    Constraints (empty-headed rules) are checked against the materialized
+    minimal model at query time: rule bodies are positive, so a constraint
+    body satisfied in the least fixpoint is satisfied in *every* model, in
+    which case no model exists and every tuple over the active domain is
+    vacuously certain (the same convention as the SAT tier).
+    """
+
+    def __init__(self, plan: QueryPlan) -> None:
+        self.plan = plan
+        self.program = plan.program
+        self.constraints = [
+            rule for rule in self.program.rules if rule.is_constraint()
+        ]
+        self.fixpoint = IncrementalFixpoint(fixpoint_program(plan))
 
     def insert(self, old: Instance, delta: Instance, new: Instance) -> int:
         self.fixpoint.insert(delta)
@@ -133,20 +159,77 @@ class _FixpointState:
     def delete(self, removed: Iterable[Fact]) -> None:
         self.fixpoint.delete(removed)
 
-    def is_consistent(self) -> bool:
-        return True  # a least fixpoint is always a model
+    def is_consistent(self, instance: Instance) -> bool:
+        return not any(
+            constraint_fires(rule, self.fixpoint.fixpoint)
+            for rule in self.constraints
+        )
 
     def certain_answers(self, instance: Instance) -> frozenset[tuple]:
+        if not self.is_consistent(instance):
+            return vacuous_answers(instance, self.program.arity)
         return self.fixpoint.goal_answers()
 
     def decide_batch(
         self, instance: Instance, candidates: Sequence[tuple]
     ) -> dict[tuple, bool]:
+        if not self.is_consistent(instance):
+            return vacuous_decisions(instance, candidates)
         answers = self.fixpoint.goal_answers()
         return {candidate: candidate in answers for candidate in candidates}
 
     def is_certain(self, instance: Instance, answer: tuple) -> bool:
-        return answer in self.fixpoint.goal_answers()
+        return self.decide_batch(instance, [answer])[answer]
+
+
+class _UcqState:
+    """Tier 0: stateless UCQ evaluation against the live instance indexes.
+
+    Nothing is maintained under updates — the unfolded goal and constraint
+    UCQs are joined against the session's current instance on every query,
+    which is exactly the FO-rewritability promise of the paper's Table 1
+    examples made operational.
+    """
+
+    def __init__(self, plan: QueryPlan) -> None:
+        assert plan.unfolding is not None
+        self.plan = plan
+        self.program = plan.program
+        self.unfolding = plan.unfolding
+
+    def insert(self, old: Instance, delta: Instance, new: Instance) -> int:
+        return 0  # nothing to maintain
+
+    def delete(self, removed: Iterable[Fact]) -> None:
+        pass  # nothing to maintain
+
+    def is_consistent(self, instance: Instance) -> bool:
+        return unfolding_consistent(self.unfolding, instance)
+
+    def certain_answers(self, instance: Instance) -> frozenset[tuple]:
+        return ucq_certain_answers(self.plan, instance)
+
+    def decide_batch(
+        self, instance: Instance, candidates: Sequence[tuple]
+    ) -> dict[tuple, bool]:
+        if not self.is_consistent(instance):
+            return vacuous_decisions(instance, candidates)
+        return {
+            candidate: ucq_candidate_certain(self.unfolding, instance, candidate)
+            for candidate in candidates
+        }
+
+    def is_certain(self, instance: Instance, answer: tuple) -> bool:
+        return self.decide_batch(instance, [answer])[answer]
+
+
+def _state_for(plan: QueryPlan) -> "_SatState | _FixpointState | _UcqState":
+    """The persistent per-query serving state matching a plan's tier."""
+    if plan.tier == TIER_REWRITE:
+        return _UcqState(plan)
+    if plan.tier == TIER_FIXPOINT:
+        return _FixpointState(plan)
+    return _SatState(plan)
 
 
 @dataclass
@@ -165,16 +248,22 @@ class ObdaSession:
     """A compiled OMQ workload served against a streaming data instance.
 
     ``workload`` is a single OMQ / DDlog program or a mapping from query
-    names to them; OMQs are compiled to MDDlog once, at session start.
+    names to them; OMQs are compiled to MDDlog once, at session start, and
+    each compiled program is routed by the planner to its serving tier.
     ``insert_facts`` / ``delete_facts`` advance the *epoch*, updating every
     query's persistent state; ``certain_answers`` / ``answer_batch`` /
     ``is_certain`` answer from the warm state without regrounding.
+
+    ``force_tier`` pins every query to one planner tier (2 is always
+    sound) — the cross-validation and benchmarking knob behind the
+    planner-vs-forced-tier suites; leave it ``None`` in production.
     """
 
     def __init__(
         self,
         workload,
         initial_facts: Iterable[Fact] = (),
+        force_tier: int | None = None,
     ) -> None:
         if isinstance(workload, Mapping):
             entries = dict(workload)
@@ -182,15 +271,14 @@ class ObdaSession:
             entries = {DEFAULT_QUERY: workload}
         if not entries:
             raise ValueError("a session needs at least one query")
-        self._states: dict[str, _SatState | _FixpointState] = {}
+        self._states: dict[str, _SatState | _FixpointState | _UcqState] = {}
         for name, entry in entries.items():
             program = _compile(entry)
-            if program.is_disjunction_free() and not any(
-                rule.is_constraint() for rule in program.rules
-            ):
-                self._states[name] = _FixpointState(program)
+            if force_tier is not None:
+                plan = plan_for_tier(program, force_tier)
             else:
-                self._states[name] = _SatState(program)
+                plan = plan_program(program)
+            self._states[name] = _state_for(plan)
         self._instance = Instance([])
         self.stats = SessionStats()
         initial = list(initial_facts)
@@ -211,7 +299,15 @@ class ObdaSession:
     def program(self, name: str | None = None) -> DisjunctiveDatalogProgram:
         return self._state(name).program
 
-    def _state(self, name: str | None) -> "_SatState | _FixpointState":
+    def plan(self, name: str | None = None) -> QueryPlan:
+        """The planner's routing decision for the (named) query."""
+        return self._state(name).plan
+
+    def explain(self) -> dict[str, dict]:
+        """JSON-able plan explanations for every query in the workload."""
+        return {name: state.plan.describe() for name, state in self._states.items()}
+
+    def _state(self, name: str | None) -> "_SatState | _FixpointState | _UcqState":
         if name is None:
             if len(self._states) == 1:
                 return next(iter(self._states.values()))
@@ -289,11 +385,11 @@ class ObdaSession:
         """Does any model extend the current data for the (named) query?
 
         ``False`` means every tuple over the active domain is vacuously
-        certain.  Disjunction-free, constraint-free queries are always
-        consistent (their least fixpoint is a model); SAT-backed queries
-        ask the warm solver.
+        certain.  SAT-backed queries ask the warm solver; the SAT-free
+        tiers check their (unfolded) constraints against the current
+        instance or the materialized minimal model.
         """
-        return self._state(name).is_consistent()
+        return self._state(name).is_consistent(self._instance)
 
     def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
         """The certain answers of the (named) query on the current instance."""
@@ -330,14 +426,11 @@ class ObdaSession:
         state (the streaming equivalent of a VACUUM).
         """
         facts = sorted(self._instance.facts, key=str)
-        rebuilt: dict[str, _SatState | _FixpointState] = {}
+        rebuilt: dict[str, _SatState | _FixpointState | _UcqState] = {}
         old = Instance([])
         delta = Instance(facts)
         for name, state in self._states.items():
-            if isinstance(state, _FixpointState):
-                fresh: "_SatState | _FixpointState" = _FixpointState(state.program)
-            else:
-                fresh = _SatState(state.program)
+            fresh = _state_for(state.plan)
             if facts:
                 fresh.insert(old, delta, self._instance)
             rebuilt[name] = fresh

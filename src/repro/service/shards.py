@@ -52,6 +52,7 @@ from typing import Iterable, Mapping, Sequence
 from ..core.cq import Variable
 from ..core.instance import Fact, Instance
 from ..datalog.ddlog import GOAL, DisjunctiveDatalogProgram
+from ..planner.execute import vacuous_answers, vacuous_decisions
 from .session import DEFAULT_QUERY, ObdaSession, _compile
 
 __all__ = [
@@ -171,6 +172,19 @@ class ShardedObdaSession:
 
     def program(self, name: str | None = None) -> DisjunctiveDatalogProgram:
         return self._sessions[0].program(name)
+
+    def plan(self, name: str | None = None):
+        """The planner's routing decision for the (named) query.
+
+        Shards share the compiled program objects, so the (cached) plan is
+        the same on every shard: sharding multiplies whatever tier the
+        planner picked, it never changes it.
+        """
+        return self._sessions[0].plan(name)
+
+    def explain(self) -> dict[str, dict]:
+        """JSON-able plan explanations for every query in the workload."""
+        return self._sessions[0].explain()
 
     @property
     def instance(self) -> Instance:
@@ -364,9 +378,7 @@ class ShardedObdaSession:
     def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
         """The certain answers of the (named) query on the union instance."""
         if self._vacuous(name):
-            domain = sorted(self.instance.active_domain, key=repr)
-            arity = self.program(name).arity
-            return frozenset(itertools.product(domain, repeat=arity))
+            return vacuous_answers(self.instance, self.program(name).arity)
         merged: set[tuple] = set()
         for session in self._sessions:
             merged |= session.certain_answers(name)
@@ -385,11 +397,7 @@ class ShardedObdaSession:
         """
         batch = [tuple(candidate) for candidate in candidates]
         if self._vacuous(name):
-            adom = self.instance.active_domain
-            return {
-                candidate: all(value in adom for value in candidate)
-                for candidate in batch
-            }
+            return vacuous_decisions(self.instance, batch)
         decided: dict[tuple, bool] = {}
         routed: dict[int, list[tuple]] = {}
         for candidate in batch:
