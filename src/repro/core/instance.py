@@ -493,6 +493,130 @@ class InstanceBuilder:
         )
 
 
+class MutableIndexedInstance:
+    """A mutable fact store speaking the join planner's query protocol.
+
+    Fixpoint loops (:meth:`repro.datalog.plain.DatalogProgram.least_fixpoint`
+    and the DRed maintenance of :mod:`repro.service.delta`) used to freeze an
+    :class:`InstanceBuilder` into a fresh :class:`Instance` every round; the
+    freeze itself skipped rescans, but each round still rebuilt frozenset
+    copies of every relation's rows — O(total facts) per round, which
+    dominates one-shot latency on deep recursion (many small rounds).  This
+    class instead keeps **one** mutable index set across all rounds: the
+    per-relation rows and the lazily-built per-position buckets are plain
+    sets updated in place by :meth:`add`, and the join planner reads them
+    live through the same ``tuples`` / ``tuples_with`` /
+    ``position_value_count`` interface it uses on frozen instances.
+
+    Callers must not mutate while a join over the store is being consumed
+    (the fixpoint loops buffer a round's derivations and apply them between
+    rounds), and must not hold the returned sets across an ``add``.
+    :meth:`freeze` emits a regular immutable :class:`Instance` — donating
+    the already-built indexes — once the loop saturates.
+    """
+
+    def __init__(self, instance: Instance) -> None:
+        self._facts: set[Fact] = set(instance.facts)
+        self._domain: set[Constant] = set(instance.active_domain)
+        self._by_relation: dict[RelationSymbol, set[tuple]] = {
+            relation: set(instance.tuples(relation))
+            for relation in {fact.relation for fact in self._facts}
+        }
+        self._by_position: dict[
+            RelationSymbol, tuple[dict[Constant, set[tuple]], ...]
+        ] = {}
+        self._declared_schema = instance.schema
+
+    def __contains__(self, fact: object) -> bool:
+        return fact in self._facts
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def is_empty(self) -> bool:
+        return not self._facts
+
+    @property
+    def active_domain(self) -> set:
+        return self._domain
+
+    def add(self, fact: Fact) -> bool:
+        """Add one fact, updating every built index; True if it was new."""
+        if fact in self._facts:
+            return False
+        self._facts.add(fact)
+        self._domain.update(fact.arguments)
+        self._by_relation.setdefault(fact.relation, set()).add(fact.arguments)
+        positional = self._by_position.get(fact.relation)
+        if positional is not None:
+            for position, value in enumerate(fact.arguments):
+                positional[position].setdefault(value, set()).add(fact.arguments)
+        return True
+
+    # -- the join planner's query protocol ------------------------------------
+
+    def tuples(self, relation: RelationSymbol) -> set[tuple]:
+        """The live row set of ``relation`` (do not mutate, do not hold)."""
+        return self._by_relation.get(relation, _EMPTY_ROWS)
+
+    def _position_index(
+        self, relation: RelationSymbol
+    ) -> tuple[dict[Constant, set[tuple]], ...]:
+        cached = self._by_position.get(relation)
+        if cached is None:
+            cached = tuple({} for _ in range(relation.arity))
+            for row in self._by_relation.get(relation, ()):
+                for position, value in enumerate(row):
+                    cached[position].setdefault(value, set()).add(row)
+            self._by_position[relation] = cached
+        return cached
+
+    def tuples_with(
+        self, relation: RelationSymbol, position: int, value: Constant
+    ) -> set[tuple]:
+        if relation not in self._by_relation:
+            return _EMPTY_ROWS
+        return self._position_index(relation)[position].get(value, _EMPTY_ROWS)
+
+    def position_values(self, relation: RelationSymbol, position: int) -> frozenset:
+        if relation not in self._by_relation:
+            return frozenset()
+        return frozenset(self._position_index(relation)[position])
+
+    def position_value_count(self, relation: RelationSymbol, position: int) -> int:
+        if relation not in self._by_relation:
+            return 0
+        return len(self._position_index(relation)[position])
+
+    # -- freezing --------------------------------------------------------------
+
+    def freeze(self) -> Instance:
+        """One immutable :class:`Instance`, donating the built indexes."""
+        used = Schema(self._by_relation)
+        schema = (
+            self._declared_schema.union(used)
+            if self._declared_schema is not None
+            else used
+        )
+        by_position = {
+            relation: tuple(
+                {value: frozenset(rows) for value, rows in bucket.items()}
+                for bucket in positional
+            )
+            for relation, positional in self._by_position.items()
+        }
+        return Instance._from_parts(
+            frozenset(self._facts),
+            schema,
+            frozenset(self._domain),
+            {rel: frozenset(rows) for rel, rows in self._by_relation.items()},
+            by_position or None,
+        )
+
+
+_EMPTY_ROWS: frozenset = frozenset()
+
+
 @dataclass(frozen=True)
 class MarkedInstance:
     """An n-ary marked instance ``(D, d1, ..., dn)`` (Section 4.2).

@@ -15,7 +15,7 @@ import itertools
 from typing import Hashable, Sequence
 
 from ..core.cq import Atom, Variable
-from ..core.instance import Instance
+from ..core.instance import Fact, Instance
 from ..core.schema import RelationSymbol
 from ..datalog.ddlog import ADOM, Rule
 from ..datalog.plain import DatalogProgram
@@ -109,8 +109,71 @@ def canonical_arc_consistency_program(template: Instance) -> DatalogProgram:
     return DatalogProgram(rules, goal_relation=goal)
 
 
+def power_structure(template: Instance) -> Instance:
+    """The power structure ``𝒫(B)`` over the nonempty subsets of ``B``'s domain.
+
+    ``(S1, ..., Sn)`` is an ``R``-tuple of ``𝒫(B)`` iff every element of
+    every ``Si`` extends to an ``R``-tuple of ``B`` through the other
+    subsets — the structure whose homomorphisms into ``B`` characterise
+    tree duality (Feder–Vardi).
+    """
+    domain = sorted(template.active_domain, key=repr)
+    subsets = [
+        frozenset(combination)
+        for size in range(1, len(domain) + 1)
+        for combination in itertools.combinations(domain, size)
+    ]
+    facts = []
+    for symbol in template.schema:
+        rows = template.tuples(symbol)
+        for choice in itertools.product(subsets, repeat=symbol.arity):
+            supported = all(
+                any(
+                    row[position] == element
+                    and all(
+                        row[other] in choice[other]
+                        for other in range(symbol.arity)
+                    )
+                    for row in rows
+                )
+                for position, subset in enumerate(choice)
+                for element in subset
+            )
+            if supported:
+                facts.append(Fact(symbol, choice))
+    return Instance(facts, schema=template.schema)
+
+
+def has_tree_duality(template: Instance, assume_core: bool = False) -> bool:
+    """Does ``B`` have tree duality — i.e. is the canonical *unary* program a
+    complete rewriting of ``coCSP(B)``?
+
+    Feder and Vardi characterise tree duality (width 1) by a homomorphism
+    ``𝒫(B) → B`` from the power structure; the test runs on the core, which
+    is homomorphically equivalent (pass ``assume_core=True`` to skip the
+    retract search when the caller already cored the template).  This is
+    the exact gate the planner's semantic stage applies before serving
+    :func:`canonical_arc_consistency_program` (K2 is the classic
+    counterexample: bounded width, but its obstructions — the odd cycles —
+    are not trees, so arc consistency misses them).
+    """
+    from ..core.homomorphism import core as core_of
+    from ..core.homomorphism import has_homomorphism
+
+    kernel = template if assume_core else core_of(template)
+    if not kernel.active_domain:
+        return True
+    return has_homomorphism(power_structure(kernel), kernel)
+
+
 def arc_consistency_refutes(template: Instance, data: Instance) -> bool:
-    """Direct arc-consistency procedure: True if AC proves ``data ↛ template``."""
+    """Direct arc-consistency procedure: True if AC proves ``data ↛ template``.
+
+    The operational twin of :func:`canonical_arc_consistency_program` —
+    the width-1 case of Theorem 5.10's consistency procedures.  Sound for
+    every template; complete exactly under tree duality
+    (:func:`has_tree_duality`).
+    """
     domain = sorted(template.active_domain, key=repr)
     possible: dict[Element, set[Element]] = {
         element: set(domain) for element in data.active_domain

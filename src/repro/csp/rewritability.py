@@ -54,6 +54,9 @@ def cocsp_datalog_rewritable(template: Instance) -> bool:
 
 
 def analyse_template(template: Instance, obstruction_bound: int = 4) -> RewritabilityReport:
+    """Run both Theorem 5.10 decision procedures on one template and, when
+    ``coCSP(B)`` is FO-rewritable, count its critical obstructions within
+    the bound (the certificates behind the constructive Section 5.3 side)."""
     fo = cocsp_fo_rewritable(template)
     datalog = fo or cocsp_datalog_rewritable(template)
     obstructions = (
@@ -71,21 +74,29 @@ def analyse_template(template: Instance, obstruction_bound: int = 4) -> Rewritab
 def fo_rewriting(template: Instance, max_elements: int = 4, max_facts: int = 4):
     """A UCQ rewriting of ``coCSP(B)`` from its (bounded) obstruction set.
 
-    Only meaningful when ``coCSP(B)`` is FO-rewritable; the construction is the
-    one sketched at the end of Section 5.3 (obstructions become Boolean CQs).
+    Only meaningful when ``coCSP(B)`` is FO-rewritable (Theorem 5.10 via
+    finite duality); the construction is the one sketched at the end of
+    Section 5.3 (obstructions become Boolean CQs).  The set — and hence
+    the rewriting — is exact only within the size bounds; the planner's
+    semantic stage (:mod:`repro.planner.semantic`) escalates the bounds
+    and cross-validates before serving such a rewriting.
     """
     obstructions = bounded_obstruction_set(template, max_elements, max_facts)
     return ucq_rewriting_from_obstructions(obstructions)
 
 
 def datalog_rewriting(template: Instance):
-    """The canonical arc-consistency datalog program for ``coCSP(B)``.
+    """The canonical arc-consistency datalog program for ``coCSP(B)``
+    (Feder–Vardi; the constructive half of Theorem 5.10's bounded-width
+    direction).
 
-    Sound for every template; complete exactly for the width-1 (tree-duality)
-    templates, which covers all binary-schema templates arising from the
-    (ALC, AQ) examples reproduced here.  For higher width, the semantic
-    (k, k+1)-consistency procedure of :mod:`repro.csp.canonical_datalog` is the
-    reference rewriting.
+    Sound for every template; complete exactly for the width-1
+    (tree-duality) templates — decidable with
+    :func:`repro.csp.canonical_datalog.has_tree_duality` — which covers
+    all binary-schema templates arising from the (ALC, AQ) examples
+    reproduced here.  For higher width, the semantic (k, k+1)-consistency
+    procedure of :mod:`repro.csp.canonical_datalog` is the reference
+    rewriting.
     """
     return canonical_arc_consistency_program(template)
 

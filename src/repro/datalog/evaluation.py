@@ -82,6 +82,8 @@ def evaluate(
     parallel: "int | str | None" = None,
     chunk_size: int | None = None,
     force_tier: int | None = None,
+    semantic: bool | None = None,
+    semantic_budget=None,
 ) -> frozenset[tuple]:
     """The certain answers ``qΠ(D)`` of a DDlog program on an instance.
 
@@ -99,13 +101,22 @@ def evaluate(
     (:mod:`repro.engine.parallel`); ``"auto"`` sizes the pool from the
     planner's cost estimate.  Answers are identical for every worker count
     and chunk size.
+
+    ``semantic`` / ``semantic_budget`` control the planner's semantic
+    rewritability stage (:mod:`repro.planner.semantic`) for syntactic
+    tier-2 programs; ``force_tier`` bypasses it entirely.  The semantic
+    analysis runs once per program object (cached on the program), so its
+    one-off cost — typically well under a second, bounded by the budget's
+    deadline — amortizes across repeated evaluations and serving sessions;
+    for a genuinely single-shot query on a small instance where that
+    up-front cost is not worth paying, pass ``semantic=False``.
     """
     from ..planner import execute_plan, plan_for_tier, plan_program
 
     if force_tier is not None:
         plan = plan_for_tier(program, force_tier)
     else:
-        plan = plan_program(program)
+        plan = plan_program(program, semantic=semantic, budget=semantic_budget)
     return execute_plan(plan, instance, parallel=parallel, chunk_size=chunk_size)
 
 

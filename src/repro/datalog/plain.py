@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Hashable, Iterator, Sequence
 
 from ..core.cq import Atom, Variable
-from ..core.instance import Fact, Instance, InstanceBuilder
+from ..core.instance import Fact, Instance, MutableIndexedInstance
 from ..core.schema import RelationSymbol
 from ..engine.joins import (
     canonical_key,
@@ -45,18 +45,24 @@ class DatalogProgram(DisjunctiveDatalogProgram):
         only re-joined through instantiations that touch at least one fact
         derived in the previous round (the delta), instead of re-enumerating
         every body match against the full instance on every round.  Facts
-        accumulate in an :class:`InstanceBuilder`, whose freeze skips
-        re-deriving the active domain and per-relation index from scratch.
+        accumulate in **one** :class:`MutableIndexedInstance` whose indexes
+        are updated in place across rounds — a round's derivations are
+        buffered and applied between rounds (so every join still runs
+        against the previous round's state, and no live index mutates under
+        an in-flight join), and the store is frozen exactly once at
+        saturation.
         """
-        builder = InstanceBuilder.from_instance(instance)
-        builder.add_all(
-            Fact(RelationSymbol(ADOM, 1), (element,))
-            for element in instance.active_domain
-        )
-        current = builder.build()
-        delta = current  # first round: every fact is new
+        current = MutableIndexedInstance(instance)
+        adom = RelationSymbol(ADOM, 1)
+        seed = list(instance.facts) + [
+            Fact(adom, (element,)) for element in instance.active_domain
+        ]
+        for fact in seed:
+            current.add(fact)
+        delta = Instance(seed)  # first round: every fact is new
         while True:
             fresh: list[Fact] = []
+            pending: set[Fact] = set()
             for rule in self.rules:
                 head_atom = rule.head[0]
                 for assignment in delta_body_matches(rule, current, delta):
@@ -65,14 +71,18 @@ class DatalogProgram(DisjunctiveDatalogProgram):
                         for a in head_atom.arguments
                     )
                     fact = Fact(head_atom.relation, arguments)
-                    # adding immediately dedups facts derived several times
-                    # in one round (the round's joins run against `current`,
-                    # which the builder does not affect until rebuilt)
-                    if builder.add(fact):
-                        fresh.append(fact)
+                    # the pending set dedups facts derived several times in
+                    # one round; application is deferred to the round
+                    # boundary so the live indexes stay stable under the
+                    # round's joins
+                    if fact in current or fact in pending:
+                        continue
+                    pending.add(fact)
+                    fresh.append(fact)
             if not fresh:
-                return current
-            current = builder.build()
+                return current.freeze()
+            for fact in fresh:
+                current.add(fact)
             delta = Instance(fresh)
 
     def evaluate(self, instance: Instance) -> frozenset[tuple]:
@@ -90,7 +100,9 @@ class DatalogProgram(DisjunctiveDatalogProgram):
 
 
 def delta_body_matches(
-    rule: Rule, current: Instance, delta: Instance
+    rule: Rule,
+    current: "Instance | MutableIndexedInstance",
+    delta: Instance,
 ) -> Iterator[dict[Variable, Element]]:
     """Body matches of ``rule`` in ``current`` touching at least one ``delta`` fact.
 

@@ -237,6 +237,8 @@ def serve_omq_workload(
     workload,
     initial_instance: Instance | None = None,
     shards: int = 1,
+    semantic: bool | None = None,
+    semantic_budget=None,
 ):
     """Compile an OMQ workload into a live serving session.
 
@@ -258,20 +260,33 @@ def serve_omq_workload(
     if shards > 1:
         from ..service.shards import ShardedObdaSession
 
-        return ShardedObdaSession(workload, shards=shards, initial_facts=initial)
+        return ShardedObdaSession(
+            workload,
+            shards=shards,
+            initial_facts=initial,
+            semantic=semantic,
+            semantic_budget=semantic_budget,
+        )
     from ..service.session import ObdaSession
 
-    return ObdaSession(workload, initial_facts=initial)
+    return ObdaSession(
+        workload,
+        initial_facts=initial,
+        semantic=semantic,
+        semantic_budget=semantic_budget,
+    )
 
 
-def plan_omq_workload(workload) -> dict:
+def plan_omq_workload(workload, semantic: bool | None = None, semantic_budget=None) -> dict:
     """Plan a workload without serving it: query name -> :class:`QueryPlan`.
 
     Compiles each entry exactly as :func:`serve_omq_workload` would (OMQs
     through the Theorem 3.3 translation, DDlog programs as-is) and returns
     the planner's explainable routing decisions — which queries run as
     plain UCQs, which as datalog fixpoints, and which genuinely need the
-    ground+CDCL engine.  The runtime mirror of the Section 5 dichotomy.
+    ground+CDCL engine; syntactic tier-2 programs additionally report the
+    semantic rewritability verdict (:mod:`repro.planner.semantic`).  The
+    runtime mirror of the Section 5 dichotomy.
     """
     from collections.abc import Mapping
 
@@ -281,5 +296,7 @@ def plan_omq_workload(workload) -> dict:
     if not isinstance(workload, Mapping):
         workload = {DEFAULT_QUERY: workload}
     return plan_workload(
-        {name: _compile(entry) for name, entry in workload.items()}
+        {name: _compile(entry) for name, entry in workload.items()},
+        semantic=semantic,
+        budget=semantic_budget,
     )

@@ -121,7 +121,13 @@ def compile_to_mddlog(omq: OntologyMediatedQuery):
             "transitive / universal roles are not supported by the "
             "Theorem 3.3 translation for non-atomic queries"
         )
-    return alc_ucq_to_mddlog(normalised)
+    program = alc_ucq_to_mddlog(normalised)
+    # Record the (normalised) source OMQ on the compiled program: the
+    # planner's semantic stage (repro.planner.semantic) uses it to build
+    # the Theorem 4.6 CSP templates directly instead of bridging the
+    # exponentially larger compiled program back through a type system.
+    program.source_omq = normalised
+    return program
 
 
 def certain_answers(

@@ -19,11 +19,17 @@ tier name                 engine
                           worker pools, or sharded sessions)
 ==== ==================== ====================================================
 
+Syntactic tier-2 programs additionally pass through the **semantic stage**
+(:mod:`repro.planner.semantic`): the Section 5.3 decision procedures run
+constructively — finite duality yields an obstruction-set UCQ served by
+tier 0, bounded width yields a canonical datalog program served by tier 1 —
+under a :class:`SemanticBudget` so blowups degrade gracefully to tier 2.
+
 :func:`plan_program` caches one explainable :class:`QueryPlan` per compiled
 program object; :func:`estimate_cost` prices a plan against an instance's
 index statistics; :func:`execute_plan` runs it.  ``datalog.evaluation``,
 the serving sessions and the OMQ layer all route through here — see the
-planner section of ``ARCHITECTURE.md``.
+planner section of ``ARCHITECTURE.md`` and ``docs/planner.md``.
 """
 
 from .analysis import (
@@ -58,6 +64,12 @@ from .plan import (
     plan_program,
     plan_workload,
 )
+from .semantic import (
+    SemanticBudget,
+    SemanticReport,
+    analyse_rewritability,
+    cross_validate,
+)
 
 __all__ = [
     "MAX_DISJUNCT_ATOMS",
@@ -66,6 +78,8 @@ __all__ = [
     "PlannedMddlogEngine",
     "ProgramShape",
     "QueryPlan",
+    "SemanticBudget",
+    "SemanticReport",
     "TIER_FIXPOINT",
     "TIER_GROUND_SAT",
     "TIER_NAMES",
@@ -73,7 +87,9 @@ __all__ = [
     "UcqUnfolding",
     "UnfoldedDisjunct",
     "analyse_program",
+    "analyse_rewritability",
     "auto_workers",
+    "cross_validate",
     "estimate_cost",
     "execute_plan",
     "fixpoint_certain_answers",

@@ -188,9 +188,17 @@ def ucq_candidate_certain(
 
 
 def fixpoint_program(plan: QueryPlan) -> DatalogProgram:
-    """The disjunction-free rules as a plain datalog program."""
-    program = plan.program
-    if isinstance(program, DatalogProgram) and not plan.shape.constraint_count:
+    """The disjunction-free rules the fixpoint tier runs, as plain datalog.
+
+    For plans carrying a semantic rewriting this is the constructed
+    canonical datalog program; otherwise the plan's own rules minus
+    constraints (which :func:`fixpoint_certain_answers` checks against the
+    materialized minimal model instead).
+    """
+    program = plan.execution_program
+    if isinstance(program, DatalogProgram) and not any(
+        rule.is_constraint() for rule in program.rules
+    ):
         return program
     return DatalogProgram(
         [rule for rule in program.rules if rule.head],
@@ -210,7 +218,7 @@ def constraint_fires(rule, fixpoint: Instance) -> bool:
 
 def fixpoint_certain_answers(plan: QueryPlan, instance: Instance) -> frozenset[tuple]:
     """Tier-1 certain answers: least fixpoint + constraint check, no SAT."""
-    program = plan.program
+    program = plan.execution_program
     datalog = fixpoint_program(plan)
     fixpoint = datalog.least_fixpoint(instance)
     constraints = [rule for rule in program.rules if not rule.head]
@@ -265,9 +273,9 @@ class PlannedMddlogEngine:
     its certain answers exactly.
     """
 
-    def __init__(self, program) -> None:
+    def __init__(self, program, semantic=None, budget=None) -> None:
         self.program = program
-        self.plan = plan_program(program)
+        self.plan = plan_program(program, semantic=semantic, budget=budget)
 
     def certain_answers(
         self, instance: Instance, parallel: "int | str | None" = None

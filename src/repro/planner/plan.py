@@ -20,6 +20,13 @@ disjunctive datalog programs:
 * **tier 2** (``ground+cdcl``) — everything else: the ground-once +
   incremental CDCL engine (serial, worker-pool parallel, or sharded).
 
+Syntactic tier-2 programs additionally pass through the *semantic* stage
+(:mod:`repro.planner.semantic`), which runs the paper's Section 5.3
+rewritability procedures and, on success, materializes the rewriting — an
+obstruction-set UCQ served by tier 0, or a canonical datalog program served
+by tier 1 — so Theorem 3.3 compilations of FO-/datalog-rewritable OMQs
+route off SAT despite their disjunctive guess rules.
+
 Plans are cached per compiled program object, so a workload compiled once
 into a session (or shared across shards) is planned once.  Cost estimates
 come from the instance's per-relation / per-position index statistics via
@@ -29,7 +36,6 @@ come from the instance's per-relation / per-position index statistics via
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -45,6 +51,7 @@ from .analysis import (
     analyse_program,
     unfold_to_ucq,
 )
+from .semantic import DEFAULT_BUDGET, SemanticBudget, SemanticReport
 
 TIER_REWRITE = 0
 TIER_FIXPOINT = 1
@@ -94,13 +101,22 @@ class CostEstimate:
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """An explainable routing decision for one compiled program."""
+    """An explainable routing decision for one compiled program.
+
+    Plans produced by the semantic stage (:mod:`repro.planner.semantic`)
+    additionally carry the constructed artifact — ``unfolding`` holds an
+    obstruction-set UCQ for tier 0, ``rewritten`` a canonical datalog
+    program for tier 1 — plus the :class:`SemanticReport` documenting the
+    decision and its cross-validation.
+    """
 
     tier: int
     rationale: str
     program: DisjunctiveDatalogProgram = field(repr=False)
     shape: ProgramShape
     unfolding: UcqUnfolding | None = field(repr=False, default=None)
+    rewritten: DisjunctiveDatalogProgram | None = field(repr=False, default=None)
+    semantic: SemanticReport | None = field(default=None)
 
     @property
     def tier_name(self) -> str:
@@ -109,6 +125,16 @@ class QueryPlan:
     @property
     def skips_sat(self) -> bool:
         return self.tier != TIER_GROUND_SAT
+
+    @property
+    def execution_program(self) -> DisjunctiveDatalogProgram:
+        """The program the tier executor actually runs.
+
+        The original compiled program, unless the semantic stage
+        materialized a datalog rewriting — then that rewriting (whose
+        certain answers were cross-validated to agree) runs instead.
+        """
+        return self.rewritten if self.rewritten is not None else self.program
 
     def describe(self) -> dict:
         """A JSON-able explanation (what sessions expose as ``explain()``)."""
@@ -126,21 +152,67 @@ class QueryPlan:
             info["unfolded_constraint_disjuncts"] = len(
                 self.unfolding.constraint_disjuncts
             )
+        if self.rewritten is not None:
+            info["rewritten_rules"] = len(self.rewritten.rules)
+        if self.semantic is not None:
+            info["semantic"] = self.semantic.describe()
         return info
 
 
-_PLAN_CACHE: "weakref.WeakKeyDictionary[DisjunctiveDatalogProgram, QueryPlan]" = (
-    weakref.WeakKeyDictionary()
-)
+#: Whether ``plan_program(program)`` runs the semantic stage on syntactic
+#: tier-2 programs by default (``semantic=True/False`` overrides per call).
+SEMANTIC_ROUTING_DEFAULT = True
+
+# Plans are cached as private attributes *on the program object* rather
+# than in a module-level mapping: a QueryPlan strongly references its
+# program, so a (weak-keyed) global cache whose values point back at the
+# keys would keep every program — and its materialized rewritings — alive
+# forever.  Attribute storage couples the cache entry's lifetime to the
+# program's own.
+_SYNTACTIC_PLAN_ATTR = "_planner_syntactic_plan"
+_SEMANTIC_PLANS_ATTR = "_planner_semantic_plans"
 
 
-def plan_program(program: DisjunctiveDatalogProgram) -> QueryPlan:
-    """The (cached) cheapest-correct-engine plan for a compiled program."""
-    plan = _PLAN_CACHE.get(program)
+def plan_program(
+    program: DisjunctiveDatalogProgram,
+    semantic: bool | None = None,
+    budget: SemanticBudget | None = None,
+) -> QueryPlan:
+    """The (cached) cheapest-correct-engine plan for a compiled program.
+
+    Syntactic classification always runs first (and is cached on the
+    program object).  When it lands on tier 2 and ``semantic`` is enabled
+    (the default, see ``SEMANTIC_ROUTING_DEFAULT``), the semantic stage of
+    :mod:`repro.planner.semantic` attempts to *construct* an FO- or
+    datalog-rewriting within ``budget`` and route the program to tier 0/1;
+    otherwise — inapplicable, budget exceeded, genuinely disjunctive, or
+    failed cross-validation — the syntactic tier-2 plan is returned with
+    the semantic verdict attached.  Semantic plans are cached per
+    (program, budget) pair, except *transient* verdicts (a tripped
+    wall-clock deadline, which says more about machine load than about the
+    program): those are re-analysed on the next call instead of pinning a
+    rewritable query to tier 2 for the program's lifetime.
+    """
+    plan = getattr(program, _SYNTACTIC_PLAN_ATTR, None)
     if plan is None:
         plan = _classify(program)
-        _PLAN_CACHE[program] = plan
-    return plan
+        setattr(program, _SYNTACTIC_PLAN_ATTR, plan)
+    enabled = SEMANTIC_ROUTING_DEFAULT if semantic is None else semantic
+    if not enabled or plan.tier != TIER_GROUND_SAT:
+        return plan
+    from .semantic import analyse_rewritability
+
+    resolved = budget if budget is not None else DEFAULT_BUDGET
+    per_budget = getattr(program, _SEMANTIC_PLANS_ATTR, None)
+    if per_budget is None:
+        per_budget = {}
+        setattr(program, _SEMANTIC_PLANS_ATTR, per_budget)
+    semantic_plan = per_budget.get(resolved)
+    if semantic_plan is None:
+        semantic_plan = analyse_rewritability(program, resolved)
+        if not (semantic_plan.semantic and semantic_plan.semantic.transient):
+            per_budget[resolved] = semantic_plan
+    return semantic_plan
 
 
 def _classify(program: DisjunctiveDatalogProgram) -> QueryPlan:
@@ -198,11 +270,14 @@ def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
 
     Raises ``ValueError`` when the tier is not sound for the program:
     tier 2 is always legal, tier 1 needs a disjunction-free program, and
-    tier 0 additionally needs the UCQ unfolding to exist.
+    tier 0 additionally needs the UCQ unfolding to exist.  Forcing is a
+    *syntactic* notion: it bypasses (and thereby overrides) the semantic
+    stage entirely, so ``plan_for_tier(p, TIER_GROUND_SAT)`` pins a
+    semantically rewritable program to the ground+CDCL engine.
     """
     if tier not in TIER_NAMES:
         raise ValueError(f"unknown tier {tier!r}; expected one of {sorted(TIER_NAMES)}")
-    natural = plan_program(program)
+    natural = plan_program(program, semantic=False)
     if tier == natural.tier:
         return natural
     shape = natural.shape
@@ -235,9 +310,16 @@ def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
     )
 
 
-def plan_workload(programs: Mapping[str, DisjunctiveDatalogProgram]) -> dict[str, QueryPlan]:
+def plan_workload(
+    programs: Mapping[str, DisjunctiveDatalogProgram],
+    semantic: bool | None = None,
+    budget: SemanticBudget | None = None,
+) -> dict[str, QueryPlan]:
     """Plan every compiled query of a workload (cached per program)."""
-    return {name: plan_program(program) for name, program in programs.items()}
+    return {
+        name: plan_program(program, semantic=semantic, budget=budget)
+        for name, program in programs.items()
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -264,7 +346,7 @@ def _chain_cost(atoms, instance: Instance, bound=frozenset()) -> tuple[float, fl
 
 def estimate_cost(plan: QueryPlan, instance: Instance) -> CostEstimate:
     """Cost figures for executing the plan on this instance."""
-    program = plan.program
+    program = plan.execution_program
     domain_size = len(instance.active_domain)
     candidates = domain_size ** program.arity
     join_cost = 0.0

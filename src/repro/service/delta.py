@@ -38,7 +38,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable, Mapping
 
 from ..core.cq import Atom, Variable
-from ..core.instance import Fact, Instance, InstanceBuilder
+from ..core.instance import Fact, Instance, MutableIndexedInstance
 from ..core.schema import RelationSymbol
 from ..datalog.ddlog import ADOM, GOAL, DisjunctiveDatalogProgram, Rule
 from ..datalog.plain import DatalogProgram, delta_body_matches
@@ -360,12 +360,16 @@ class IncrementalFixpoint:
     # -- semi-naive propagation ------------------------------------------------
 
     def _propagate(self, delta_facts: list[Fact]) -> None:
-        builder = InstanceBuilder.from_instance(self._fixpoint)
-        fresh = [fact for fact in delta_facts if builder.add(fact)]
-        current = builder.build()
+        # One mutable index set across all semi-naive rounds (same pattern
+        # as DatalogProgram.least_fixpoint): a round's derivations are
+        # buffered and applied at the round boundary, and the store is
+        # frozen once at saturation.
+        current = MutableIndexedInstance(self._fixpoint)
+        fresh = [fact for fact in delta_facts if current.add(fact)]
         while fresh:
             delta = Instance(fresh)
             fresh = []
+            pending: set[Fact] = set()
             for rule in self.program.rules:
                 head = rule.head[0]
                 for assignment in delta_body_matches(rule, current, delta):
@@ -376,7 +380,10 @@ class IncrementalFixpoint:
                             for a in head.arguments
                         ),
                     )
-                    if builder.add(fact):
-                        fresh.append(fact)
-            current = builder.build()
-        self._fixpoint = current
+                    if fact in current or fact in pending:
+                        continue
+                    pending.add(fact)
+                    fresh.append(fact)
+            for fact in fresh:
+                current.add(fact)
+        self._fixpoint = current.freeze()

@@ -147,8 +147,13 @@ class _FixpointState:
     def __init__(self, plan: QueryPlan) -> None:
         self.plan = plan
         self.program = plan.program
+        # Constraints of the program the tier actually executes: a semantic
+        # canonical-datalog rewriting has none (template incompatibilities
+        # are already encoded in its image-set rules).
         self.constraints = [
-            rule for rule in self.program.rules if rule.is_constraint()
+            rule
+            for rule in plan.execution_program.rules
+            if rule.is_constraint()
         ]
         self.fixpoint = IncrementalFixpoint(fixpoint_program(plan))
 
@@ -256,7 +261,12 @@ class ObdaSession:
 
     ``force_tier`` pins every query to one planner tier (2 is always
     sound) — the cross-validation and benchmarking knob behind the
-    planner-vs-forced-tier suites; leave it ``None`` in production.
+    planner-vs-forced-tier suites; forcing bypasses the semantic stage, so
+    it also overrides semantic routing.  ``semantic`` / ``semantic_budget``
+    control that stage (:mod:`repro.planner.semantic`) for syntactic
+    tier-2 programs: by default a compiled-but-rewritable query is served
+    by the constructed rewriting on tier 0/1.  Leave all three at their
+    defaults in production.
     """
 
     def __init__(
@@ -264,6 +274,8 @@ class ObdaSession:
         workload,
         initial_facts: Iterable[Fact] = (),
         force_tier: int | None = None,
+        semantic: bool | None = None,
+        semantic_budget=None,
     ) -> None:
         if isinstance(workload, Mapping):
             entries = dict(workload)
@@ -277,7 +289,9 @@ class ObdaSession:
             if force_tier is not None:
                 plan = plan_for_tier(program, force_tier)
             else:
-                plan = plan_program(program)
+                plan = plan_program(
+                    program, semantic=semantic, budget=semantic_budget
+                )
             self._states[name] = _state_for(plan)
         self._instance = Instance([])
         self.stats = SessionStats()

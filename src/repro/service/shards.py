@@ -134,6 +134,8 @@ class ShardedObdaSession:
         workload,
         shards: int = 2,
         initial_facts: Iterable[Fact] = (),
+        semantic: bool | None = None,
+        semantic_budget=None,
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -141,7 +143,8 @@ class ShardedObdaSession:
             entries = dict(workload)
         else:
             entries = {DEFAULT_QUERY: workload}
-        # Compile once; shards share the compiled program objects.
+        # Compile once; shards share the compiled program objects — and,
+        # through the per-program plan cache, one semantic analysis.
         compiled = {name: _compile(entry) for name, entry in entries.items()}
         for name, program in compiled.items():
             violation = shardability_violation(program)
@@ -150,7 +153,12 @@ class ShardedObdaSession:
                     f"query {name!r} cannot be sharded: {violation}"
                 )
         self.shard_count = shards
-        self._sessions = [ObdaSession(compiled) for _ in range(shards)]
+        self._sessions = [
+            ObdaSession(
+                compiled, semantic=semantic, semantic_budget=semantic_budget
+            )
+            for _ in range(shards)
+        ]
         # Routing state: union-find over constants; per-component fact sets
         # and shard placements; per-fact shard for deletion.
         self._parent: dict = {}

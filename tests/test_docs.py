@@ -1,0 +1,41 @@
+"""Documentation health: links resolve, fences exist where expected.
+
+The expensive part — executing every ```python fence in a subprocess — is
+CI's dedicated docs job (``python tools/check_docs.py``); here the cheap
+invariants run with the tier-1 suite so a broken link or a vanished doc
+fails fast everywhere.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+from check_docs import check_links, fence_files, iter_fences, link_files  # noqa: E402
+
+
+def test_required_docs_exist():
+    names = {path.name for path in link_files()}
+    assert "README.md" in names
+    assert "planner.md" in names
+    assert "ARCHITECTURE.md" in names
+    for path in link_files():
+        assert path.exists(), path
+
+
+def test_intra_repo_links_resolve():
+    assert check_links(link_files()) == []
+
+
+def test_docs_carry_runnable_python_fences():
+    """README and the planner guide each ship at least one python fence
+    (the docs CI job executes them; an accidental de-fencing would
+    silently skip that coverage)."""
+    by_file = {
+        path.name: [
+            language for _line, language, _code in iter_fences(path)
+        ].count("python")
+        for path in fence_files()
+    }
+    assert by_file.get("README.md", 0) >= 2
+    assert by_file.get("planner.md", 0) >= 2

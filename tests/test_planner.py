@@ -116,12 +116,16 @@ def test_cocsp_k3_routes_to_tier2():
 
 
 def test_compiled_theorem33_medical_program_routes_to_tier2():
-    """The Theorem 3.3 type-elimination compilation is genuinely
-    disjunctive; routing it off SAT would need the semantic
-    FO-rewritability procedures (a recorded ROADMAP follow-up)."""
+    """The Theorem 3.3 compilation of the Example 2.1 CQ stays on tier 2:
+    syntactically disjunctive, and the semantic stage reports itself
+    inapplicable (Theorem 4.6 covers atomic queries; the source query is
+    a CQ) — see tests/test_semantic_routing.py for the compiled AQ
+    workloads that do route off SAT."""
     program = compile_to_mddlog(example_2_1_omq())
     plan = plan_program(program)
     assert plan.tier == TIER_GROUND_SAT
+    assert plan.semantic is not None
+    assert "inapplicable" in plan.semantic.rationale
 
 
 def test_plans_are_cached_per_program_object():

@@ -1,0 +1,141 @@
+"""Keep the documentation honest: runnable fences, unbroken links.
+
+Scans the repo's user-facing markdown (``README.md``, ``docs/*.md``, plus
+``ARCHITECTURE.md`` for links) and fails when
+
+* a ```python fence does not run as a standalone script (executed with
+  ``PYTHONPATH=src`` from the repo root, one subprocess per fence), or
+* an intra-repo markdown link ``[text](path)`` points at a file that does
+  not exist (external ``http(s)``/``mailto`` targets and pure ``#anchor``
+  links are skipped; a trailing ``#fragment`` is stripped before the
+  existence check).
+
+Run directly (CI's docs job) or import ``check_links`` / ``iter_fences``
+from tests::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FENCE_TIMEOUT_S = 180
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_OPEN = re.compile(r"^```(\w+)?\s*$")
+
+
+def fence_files() -> list[Path]:
+    """Markdown whose python fences must run."""
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def link_files() -> list[Path]:
+    """Markdown whose intra-repo links must resolve."""
+    return fence_files() + [REPO_ROOT / "ARCHITECTURE.md"]
+
+
+def iter_fences(path: Path) -> list[tuple[int, str, str]]:
+    """``(start line, language, code)`` for every fenced block in a file."""
+    fences: list[tuple[int, str, str]] = []
+    language: str | None = None
+    start = 0
+    body: list[str] = []
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if language is None:
+            match = _FENCE_OPEN.match(line)
+            if match:
+                language = match.group(1) or ""
+                start = number
+                body = []
+        elif line.strip() == "```":
+            fences.append((start, language, "\n".join(body)))
+            language = None
+        else:
+            body.append(line)
+    return fences
+
+
+def check_links(paths: list[Path]) -> list[str]:
+    """Broken intra-repo links, as ``file:line-less`` failure messages."""
+    failures: list[str] = []
+    for path in paths:
+        if not path.exists():
+            failures.append(f"{path.relative_to(REPO_ROOT)}: file is missing")
+            continue
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                failures.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken link -> {target}"
+                )
+    return failures
+
+
+def run_fences(paths: list[Path]) -> list[str]:
+    """Execute every ```python fence; returns failure messages."""
+    failures: list[str] = []
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    for path in paths:
+        if not path.exists():
+            continue
+        for line, language, code in iter_fences(path):
+            if language != "python":
+                continue
+            where = f"{path.relative_to(REPO_ROOT)}:{line}"
+            try:
+                result = subprocess.run(
+                    [sys.executable, "-c", code],
+                    cwd=REPO_ROOT,
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    timeout=FENCE_TIMEOUT_S,
+                )
+            except subprocess.TimeoutExpired:
+                failures.append(f"{where}: fence timed out ({FENCE_TIMEOUT_S}s)")
+                continue
+            if result.returncode != 0:
+                detail = (result.stderr or result.stdout).strip().splitlines()
+                failures.append(
+                    f"{where}: fence failed — {detail[-1] if detail else 'no output'}"
+                )
+    return failures
+
+
+def main() -> int:
+    failures = check_links(link_files())
+    fence_count = sum(
+        1
+        for path in fence_files()
+        if path.exists()
+        for _line, language, _code in iter_fences(path)
+        if language == "python"
+    )
+    failures.extend(run_fences(fence_files()))
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        f"docs check OK: {len(link_files())} file(s), "
+        f"{fence_count} python fence(s) ran clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
