@@ -25,9 +25,13 @@ from .parallel import (
     resolve_workers,
 )
 from .joins import (
+    JoinPlan,
     canonical_key,
+    compile_join,
+    execute_join,
     extend_assignment,
     join_assignments,
+    join_exists,
     matching_rows,
     order_atoms,
 )
@@ -44,13 +48,17 @@ __all__ = [
     "ClauseSolver",
     "GroundAtom",
     "GroundProgram",
+    "JoinPlan",
     "ParallelEvaluator",
     "ReplicaPool",
     "TseitinAux",
     "canonical_key",
+    "compile_join",
+    "execute_join",
     "extend_assignment",
     "ground_program",
     "join_assignments",
+    "join_exists",
     "matching_rows",
     "order_atoms",
     "parallel_certain_answers",

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Sequence
 
 from ..core.cq import Atom, Variable
 from ..core.instance import Instance
-from .joins import canonical_key, join_assignments
+from .joins import canonical_key, compile_join, execute_join, join_assignments
 from .sat import Clause, ClauseSolver, solver_for_clauses
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
@@ -138,6 +138,44 @@ def _free_variable_blocks(
     return ordered, bound_literals
 
 
+def _edb_partials(
+    edb_atoms: list[Atom],
+    instance: Instance,
+    engine: str,
+    plan_cache: dict | None = None,
+    cache_key=None,
+) -> Iterator[dict[Variable, Element]]:
+    """The deduplicated EDB body matches of a rule.
+
+    The default ``columnar`` engine compiles the atoms once and executes
+    set-at-a-time over interned rows; the executor's batches carry each
+    variable assignment exactly once (its semi-join steps collapse the
+    multiple derivation paths the tuple engine has to dedup by canonical
+    key), and rows decode to constants only here, at the clause boundary.
+    Plans are interner-independent, so ``plan_cache`` (stored on the
+    program object) carries them across groundings of unrelated instances.
+    """
+    if engine == "columnar":
+        plan = None if plan_cache is None else plan_cache.get(cache_key)
+        if plan is None:
+            plan = compile_join(edb_atoms, instance)
+            if plan_cache is not None:
+                plan_cache[cache_key] = plan
+        yield from plan.assignments(
+            execute_join(plan, instance), instance.interner
+        )
+        return
+    seen_partials: set[tuple] = set()
+    for partial in join_assignments(edb_atoms, instance):
+        # Canonical (variable name, value) dedup key — never repr-based, so
+        # distinct constants with identical reprs cannot collide.
+        key = canonical_key(partial)
+        if key in seen_partials:
+            continue
+        seen_partials.add(key)
+        yield partial
+
+
 def _rule_clauses(
     rule: Rule,
     instance: Instance,
@@ -145,6 +183,9 @@ def _rule_clauses(
     adom_name: str,
     domain: Sequence[Element],
     aux_counter: Iterator[int],
+    engine: str = "columnar",
+    plan_cache: dict | None = None,
+    cache_key=None,
 ) -> Iterator[Clause]:
     edb_atoms, adom_atoms, idb_atoms = _split_body(rule, idb_names, adom_name)
     # Constant adom atoms are static guards; variable ones are subsumed by the
@@ -168,14 +209,9 @@ def _rule_clauses(
         list(itertools.product(domain, repeat=len(variables)))
         for variables, _ in blocks
     ]
-    seen_partials: set[tuple] = set()
-    for partial in join_assignments(edb_atoms, instance):
-        # Canonical (variable name, value) dedup key — never repr-based, so
-        # distinct constants with identical reprs cannot collide.
-        key = canonical_key(partial)
-        if key in seen_partials:
-            continue
-        seen_partials.add(key)
+    for partial in _edb_partials(
+        edb_atoms, instance, engine, plan_cache, cache_key
+    ):
         bound_negative, bound_positive = _instantiate_literals(
             bound_literals, dict(partial)
         )
@@ -216,35 +252,51 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
     """Drop duplicate, tautological and subsumed clauses.
 
     A clause ``C`` subsumes ``C'`` when its literals are a subset of ``C'``'s
-    (in which case ``C'`` is redundant).  Clauses are processed smallest
-    first, and candidate subsumers are located through per-literal occurrence
-    lists, so the pass is near-linear on typical ground programs; beyond
-    ``_SUBSUMPTION_LIMIT`` clauses only exact deduplication runs.
+    (in which case ``C'`` is redundant).  Every signed ground literal is
+    interned to a dense int on the way in, so deduplication hashes int
+    frozensets and the subset tests behind subsumption compare int sets —
+    ground atoms (relation + constant tuple) are hashed once per distinct
+    literal, not once per clause they appear in.  Clauses are processed
+    smallest first, and candidate subsumers are located through
+    per-literal occurrence lists, so the pass is near-linear on typical
+    ground programs; beyond ``_SUBSUMPTION_LIMIT`` clauses only exact
+    deduplication runs.
     """
-    unique: list[Clause] = []
-    seen: set[Clause] = set()
+    literal_codes: dict[tuple, int] = {}
+
+    def code_of(literal: tuple) -> int:
+        code = literal_codes.get(literal)
+        if code is None:
+            code = len(literal_codes)
+            literal_codes[literal] = code
+        return code
+
+    unique: list[tuple[Clause, frozenset[int]]] = []
+    seen: set[frozenset[int]] = set()
     for clause in clauses:
         negative, positive = clause
         if negative & positive:
             continue  # tautology: some atom both required true and made true
-        if clause not in seen:
-            seen.add(clause)
-            unique.append(clause)
+        interned = frozenset(
+            itertools.chain(
+                (code_of((atom, False)) for atom in negative),
+                (code_of((atom, True)) for atom in positive),
+            )
+        )
+        if interned not in seen:
+            seen.add(interned)
+            unique.append((clause, interned))
     if len(unique) > _SUBSUMPTION_LIMIT:
-        return unique
-    unique.sort(key=lambda c: len(c[0]) + len(c[1]))
+        return [clause for clause, _ in unique]
+    unique.sort(key=lambda pair: len(pair[1]))
     kept: list[Clause] = []
-    occurrences: dict[tuple, list[int]] = {}
-    for clause in unique:
-        negative, positive = clause
-        literals = [(atom, False) for atom in negative] + [
-            (atom, True) for atom in positive
-        ]
+    kept_codes: list[frozenset[int]] = []
+    occurrences: dict[int, list[int]] = {}
+    for clause, interned in unique:
         subsumed = False
-        for literal in literals:
+        for literal in interned:
             for index in occurrences.get(literal, ()):
-                other_negative, other_positive = kept[index]
-                if other_negative <= negative and other_positive <= positive:
+                if kept_codes[index] <= interned:
                     subsumed = True
                     break
             if subsumed:
@@ -253,7 +305,8 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
             continue
         index = len(kept)
         kept.append(clause)
-        for literal in literals:
+        kept_codes.append(interned)
+        for literal in interned:
             occurrences.setdefault(literal, []).append(index)
     return kept
 
@@ -320,19 +373,49 @@ class GroundProgram:
 
 
 def ground_program(
-    program: DisjunctiveDatalogProgram, instance: Instance
+    program: DisjunctiveDatalogProgram,
+    instance: Instance,
+    engine: str = "columnar",
 ) -> GroundProgram:
-    """Ground the program over ``adom(D)`` (once) into a :class:`GroundProgram`."""
+    """Ground the program over ``adom(D)`` (once) into a :class:`GroundProgram`.
+
+    ``engine`` selects the EDB join path: ``"columnar"`` (default) runs the
+    set-at-a-time interned executor, ``"tuple"`` the pre-columnar
+    tuple-at-a-time join — kept as the cross-validation reference and
+    benchmark baseline.
+    """
+    if engine not in ("columnar", "tuple"):
+        raise ValueError(f"unknown grounding engine: {engine!r}")
     from ..datalog.ddlog import ADOM, GOAL
 
     domain = sorted(instance.active_domain, key=repr)
     idb_names = frozenset(
         {sym.name for sym in program.idb_relations} | {GOAL}
     ) - {ADOM}
+    # EDB join plans are interner-independent; cache them on the program
+    # object (keyed by rule index) so repeated groundings — the per-epoch
+    # and cross-validation patterns — compile each rule's plan once ever.
+    plan_cache = getattr(program, "_ground_plan_cache", None)
+    if plan_cache is None:
+        plan_cache = {}
+        try:
+            program._ground_plan_cache = plan_cache
+        except AttributeError:  # slotted program types: grounding still works
+            plan_cache = None
     clauses: list[Clause] = []
     aux_counter = itertools.count()
-    for rule in program.rules:
+    for index, rule in enumerate(program.rules):
         clauses.extend(
-            _rule_clauses(rule, instance, idb_names, ADOM, domain, aux_counter)
+            _rule_clauses(
+                rule,
+                instance,
+                idb_names,
+                ADOM,
+                domain,
+                aux_counter,
+                engine,
+                plan_cache,
+                index,
+            )
         )
     return GroundProgram(program, instance, _dedupe_and_subsume(clauses))

@@ -26,7 +26,7 @@ from ..core.cq import Variable
 from ..core.instance import Instance
 from ..datalog.plain import DatalogProgram
 from ..engine.grounder import ground_program
-from ..engine.joins import join_assignments
+from ..engine.joins import compile_join, execute_join, join_exists
 from ..engine.parallel import parallel_certain_answers, resolve_workers
 from .analysis import UcqUnfolding, UnfoldedDisjunct
 from .plan import (
@@ -86,6 +86,27 @@ def _free_adom_variables(
     }
 
 
+# Tier-0 join plans, cached on the disjunct object itself (frozen
+# dataclass, hence ``object.__setattr__`` — the repo's attribute-cache
+# idiom): plans are interner-independent, so one compiled plan per
+# (disjunct, bound-variable set) serves every instance the unfolding is
+# ever evaluated on, and the cache dies with the unfolding.
+_DISJUNCT_PLANS_ATTR = "_columnar_plans"
+
+
+def _disjunct_plan(disjunct: UnfoldedDisjunct, instance: Instance, bound=()):
+    plans = getattr(disjunct, _DISJUNCT_PLANS_ATTR, None)
+    if plans is None:
+        plans = {}
+        object.__setattr__(disjunct, _DISJUNCT_PLANS_ATTR, plans)
+    key = frozenset(v.name for v in bound)
+    plan = plans.get(key)
+    if plan is None:
+        plan = compile_join(disjunct.atoms, instance, bound=bound)
+        plans[key] = plan
+    return plan
+
+
 def _disjunct_answers(
     disjunct: UnfoldedDisjunct, instance: Instance, domain: Sequence
 ) -> Iterator[tuple]:
@@ -99,7 +120,10 @@ def _disjunct_answers(
     # Existential adom-only variables only need a nonempty domain (checked
     # above); enumerating them would yield each answer |domain| extra times.
     free = sorted(free_all & answer_vars, key=str)
-    for assignment in join_assignments(disjunct.atoms, instance):
+    plan = _disjunct_plan(disjunct, instance)
+    for assignment in plan.assignments(
+        execute_join(plan, instance), instance.interner
+    ):
         if free:
             for values in itertools.product(domain, repeat=len(free)):
                 full = dict(assignment)
@@ -126,10 +150,12 @@ def _disjunct_satisfiable(
         return False
     if _free_adom_variables(disjunct, set(initial or ())) and not adom:
         return False
-    found = next(
-        iter(join_assignments(disjunct.atoms, instance, initial=initial)), None
-    )
-    return found is not None
+    if not initial:
+        return join_exists(_disjunct_plan(disjunct, instance), instance)
+    bound = tuple(sorted(initial, key=lambda v: v.name))
+    plan = _disjunct_plan(disjunct, instance, bound)
+    seed = plan.intern_seed(initial, instance.interner)
+    return join_exists(plan, instance, seed)
 
 
 def unfolding_consistent(unfolding: UcqUnfolding, instance: Instance) -> bool:
@@ -211,9 +237,10 @@ def constraint_fires(rule, fixpoint: Instance) -> bool:
 
     ``fixpoint`` holds the derived IDB facts *and* the ``adom`` facts the
     fixpoint evaluator seeds, so constraint bodies (EDB, IDB and adom
-    atoms alike) are plain joins against it.
+    atoms alike) are plain joins against it — run depth-first with early
+    exit (:func:`~repro.engine.joins.join_exists`) over the interned rows.
     """
-    return next(iter(join_assignments(rule.body, fixpoint)), None) is not None
+    return join_exists(compile_join(rule.body, fixpoint), fixpoint)
 
 
 def fixpoint_certain_answers(plan: QueryPlan, instance: Instance) -> frozenset[tuple]:

@@ -39,11 +39,12 @@ from typing import Callable, Hashable, Iterable, Mapping
 
 from ..core.cq import Atom, Variable
 from ..core.instance import Fact, Instance, MutableIndexedInstance
+from ..core.interning import Interner, IntRow
 from ..core.schema import RelationSymbol
 from ..datalog.ddlog import ADOM, GOAL, DisjunctiveDatalogProgram, Rule
-from ..datalog.plain import DatalogProgram, delta_body_matches
+from ..datalog.plain import DatalogProgram, seed_row_builder
 from ..engine.grounder import _split_body, instantiate_atom
-from ..engine.joins import canonical_key, extend_assignment, join_assignments
+from ..engine.joins import JoinPlan, compile_join, execute_join, join_exists
 from ..engine.sat import Clause
 
 Element = Hashable
@@ -63,7 +64,16 @@ def adom_guard(element: Element) -> tuple:
 
 @dataclass
 class _RuleState:
-    """Per-rule grounding state: the body split and the join results seen."""
+    """Per-rule grounding state: the body split and the join results seen.
+
+    ``partials`` maps the interned key of each EDB join result — its row of
+    codes in sorted EDB-variable order, stable across epochs because the
+    session's delta copies share one append-only interner — to the decoded
+    assignment used for clause emission.  ``plans`` caches, per EDB atom
+    index, the compiled rest-of-body join plan, its seed-row builder and
+    the permutation onto the key order; compiled once per session and
+    reused every epoch (guarded by ``plans_interner`` identity).
+    """
 
     rule: Rule
     edb_atoms: list[Atom]
@@ -71,6 +81,28 @@ class _RuleState:
     idb_atoms: list[Atom]
     free: list[Variable]
     partials: dict[tuple, dict] = field(default_factory=dict)
+    plans: list[tuple] | None = None
+    plans_interner: "Interner | None" = None
+
+    def compile_plans(self, store) -> list[tuple]:
+        interner = store.interner
+        if self.plans is None or self.plans_interner is not interner:
+            edb_variables = sorted(
+                {v for atom in self.edb_atoms for v in atom.variables},
+                key=lambda v: v.name,
+            )
+            plans = []
+            for index, atom in enumerate(self.edb_atoms):
+                rest = self.edb_atoms[:index] + self.edb_atoms[index + 1 :]
+                plan = compile_join(rest, store, bound=atom.variables)
+                slot_of = {v: s for s, v in enumerate(plan.variables)}
+                perm = tuple(slot_of[v] for v in edb_variables)
+                plans.append(
+                    (plan, seed_row_builder(atom, plan, interner), perm)
+                )
+            self.plans = plans
+            self.plans_interner = interner
+        return self.plans
 
 
 class DeltaGrounder:
@@ -110,7 +142,7 @@ class DeltaGrounder:
                 # The empty join result holds in every instance (including
                 # the empty one a session starts from); store it now so later
                 # epochs only top it up with new domain elements.
-                state.partials[canonical_key({})] = {}
+                state.partials[()] = {}
                 if not free:
                     self._emit_clause(state, {}, (), bootstrap.append)
         self._bootstrap = bootstrap
@@ -168,28 +200,34 @@ class DeltaGrounder:
                     for values in top_up:
                         self._emit_clause(state, partial, values, emit)
             # New join results: semi-naive over the EDB atoms, each atom in
-            # turn matched against the delta, the rest against the full
-            # instance through the join planner.
+            # turn matched against the delta as a whole batch, the rest
+            # joined set-at-a-time against the full instance through the
+            # cached compiled plans (the delta's rows are interned into the
+            # session's shared interner on the way in).
             if not state.edb_atoms:
                 continue
+            interner = new_instance.interner
+            plans = state.compile_plans(new_instance)
             new_partials: list[dict] = []
             for index, atom in enumerate(state.edb_atoms):
                 rows = delta.tuples(atom.relation)
                 if not rows:
                     continue
-                rest = state.edb_atoms[:index] + state.edb_atoms[index + 1 :]
+                plan, build_seed, perm = plans[index]
+                seeds = []
                 for row in rows:
-                    seed = extend_assignment(atom, row, {})
-                    if seed is None:
+                    seed = build_seed(interner.intern_row(row))
+                    if seed is not None:
+                        seeds.append(seed)
+                if not seeds:
+                    continue
+                for result in execute_join(plan, new_instance, seeds):
+                    key = tuple(result[p] for p in perm)
+                    if key in state.partials:
                         continue
-                    for assignment in join_assignments(
-                        rest, new_instance, initial=seed
-                    ):
-                        key = canonical_key(assignment)
-                        if key in state.partials:
-                            continue
-                        state.partials[key] = assignment
-                        new_partials.append(assignment)
+                    assignment = plan.assignment(result, interner)
+                    state.partials[key] = assignment
+                    new_partials.append(assignment)
             if new_partials:
                 all_tuples = list(itertools.product(full_domain, repeat=arity))
                 for assignment in new_partials:
@@ -232,22 +270,6 @@ class DeltaGrounder:
 # ---------------------------------------------------------------------------
 
 
-def _match_head(head: Atom, fact: Fact) -> dict[Variable, Element] | None:
-    """Unify a head atom with a ground fact; None when they do not match."""
-    if head.relation != fact.relation:
-        return None
-    assignment: dict[Variable, Element] = {}
-    for term, value in zip(head.arguments, fact.arguments):
-        if isinstance(term, Variable):
-            existing = assignment.get(term, value)
-            if existing != value:
-                return None
-            assignment[term] = value
-        elif term != value:
-            return None
-    return assignment
-
-
 class IncrementalFixpoint:
     """A materialized least fixpoint maintained under fact-level updates.
 
@@ -265,6 +287,32 @@ class IncrementalFixpoint:
         self.program = program
         self._edb = instance if instance is not None else Instance([])
         self._fixpoint = program.least_fixpoint(self._edb)
+        # Re-derivation plans (whole rule body bound by the head variables),
+        # lazily compiled per rule and reused across epochs: the session's
+        # delta copies and fixpoints all share one append-only interner, so
+        # the identity guard only recompiles if a caller ever swaps in an
+        # unrelated instance.  The semi-naive per-rule plans live on the
+        # program itself (:meth:`DatalogProgram.compiled_rules`).
+        self._rederive_plans: list[tuple[JoinPlan, Callable] | None] | None = None
+        self._rederive_interner: Interner | None = None
+
+    def _rederive(
+        self, rule_index: int, store
+    ) -> tuple[JoinPlan, Callable]:
+        """One rule's re-derivation plan: the whole body bound by the head
+        variables, plus the head-row matcher seeding it (DRed checks)."""
+        interner = store.interner
+        if self._rederive_plans is None or self._rederive_interner is not interner:
+            self._rederive_plans = [None] * len(self.program.rules)
+            self._rederive_interner = interner
+        entry = self._rederive_plans[rule_index]
+        if entry is None:
+            rule = self.program.rules[rule_index]
+            head = rule.head[0]
+            plan = compile_join(rule.body, store, bound=head.variables)
+            entry = (plan, seed_row_builder(head, plan, interner))
+            self._rederive_plans[rule_index] = entry
+        return entry
 
     @property
     def edb(self) -> Instance:
@@ -305,53 +353,79 @@ class IncrementalFixpoint:
         new_edb = self._edb.without_facts(removed)
         dropped = self._edb.active_domain - new_edb.active_domain
         self._edb = new_edb
-        seeds = list(removed) + [
-            Fact(_ADOM_SYMBOL, (element,)) for element in dropped
-        ]
-        protected = set(new_edb.facts) | {
-            Fact(_ADOM_SYMBOL, (element,)) for element in new_edb.active_domain
-        }
         # Over-deletion: anything derivable through a deleted fact, computed
         # against the pre-deletion fixpoint (the standard over-approximation).
+        # The whole pass runs on interned rows: the old fixpoint, the new
+        # EDB and the compiled plans share the session interner, so the
+        # frontier is a dict of row batches and membership checks hash ints.
         old_fixpoint = self._fixpoint
-        overdeleted: set[Fact] = set(seeds)
-        frontier = Instance(seeds)
-        while not frontier.is_empty():
-            wave: list[Fact] = []
-            for rule in self.program.rules:
-                head = rule.head[0]
-                for assignment in delta_body_matches(rule, old_fixpoint, frontier):
-                    fact = Fact(
-                        head.relation,
-                        tuple(
-                            assignment[a] if isinstance(a, Variable) else a
-                            for a in head.arguments
-                        ),
-                    )
-                    if fact in overdeleted or fact in protected:
-                        continue
-                    if fact in old_fixpoint:
-                        overdeleted.add(fact)
-                        wave.append(fact)
-            frontier = Instance(wave)
-        remaining = self._fixpoint.without_facts(overdeleted)
+        interner = old_fixpoint.interner
+        compiled = self.program.compiled_rules(old_fixpoint)
+        protected_adom = {
+            interner.code(element) for element in new_edb.active_domain
+        }
+        overdeleted: dict[RelationSymbol, set[IntRow]] = {}
+        frontier: dict[RelationSymbol, list[IntRow]] = {}
+
+        def seed(relation: RelationSymbol, row: IntRow) -> None:
+            overdeleted.setdefault(relation, set()).add(row)
+            frontier.setdefault(relation, []).append(row)
+
+        for fact in removed:
+            seed(fact.relation, interner.intern_row(fact.arguments))
+        for element in dropped:
+            seed(_ADOM_SYMBOL, (interner.code(element),))
+        while frontier:
+            wave: dict[RelationSymbol, list[IntRow]] = {}
+            for crule in compiled:
+                head_relation = crule.rule.head[0].relation
+                live = old_fixpoint.relation_rows(head_relation)
+                gone = overdeleted.setdefault(head_relation, set())
+                protected = (
+                    new_edb.relation_rows(head_relation)
+                    if head_relation != _ADOM_SYMBOL
+                    else None
+                )
+                for build_head, rows in crule.delta_result_rows(
+                    old_fixpoint, frontier
+                ):
+                    for row in rows:
+                        head_row = build_head(row)
+                        if head_row in gone or head_row not in live:
+                            continue
+                        if protected is None:
+                            if head_row[0] in protected_adom:
+                                continue
+                        elif head_row in protected:
+                            continue
+                        gone.add(head_row)
+                        wave.setdefault(head_relation, []).append(head_row)
+            frontier = wave
+        overdeleted_facts = [
+            Fact(relation, interner.decode_row(row))
+            for relation, rows in overdeleted.items()
+            for row in rows
+        ]
+        remaining = self._fixpoint.without_facts(overdeleted_facts)
         self._fixpoint = remaining
         # Re-derivation: an over-deleted fact with an alternative derivation
         # from the remainder comes back (and propagates semi-naively).  The
         # removed facts themselves are candidates too — a deleted fact over
         # an IDB relation stays derived exactly when some rule still derives
-        # it, matching a from-scratch recomputation.
+        # it, matching a from-scratch recomputation.  Each candidate is one
+        # early-exit existence probe of the rule body seeded by its head row.
         rederived = []
-        for fact in sorted(overdeleted, key=str):
-            for rule in self.program.rules:
-                seed = _match_head(rule.head[0], fact)
-                if seed is None:
+        for fact in sorted(overdeleted_facts, key=str):
+            row = interner.intern_row(fact.arguments)
+            for rule_index, rule in enumerate(self.program.rules):
+                head = rule.head[0]
+                if head.relation != fact.relation:
                     continue
-                found = next(
-                    iter(join_assignments(rule.body, remaining, initial=seed)),
-                    None,
-                )
-                if found is not None:
+                plan, match_head = self._rederive(rule_index, remaining)
+                seed_row = match_head(row)
+                if seed_row is None:
+                    continue
+                if join_exists(plan, remaining, seed_row):
                     rederived.append(fact)
                     break
         if rederived:
@@ -360,30 +434,35 @@ class IncrementalFixpoint:
     # -- semi-naive propagation ------------------------------------------------
 
     def _propagate(self, delta_facts: list[Fact]) -> None:
-        # One mutable index set across all semi-naive rounds (same pattern
-        # as DatalogProgram.least_fixpoint): a round's derivations are
-        # buffered and applied at the round boundary, and the store is
-        # frozen once at saturation.
+        # One mutable columnar store across all semi-naive rounds (same
+        # pattern as DatalogProgram.least_fixpoint): each round seeds the
+        # cached compiled plans with the previous round's delta batches, a
+        # round's derivations are buffered and applied at the round
+        # boundary, and the store is frozen once at saturation.
         current = MutableIndexedInstance(self._fixpoint)
-        fresh = [fact for fact in delta_facts if current.add(fact)]
-        while fresh:
-            delta = Instance(fresh)
-            fresh = []
-            pending: set[Fact] = set()
-            for rule in self.program.rules:
-                head = rule.head[0]
-                for assignment in delta_body_matches(rule, current, delta):
-                    fact = Fact(
-                        head.relation,
-                        tuple(
-                            assignment[a] if isinstance(a, Variable) else a
-                            for a in head.arguments
-                        ),
-                    )
-                    if fact in current or fact in pending:
-                        continue
-                    pending.add(fact)
-                    fresh.append(fact)
-            for fact in fresh:
-                current.add(fact)
+        compiled = self.program.compiled_rules(current)
+        interner = current.interner
+        delta: dict[RelationSymbol, list[IntRow]] = {}
+        for fact in delta_facts:
+            row = interner.intern_row(fact.arguments)
+            if current.add_row(fact.relation, row):
+                delta.setdefault(fact.relation, []).append(row)
+        while delta:
+            pending: dict[RelationSymbol, set[IntRow]] = {}
+            for crule in compiled:
+                head_relation = crule.rule.head[0].relation
+                derived = pending.get(head_relation)
+                for build_head, rows in crule.delta_result_rows(current, delta):
+                    for row in rows:
+                        head_row = build_head(row)
+                        if current.has_row(head_relation, head_row):
+                            continue
+                        if derived is None:
+                            derived = pending.setdefault(head_relation, set())
+                        derived.add(head_row)
+            delta = {}
+            for relation, rows in pending.items():
+                fresh = [row for row in rows if current.add_row(relation, row)]
+                if fresh:
+                    delta[relation] = fresh
         self._fixpoint = current.freeze()

@@ -196,12 +196,21 @@ class ShardedObdaSession:
 
     @property
     def instance(self) -> Instance:
-        """The union of the shard instances (the logical global instance)."""
+        """The union of the shard instances (the logical global instance).
+
+        Merged in the interned code space: the largest shard donates its
+        interner and columnar stores, every other shard contributes its
+        int rows plus a one-shot code-translation dictionary
+        (:meth:`Instance.merge`) — constants are never re-hashed fact by
+        fact.  Broadcast facts already live on every shard, so the merge
+        alone covers them; they are passed as extras only for the
+        zero-shard-content edge case.
+        """
         if self._instance_cache is None:
-            facts: set[Fact] = set(self._broadcast)
-            for session in self._sessions:
-                facts.update(session.instance.facts)
-            self._instance_cache = Instance(facts)
+            self._instance_cache = Instance.merge(
+                [session.instance for session in self._sessions],
+                extra_facts=sorted(self._broadcast, key=str),
+            )
         return self._instance_cache
 
     def shard_of(self, fact: Fact) -> int | None:

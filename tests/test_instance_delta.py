@@ -128,9 +128,20 @@ def test_position_index_shared_for_untouched_relations():
     instance.tuples_with(R, 0, 1)
     child = instance.with_facts([Fact(R, (2, 1))])
     # untouched relation shares the parent's index object; touched rebuilt
-    assert child._by_position[A] is instance._by_position[A]
-    assert R not in child._by_position
+    assert child._position_view[A] is instance._position_view[A]
+    assert R not in child._position_view
     assert child.tuples_with(R, 1, 1) == frozenset({(2, 1)})
+
+
+def test_interner_shared_across_delta_copies():
+    instance = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
+    child = instance.with_facts([Fact(R, (2, 3))])
+    grandchild = child.without_facts([Fact(A, (1,))])
+    assert child.interner is instance.interner
+    assert grandchild.interner is instance.interner
+    # untouched relation shares the parent's columnar store, buckets included
+    assert child.column(A) is instance.column(A)
+    assert grandchild.column(R) is child.column(R)
 
 
 def test_union_still_infers_schema():
@@ -139,3 +150,73 @@ def test_union_still_infers_schema():
     union = left | right
     assert set(union.schema) == {A, R}
     assert union.facts == left.facts | right.facts
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_union_across_interners_matches_fact_union(seed):
+    """Union of unrelated instances (distinct interners — the shard-merge
+    shape) equals from-scratch construction on every observable."""
+    rng = random.Random(40 + seed)
+    universe = _universe([1, 2, 3, "x"])
+    left_facts = set(rng.sample(universe, rng.randint(0, len(universe))))
+    right_facts = set(rng.sample(universe, rng.randint(0, len(universe))))
+    left, right = Instance(left_facts), Instance(right_facts)
+    _assert_equivalent(left | right, left_facts | right_facts)
+    _assert_equivalent(
+        Instance.merge([left, right], extra_facts=[Fact(A, ("extra",))]),
+        left_facts | right_facts | {Fact(A, ("extra",))},
+    )
+
+
+def test_union_of_delta_siblings_shares_the_interner():
+    """Delta copies of one ancestor union in code space — no translation,
+    and the result stays in the family (same interner, shared columns)."""
+    base = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
+    left = base.with_facts([Fact(A, (2,))])
+    right = base.with_facts([Fact(R, (2, 3))])
+    union = left | right
+    assert union.interner is base.interner
+    assert union.facts == left.facts | right.facts
+    # a relation the right operand adds nothing to keeps the left operand's
+    # column object (``with_rows`` returns self on no-ops)
+    assert union.column(A) is left.column(A)
+
+
+def test_rename_collapses_and_relabels():
+    instance = Instance([Fact(A, (1,)), Fact(A, (2,)), Fact(R, (1, 2))])
+    renamed = instance.rename({1: "one", 2: "one"})  # non-injective is fine
+    assert renamed.facts == frozenset(
+        {Fact(A, ("one",)), Fact(R, ("one", "one"))}
+    )
+    assert renamed.active_domain == frozenset({"one"})
+    assert renamed.tuples_with(R, 0, "one") == frozenset({("one", "one")})
+    assert instance.facts == frozenset(  # source untouched
+        {Fact(A, (1,)), Fact(A, (2,)), Fact(R, (1, 2))}
+    )
+
+
+def test_disjoint_union_tags_both_sides():
+    left = Instance([Fact(A, (1,))])
+    right = Instance([Fact(A, (1,)), Fact(R, (1, 2))])
+    disjoint = left.disjoint_union(right)
+    assert disjoint.facts == frozenset(
+        {
+            Fact(A, ((0, 1),)),
+            Fact(A, ((1, 1),)),
+            Fact(R, ((1, 1), (1, 2))),
+        }
+    )
+    assert len(disjoint.active_domain) == 3
+
+
+def test_union_after_delete_to_empty_keeps_the_schema():
+    """Regression companion to the PR 3 schema case: a union whose left
+    operand emptied a relation must still resolve that relation by name."""
+    emptied = Instance([Fact(A, (1,)), Fact(R, (1, 2))]).without_facts(
+        [Fact(R, (1, 2))]
+    )
+    union = emptied | Instance([Fact(T, (1, 1, 1))])
+    assert set(union.schema) == {A, R, T}
+    assert union.tuples("R") == frozenset()
+    refilled = union.with_facts([Fact(R, (9, 9))])
+    assert refilled.tuples("R") == frozenset({(9, 9)})

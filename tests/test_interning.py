@@ -1,0 +1,156 @@
+"""Property tests for the interned columnar core.
+
+The interner is the trust anchor of the whole evaluation path: every join,
+fixpoint and grounding runs over its dense int codes and decodes back to
+constants only at API boundaries.  These tests pin the two invariants the
+design rests on — round-trip fidelity (intern → extern is the identity,
+including for distinct constants whose ``repr`` collide) and append-only
+code stability — plus the bucket/statistics consistency of the columnar
+stores and the translation arrays behind instance union and shard merge.
+"""
+
+import random
+
+import pytest
+
+from repro.core import Fact, Instance, RelationSymbol
+from repro.core.interning import (
+    ColumnarRelation,
+    Interner,
+    MutableColumnarRelation,
+)
+
+A = RelationSymbol("A", 1)
+R = RelationSymbol("R", 2)
+
+
+class SameRepr:
+    """Distinct constants whose ``repr`` (and ``str``) collide on purpose.
+
+    Interning must key on the constants themselves, never on their printed
+    form — the invariant ``canonical_key`` documents for the join engine.
+    """
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def __repr__(self):
+        return "<same>"
+
+    def __eq__(self, other):
+        return isinstance(other, SameRepr) and self.tag == other.tag
+
+    def __hash__(self):
+        return hash(("SameRepr", self.tag))
+
+
+def _mixed_pool(rng: random.Random) -> list:
+    # no True/1 or 1/1.0 pairs: those are *equal* constants under Python's
+    # own semantics, so the interner (correctly) assigns them one code
+    pool = [1, 2, "1", "2", (1, 2), ("a",), frozenset({1}), None]
+    pool += [SameRepr(0), SameRepr(1)]
+    rng.shuffle(pool)
+    return pool
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_intern_extern_round_trip(seed):
+    rng = random.Random(seed)
+    pool = _mixed_pool(rng)
+    interner = Interner()
+    codes = {}
+    for _ in range(200):
+        value = rng.choice(pool)
+        code = interner.intern(value)
+        # append-only: re-interning returns the original code forever
+        assert codes.setdefault(id_key(value), code) == code
+        assert interner.value(code) is value or interner.value(code) == value
+        assert interner.code(value) == code
+        assert value in interner
+    # dense: codes are exactly 0..n-1
+    assert sorted(codes.values()) == list(range(len(interner)))
+    # row round trip over random widths
+    for _ in range(50):
+        row_values = tuple(rng.choice(pool) for _ in range(rng.randint(0, 4)))
+        row = interner.intern_row(row_values)
+        assert interner.decode_row(row) == row_values
+        assert tuple(interner.decode_many(row)) == row_values
+
+
+def id_key(value):
+    """Identity-ish key distinguishing equal-repr constants in the test."""
+    return (type(value).__name__, repr(value), getattr(value, "tag", value))
+
+
+def test_distinct_constants_with_equal_reprs_stay_distinct():
+    left, right = SameRepr(0), SameRepr(1)
+    assert repr(left) == repr(right) and left != right
+    interner = Interner()
+    code_left, code_right = interner.intern(left), interner.intern(right)
+    assert code_left != code_right
+    assert interner.value(code_left) == left
+    assert interner.value(code_right) == right
+    # the same invariant observed through the instance API
+    instance = Instance([Fact(A, (left,)), Fact(R, (left, right))])
+    assert instance.tuples_with(A, 0, left) == frozenset({(left,)})
+    assert instance.tuples_with(A, 0, right) == frozenset()
+    assert instance.facts_with_constant(right) == frozenset(
+        {Fact(R, (left, right))}
+    )
+    assert len(instance.active_domain) == 2
+
+
+def test_unknown_values_have_no_code():
+    interner = Interner()
+    interner.intern("known")
+    assert interner.code("unknown") is None
+    assert "unknown" not in interner
+    assert len(interner) == 1
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_remap_from_translates_codes(seed):
+    rng = random.Random(100 + seed)
+    pool = _mixed_pool(rng)
+    left, right = Interner(), Interner()
+    for _ in range(30):
+        left.intern(rng.choice(pool))
+    for _ in range(30):
+        right.intern(rng.choice(pool))
+    mapping = left.remap_from(right)
+    assert len(mapping) == len(right)
+    for code in range(len(right)):
+        assert left.value(mapping[code]) == right.value(code)
+    # self-remap is the identity
+    assert left.remap_from(left) == list(range(len(left)))
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_columnar_buckets_match_linear_scans(seed):
+    rng = random.Random(200 + seed)
+    rows = {
+        (rng.randint(0, 5), rng.randint(0, 5)) for _ in range(rng.randint(0, 40))
+    }
+    frozen = ColumnarRelation(2, frozenset(rows))
+    mutable = MutableColumnarRelation(2)
+    mutable.bucket(0, 0)  # force buckets early: adds maintain them in place
+    for row in rows:
+        assert mutable.add(row)
+        assert not mutable.add(row)
+    for store in (frozen, mutable, mutable.freeze()):
+        assert set(store.rows) == rows
+        for position in (0, 1):
+            for code in range(-1, 7):
+                expected = frozenset(
+                    row for row in rows if row[position] == code
+                )
+                assert frozenset(store.bucket(position, code)) == expected
+        assert store.distinct_counts() == tuple(
+            len({row[position] for row in rows}) for position in (0, 1)
+        )
+    assert frozen.sorted_rows() == tuple(sorted(rows))
+    # no-op edits return the same object; real edits rebuild lazily
+    assert frozen.with_rows(list(rows)) is frozen
+    assert frozen.without_rows([(9, 9)]) is frozen
+    grown = frozen.with_rows([(9, 9)])
+    assert (9, 9) in grown.rows and (9, 9) not in frozen.rows
