@@ -14,8 +14,11 @@ hereditary-predisposition query as its plain-datalog rewriting (Example
 random digraph from the CSP zoo (coCSP(K3), Theorem 4.6).
 """
 
+from pathlib import Path
+
 from repro.core import Atom, RelationSymbol, Variable
 from repro.datalog import DisjunctiveDatalogProgram, Rule, goal_atom
+from repro.obs import enabled, validate_trace_file, write_chrome_trace
 from repro.omq.certain import compile_to_mddlog
 from repro.service import (
     ObdaSession,
@@ -30,6 +33,50 @@ from repro.workloads.csp_zoo import three_colourability_template
 from repro.workloads.medical import example_2_1_omq
 
 REQUIRED_SPEEDUP = 5.0
+
+#: The committed enabled-mode trace of the 100-update Table 1 stream
+#: (Chrome trace-event JSON; load it at https://ui.perfetto.dev).
+TRACE_PATH = Path(__file__).resolve().parent / "results" / "TRACE_SERVING.json"
+
+#: Counters surfaced into ``benchmark.extra_info`` (and from there into the
+#: consolidated ``run_all.py`` output) alongside the timings.
+_REPORTED_COUNTERS = (
+    "fixpoint.rounds",
+    "fixpoint.rows_derived",
+    "join.plans_executed",
+    "join.rows_in",
+    "delta.clauses_emitted",
+    "dred.overdeleted",
+    "dred.rederived",
+    "sat.solve_calls",
+    "sat.conflicts",
+    "sat.propagations",
+    "session.clauses_pushed",
+    "session.queries",
+)
+
+
+def _traced_replay(workload, events, trace_path=None):
+    """One enabled-mode pass of the stream, outside the timed rounds.
+
+    Returns the counters to report via ``benchmark.extra_info``; when
+    ``trace_path`` is given, also exports (and validates) the Chrome
+    trace-event document of the whole pass.
+    """
+    with enabled() as tel:
+        session = ObdaSession(workload)
+        replay(session, events)
+    if trace_path is not None:
+        write_chrome_trace(tel, trace_path, process_name="repro-serving")
+        errors = validate_trace_file(trace_path)
+        assert not errors, f"exported trace invalid: {errors[:3]}"
+    return {name: int(tel.counter(name)) for name in _REPORTED_COUNTERS}
+
+
+def _report_counters(benchmark, counters):
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is not None:  # absent under --benchmark-disable on old plugins
+        extra.update(counters)
 
 
 def _predisposition_rewriting() -> DisjunctiveDatalogProgram:
@@ -88,6 +135,9 @@ def test_streaming_medical_workload(benchmark):
     session, report = benchmark.pedantic(run, rounds=2, iterations=1)
     assert report.queries == 100
     _assert_stream_equivalence(session, events, report, "medical workload stream")
+    # Enabled-mode pass (after timing): export the committed serving trace
+    # and surface the work counters next to the timings.
+    _report_counters(benchmark, _traced_replay(workload, events, TRACE_PATH))
 
 
 def test_streaming_datalog_rewriting_fixpoint(benchmark):
@@ -108,6 +158,7 @@ def test_streaming_datalog_rewriting_fixpoint(benchmark):
     session, report = benchmark.pedantic(run, rounds=3, iterations=1)
     assert report.queries == 100
     _assert_stream_equivalence(session, events, report, "datalog-rewriting stream")
+    _report_counters(benchmark, _traced_replay(program, events))
 
 
 def test_streaming_csp_zoo_three_colourability(benchmark):
@@ -128,3 +179,4 @@ def test_streaming_csp_zoo_three_colourability(benchmark):
     session, report = benchmark.pedantic(run, rounds=3, iterations=1)
     assert report.queries == 100
     _assert_stream_equivalence(session, events, report, "coCSP(K3) stream")
+    _report_counters(benchmark, _traced_replay({"non3col": program}, events))

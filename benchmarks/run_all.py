@@ -25,7 +25,10 @@ shared machines).
 ``--check-only`` skips running the benchmarks and re-applies the gate to an
 existing consolidated results file (``--output``, by default the committed
 ``results/BENCH_RESULTS.json``) — a cheap CI smoke test that the gate logic
-itself, empty-overlap behavior included, stays exercised on every PR.
+itself, empty-overlap behavior included, stays exercised on every PR.  It
+also schema-validates every committed ``results/TRACE_*.json`` telemetry
+export (Chrome trace-event JSON, see ``docs/observability.md``) so a stale
+or hand-mangled trace fails CI rather than failing in the viewer.
 """
 
 from __future__ import annotations
@@ -87,13 +90,20 @@ def consolidate(
     results = {}
     for bench in raw.get("benchmarks", ()):
         stats = bench["stats"]
-        results[bench["name"]] = {
+        entry = {
             "file": bench.get("fullname", "").split("::")[0],
             "mean_s": stats["mean"],
             "min_s": stats["min"],
             "stddev_s": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        # Telemetry counters the benchmark surfaced via benchmark.extra_info
+        # (fixpoint rounds, rows joined, clauses grounded, ...): keep them
+        # next to the timings so work-done travels with time-taken.
+        extra = bench.get("extra_info")
+        if extra:
+            entry["counters"] = dict(sorted(extra.items()))
+        results[bench["name"]] = entry
     consolidated = {
         "label": label,
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -133,6 +143,28 @@ def apply_baseline(consolidated: dict, baseline: dict) -> dict:
             1.0 / len(speedups)
         )
     return consolidated
+
+
+def validate_committed_traces() -> list[str]:
+    """Validate every committed ``results/TRACE_*.json`` trace export.
+
+    Returns human-readable error strings (empty when all traces are valid
+    Chrome trace-event documents, or when none are committed).  Imports the
+    validator lazily so plain benchmark runs do not require ``src`` on the
+    path before argument parsing.
+    """
+    trace_paths = sorted((BENCH_DIR / "results").glob("TRACE_*.json"))
+    if not trace_paths:
+        return []
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.obs import validate_trace_file
+
+    errors: list[str] = []
+    for path in trace_paths:
+        errors.extend(validate_trace_file(path))
+    return errors
 
 
 def gate_verdict(consolidated: dict, max_regression: float) -> tuple[bool, str]:
@@ -245,6 +277,12 @@ def main(argv: list[str] | None = None) -> int:
             f"checking {len(consolidated.get('results', {}))} consolidated "
             f"benchmarks from {args.output}"
         )
+        trace_errors = validate_committed_traces()
+        if trace_errors:
+            for error in trace_errors:
+                print(f"TRACE FAILURE: {error}")
+            return 1
+        print("committed TRACE_*.json exports: valid Chrome trace-event JSON")
     else:
         raw, wall, returncode = run_pytest_benchmarks(paths)
         consolidated = consolidate(raw, args.label, wall, baseline)

@@ -19,6 +19,7 @@ from ..core.instance import (
 )
 from ..core.interning import Interner, IntRow
 from ..core.schema import RelationSymbol
+from ..obs import telemetry as _telemetry
 from ..engine.joins import (
     JoinPlan,
     canonical_key,
@@ -234,27 +235,47 @@ class DatalogProgram(DisjunctiveDatalogProgram):
         if adom_rows:
             delta[adom] = adom_rows
         compiled = self.compiled_rules(current)
-        while delta:
-            pending: dict[RelationSymbol, set] = {}
-            for crule in compiled:
-                head_relation = crule.rule.head[0].relation
-                derived = pending.get(head_relation)
-                for build_head, rows in crule.delta_result_rows(current, delta):
-                    for row in rows:
-                        head_row = build_head(row)
-                        if current.has_row(head_relation, head_row):
-                            continue
-                        if derived is None:
-                            derived = pending.setdefault(head_relation, set())
-                        derived.add(head_row)
-            # round boundary: apply the buffered derivations in one batch
-            delta = {}
-            for relation, rows in pending.items():
-                fresh = [
-                    row for row in rows if current.add_row(relation, row)
-                ]
-                if fresh:
-                    delta[relation] = fresh
+        tel = _telemetry.ACTIVE
+        rounds = 0
+        derived_total = 0
+        with _telemetry.maybe_span(
+            "fixpoint.least_fixpoint", rules=len(compiled)
+        ) as span:
+            while delta:
+                pending: dict[RelationSymbol, set] = {}
+                for crule in compiled:
+                    head_relation = crule.rule.head[0].relation
+                    derived = pending.get(head_relation)
+                    for build_head, rows in crule.delta_result_rows(
+                        current, delta
+                    ):
+                        for row in rows:
+                            head_row = build_head(row)
+                            if current.has_row(head_relation, head_row):
+                                continue
+                            if derived is None:
+                                derived = pending.setdefault(
+                                    head_relation, set()
+                                )
+                            derived.add(head_row)
+                # round boundary: apply the buffered derivations in one batch
+                delta = {}
+                for relation, rows in pending.items():
+                    fresh = [
+                        row for row in rows if current.add_row(relation, row)
+                    ]
+                    if fresh:
+                        delta[relation] = fresh
+                rounds += 1
+                if tel is not None:
+                    delta_size = sum(len(rows) for rows in delta.values())
+                    derived_total += delta_size
+                    tel.record("fixpoint.round_delta_rows", delta_size)
+            if tel is not None:
+                tel.count("fixpoint.runs")
+                tel.count("fixpoint.rounds", rounds)
+                tel.count("fixpoint.rows_derived", derived_total)
+                span.set(rounds=rounds, rows_derived=derived_total)
         return current.freeze()
 
     def _least_fixpoint_tuple(self, instance: Instance) -> Instance:

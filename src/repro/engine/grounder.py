@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Sequence
 
 from ..core.cq import Atom, Variable
 from ..core.instance import Instance
+from ..obs import telemetry as _telemetry
 from .joins import canonical_key, compile_join, execute_join, join_assignments
 from .sat import Clause, ClauseSolver, solver_for_clauses
 
@@ -262,6 +263,7 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
     ground programs; beyond ``_SUBSUMPTION_LIMIT`` clauses only exact
     deduplication runs.
     """
+    tel = _telemetry.ACTIVE
     literal_codes: dict[tuple, int] = {}
 
     def code_of(literal: tuple) -> int:
@@ -271,9 +273,11 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
             literal_codes[literal] = code
         return code
 
+    total = 0
     unique: list[tuple[Clause, frozenset[int]]] = []
     seen: set[frozenset[int]] = set()
     for clause in clauses:
+        total += 1
         negative, positive = clause
         if negative & positive:
             continue  # tautology: some atom both required true and made true
@@ -287,6 +291,10 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
             seen.add(interned)
             unique.append((clause, interned))
     if len(unique) > _SUBSUMPTION_LIMIT:
+        if tel is not None:
+            tel.count("grounder.clauses_in", total)
+            tel.count("grounder.dedup_drops", total - len(unique))
+            tel.count("grounder.subsumption_passes_skipped")
         return [clause for clause, _ in unique]
     unique.sort(key=lambda pair: len(pair[1]))
     kept: list[Clause] = []
@@ -308,6 +316,10 @@ def _dedupe_and_subsume(clauses: Iterable[Clause]) -> list[Clause]:
         kept_codes.append(interned)
         for literal in interned:
             occurrences.setdefault(literal, []).append(index)
+    if tel is not None:
+        tel.count("grounder.clauses_in", total)
+        tel.count("grounder.dedup_drops", total - len(unique))
+        tel.count("grounder.subsumption_hits", len(unique) - len(kept))
     return kept
 
 
@@ -402,20 +414,32 @@ def ground_program(
             program._ground_plan_cache = plan_cache
         except AttributeError:  # slotted program types: grounding still works
             plan_cache = None
-    clauses: list[Clause] = []
-    aux_counter = itertools.count()
-    for index, rule in enumerate(program.rules):
-        clauses.extend(
-            _rule_clauses(
-                rule,
-                instance,
-                idb_names,
-                ADOM,
-                domain,
-                aux_counter,
-                engine,
-                plan_cache,
-                index,
+    with _telemetry.maybe_span(
+        "grounder.ground_program",
+        rules=len(program.rules),
+        domain_size=len(domain),
+        engine=engine,
+    ) as span:
+        clauses: list[Clause] = []
+        aux_counter = itertools.count()
+        for index, rule in enumerate(program.rules):
+            clauses.extend(
+                _rule_clauses(
+                    rule,
+                    instance,
+                    idb_names,
+                    ADOM,
+                    domain,
+                    aux_counter,
+                    engine,
+                    plan_cache,
+                    index,
+                )
             )
-        )
-    return GroundProgram(program, instance, _dedupe_and_subsume(clauses))
+        kept = _dedupe_and_subsume(clauses)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("grounder.clauses_emitted", len(clauses))
+            tel.count("grounder.clauses_kept", len(kept))
+            span.set(clauses_emitted=len(clauses), clauses_kept=len(kept))
+        return GroundProgram(program, instance, kept)

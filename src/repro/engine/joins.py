@@ -40,6 +40,7 @@ from typing import Hashable, Iterable, Iterator, Mapping, Sequence
 from ..core.cq import Atom, Variable
 from ..core.instance import Instance
 from ..core.interning import IntRow
+from ..obs import telemetry as _telemetry
 
 Element = Hashable
 Assignment = dict[Variable, Element]
@@ -418,9 +419,22 @@ def execute_join(
     if resolved is None:
         return []
     partials: list[IntRow] = seeds if isinstance(seeds, list) else list(seeds)
+    tel = _telemetry.ACTIVE
+    if tel is not None:
+        tel.count("join.plans_executed")
+        tel.count("join.rows_in", len(partials))
     for step, probes in resolved:
         if not partials:
-            return partials
+            break
+        if tel is not None:
+            # step granularity, not row granularity: a probed step does one
+            # bucket probe per surviving partial; a probe-less step merges
+            # the whole relation against the batch
+            if probes:
+                tel.count("join.bucket_probe_steps")
+                tel.count("join.bucket_probes", len(partials))
+            else:
+                tel.count("join.merge_steps")
         out: list[IntRow] = []
         append = out.append
         writes = step.write_positions
@@ -438,6 +452,8 @@ def execute_join(
                         append(partial)
                         break
         partials = out
+    if tel is not None:
+        tel.count("join.rows_out", len(partials))
     return partials
 
 
@@ -453,6 +469,9 @@ def join_exists(plan: JoinPlan, store, seed: IntRow = ()) -> bool:
     resolved = plan.resolve(store.interner)
     if resolved is None:
         return False
+    tel = _telemetry.ACTIVE
+    if tel is not None:
+        tel.count("join.exists_calls")
 
     def walk(index: int, partial: IntRow) -> bool:
         if index == len(resolved):

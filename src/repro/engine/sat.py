@@ -26,7 +26,43 @@ from __future__ import annotations
 import heapq
 from typing import Hashable, Iterable, Sequence
 
+from ..obs import telemetry as _telemetry
+
 Atom = Hashable
+
+
+class SolverStats:
+    """Always-on search statistics for one :class:`ClauseSolver`.
+
+    Plain integer attributes bumped inside the search loop — cheap enough
+    to keep unconditionally, which is what lets tests cross-validate the
+    telemetry counters against the solver's own ground truth.  ``restarts``
+    counts per-:meth:`ClauseSolver.solve` root restarts (this solver keeps
+    no in-search restart schedule; every call restarts from the root and
+    re-asserts its assumptions).
+    """
+
+    __slots__ = (
+        "conflicts",
+        "propagations",
+        "decisions",
+        "learned_clauses",
+        "learned_literals",
+        "restarts",
+        "solve_calls",
+    )
+
+    def __init__(self) -> None:
+        self.conflicts = 0
+        self.propagations = 0
+        self.decisions = 0
+        self.learned_clauses = 0
+        self.learned_literals = 0
+        self.restarts = 0
+        self.solve_calls = 0
+
+    def describe(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class ClauseSolver:
@@ -64,6 +100,7 @@ class ClauseSolver:
         self._ok = True  # False once a root-level conflict is derived
         self._sticky: dict[Atom, bool] = {}  # persistent assumptions
         self.last_model: dict[Atom, bool] = {}
+        self.stats = SolverStats()
 
     # -- atoms and literals ----------------------------------------------------
 
@@ -197,6 +234,7 @@ class ClauseSolver:
 
     def _propagate(self) -> int | None:
         """Exhaust unit propagation; returns a conflicting clause index or None."""
+        propagated = 0
         while self._qhead < len(self._trail):
             lit = self._trail[self._qhead]
             self._qhead += 1
@@ -221,8 +259,11 @@ class ClauseSolver:
                         # conflict: restore the untraversed watchers and bail
                         self._watches[false_lit].extend(watchers[position + 1 :])
                         self._qhead = len(self._trail)
+                        self.stats.propagations += propagated
                         return index
                     self._assign_lit(clause[0], index)
+                    propagated += 1
+        self.stats.propagations += propagated
         return None
 
     # -- conflict analysis -----------------------------------------------------
@@ -343,6 +384,32 @@ class ClauseSolver:
         so assuming them true/false cannot conflict and they are skipped
         (except that mutually contradictory assumptions still answer False).
         """
+        stats = self.stats
+        stats.solve_calls += 1
+        stats.restarts += 1  # every call restarts search from the root level
+        tel = _telemetry.ACTIVE
+        if tel is None:
+            return self._solve(false_atoms, true_atoms)
+        before = (
+            stats.conflicts,
+            stats.propagations,
+            stats.decisions,
+            stats.learned_clauses,
+        )
+        result = self._solve(false_atoms, true_atoms)
+        tel.count("sat.solve_calls")
+        tel.count("sat.restarts")
+        tel.count("sat.conflicts", stats.conflicts - before[0])
+        tel.count("sat.propagations", stats.propagations - before[1])
+        tel.count("sat.decisions", stats.decisions - before[2])
+        tel.count("sat.learned_clauses", stats.learned_clauses - before[3])
+        return result
+
+    def _solve(
+        self,
+        false_atoms: Iterable[Atom],
+        true_atoms: Iterable[Atom],
+    ) -> bool:
         self._backtrack(0)
         if not self._ok or self._propagate() is not None:
             self._ok = False
@@ -391,11 +458,15 @@ class ClauseSolver:
                     return True
                 self._new_level()
                 self._assign_lit((var << 1) | 1, None)  # negative phase first
+                self.stats.decisions += 1
                 continue
+            self.stats.conflicts += 1
             if not self._trail_lim:
                 self._ok = False  # conflict at the root level: no model at all
                 return False
             learned, backjump = self._analyze(conflict)
+            self.stats.learned_clauses += 1
+            self.stats.learned_literals += len(learned)
             self._backtrack(backjump)
             if len(learned) == 1:
                 self._assign_lit(learned[0], None)

@@ -1,0 +1,54 @@
+"""Structured runtime telemetry for the serving stack.
+
+Public surface:
+
+* :class:`~repro.obs.telemetry.Telemetry` — a recorder of hierarchical
+  spans, counters and histograms;
+* :func:`~repro.obs.telemetry.enabled` / :func:`~repro.obs.telemetry.install`
+  / :func:`~repro.obs.telemetry.uninstall` — scope-based or process-wide
+  activation (the default is *off*: instrumented code pays one attribute
+  load per point);
+* :func:`~repro.obs.telemetry.maybe_span` — coarse-scope span helper;
+* exporters: :func:`~repro.obs.export.chrome_trace` /
+  :func:`~repro.obs.export.write_chrome_trace` (Perfetto-loadable
+  trace-event JSON), :func:`~repro.obs.export.text_summary`, and the
+  :func:`~repro.obs.export.validate_chrome_trace` schema check CI runs
+  against exported traces.
+
+See ``docs/observability.md`` for the span/counter reference and the
+rollup schema the adaptive re-planner consumes.
+"""
+
+from .export import (
+    chrome_trace,
+    text_summary,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from .telemetry import (
+    NOOP_SPAN,
+    Histogram,
+    Span,
+    Telemetry,
+    enabled,
+    install,
+    maybe_span,
+    uninstall,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Histogram",
+    "Span",
+    "Telemetry",
+    "chrome_trace",
+    "enabled",
+    "install",
+    "maybe_span",
+    "text_summary",
+    "uninstall",
+    "validate_chrome_trace",
+    "validate_trace_file",
+    "write_chrome_trace",
+]

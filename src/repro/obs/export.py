@@ -1,0 +1,279 @@
+"""Telemetry exporters: Chrome trace-event JSON and a text summary tree.
+
+:func:`chrome_trace` renders a :class:`~repro.obs.telemetry.Telemetry`
+recorder as a Chrome trace-event document — the ``{"traceEvents": [...]}``
+JSON format consumed by Perfetto (https://ui.perfetto.dev) and
+``chrome://tracing``.  Spans become complete (``"ph": "X"``) events with
+microsecond timestamps relative to the recorder's epoch, instant events
+become ``"ph": "i"`` markers, and every counter is emitted as a final
+``"ph": "C"`` sample so the totals are visible on the counter track.
+
+:func:`validate_chrome_trace` is the schema check CI's nightly
+``run_all.py --check-only`` applies to committed/exported traces — it
+verifies the structural invariants Perfetto relies on (event phases,
+numeric non-negative timestamps and durations, JSON-serializability)
+without needing any external schema package.
+
+:func:`text_summary` renders the span hierarchy as an indented,
+time-annotated tree with the top counters appended — the quick look that
+needs no trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .telemetry import Telemetry
+
+__all__ = [
+    "chrome_trace",
+    "text_summary",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: Phases this exporter emits (and the validator accepts).
+_PHASES = frozenset({"X", "i", "C", "M"})
+
+_PID = 1
+_TID = 1
+
+
+def _jsonable(value):
+    """Coerce an attribute value into something JSON-serializable."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+def chrome_trace(telemetry: Telemetry, process_name: str = "repro") -> dict:
+    """The recorder's spans, events and counters as a trace-event document."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    last_ts = 0.0
+    for span in telemetry.spans:
+        ts = span.start_s * 1e6
+        args = {"span_index": span.index}
+        if span.parent is not None:
+            args["parent_index"] = span.parent
+        if span.attributes:
+            args.update(
+                {key: _jsonable(value) for key, value in span.attributes.items()}
+            )
+        if span.duration_s == 0.0 and not span.attributes:
+            # a bare instant event: render as a marker, not a 0-width slice
+            event = {
+                "name": span.name,
+                "ph": "i",
+                "ts": ts,
+                "pid": _PID,
+                "tid": _TID,
+                "s": "t",
+                "args": args,
+            }
+            last_ts = max(last_ts, ts)
+        else:
+            duration = span.duration_s if span.duration_s is not None else 0.0
+            event = {
+                "name": span.name,
+                "ph": "X",
+                "ts": ts,
+                "dur": duration * 1e6,
+                "pid": _PID,
+                "tid": _TID,
+                "args": args,
+            }
+            last_ts = max(last_ts, ts + duration * 1e6)
+        events.append(event)
+    for name, value in sorted(telemetry.counters.items()):
+        events.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": last_ts,
+                "pid": _PID,
+                "tid": _TID,
+                "args": {"value": value},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.obs",
+            "spans": len(telemetry.spans),
+            "counters": len(telemetry.counters),
+            "histograms": {
+                name: histogram.describe()
+                for name, histogram in sorted(telemetry.histograms.items())
+            },
+        },
+    }
+
+
+def write_chrome_trace(telemetry: Telemetry, path, process_name: str = "repro") -> Path:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(telemetry, process_name), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def validate_chrome_trace(document) -> list[str]:
+    """Structural problems of a trace-event document (empty list = valid).
+
+    Checks what Perfetto's JSON importer requires: a ``traceEvents`` array
+    of objects, each with a string ``name``, a known ``ph`` phase, numeric
+    non-negative ``ts`` (and ``dur`` for complete events), integer
+    ``pid``/``tid``, and a JSON-serializable ``args`` mapping when present.
+    """
+    problems: list[str] = []
+    if not isinstance(document, dict):
+        return [f"trace document must be a JSON object, got {type(document).__name__}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["trace document has no traceEvents array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where}: missing or non-string name")
+        phase = event.get("ph")
+        if phase not in _PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number, got {ts!r}")
+        if phase == "X":
+            duration = event.get("dur")
+            if (
+                not isinstance(duration, (int, float))
+                or isinstance(duration, bool)
+                or duration < 0
+            ):
+                problems.append(
+                    f"{where}: complete event needs a non-negative dur, got {duration!r}"
+                )
+        if phase == "C" and "value" not in event.get("args", {}):
+            problems.append(f"{where}: counter event has no args.value")
+        for field in ("pid", "tid"):
+            ident = event.get(field)
+            if not isinstance(ident, int) or isinstance(ident, bool):
+                problems.append(f"{where}: {field} must be an integer, got {ident!r}")
+        args = event.get("args")
+        if args is not None:
+            if not isinstance(args, dict):
+                problems.append(f"{where}: args must be an object")
+            else:
+                try:
+                    json.dumps(args)
+                except (TypeError, ValueError) as error:
+                    problems.append(f"{where}: args not JSON-serializable ({error})")
+    return problems
+
+
+def validate_trace_file(path) -> list[str]:
+    """:func:`validate_chrome_trace` applied to a JSON file on disk."""
+    path = Path(path)
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path}: unreadable trace ({error})"]
+    return [f"{path}: {problem}" for problem in validate_chrome_trace(document)]
+
+
+# ---------------------------------------------------------------------------
+# Text summary tree
+# ---------------------------------------------------------------------------
+
+
+def _format_seconds(seconds: float | None) -> str:
+    if seconds is None:
+        return "open"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def text_summary(telemetry: Telemetry, top: int = 20) -> str:
+    """An indented span tree with durations, then the top counters.
+
+    Sibling spans with the same name are *aggregated* (count × total
+    time) so a 100-epoch stream reads as one line per span kind and
+    level, not one line per epoch; attribute details are dropped in the
+    aggregate.  Counters are sorted by value; histograms report
+    ``count/mean/min/max``.
+    """
+    children: dict[int | None, list] = {}
+    for span in telemetry.spans:
+        children.setdefault(span.parent, []).append(span)
+
+    lines: list[str] = ["spans:"]
+    if not telemetry.spans:
+        lines.append("  (none recorded)")
+
+    def walk(parent: int | None, depth: int) -> None:
+        spans = children.get(parent)
+        if not spans:
+            return
+        groups: dict[str, list] = {}
+        for span in spans:
+            groups.setdefault(span.name, []).append(span)
+        indent = "  " * (depth + 1)
+        for name, group in groups.items():
+            total = sum(s.duration_s or 0.0 for s in group)
+            if len(group) == 1:
+                lines.append(
+                    f"{indent}{name}  {_format_seconds(group[0].duration_s)}"
+                )
+            else:
+                lines.append(
+                    f"{indent}{name}  ×{len(group)}  total {_format_seconds(total)}"
+                    f"  mean {_format_seconds(total / len(group))}"
+                )
+            for span in group:
+                walk(span.index, depth + 1)
+
+    walk(None, 0)
+    if telemetry.counters:
+        lines.append("counters:")
+        ranked = sorted(
+            telemetry.counters.items(), key=lambda item: (-item[1], item[0])
+        )
+        for name, value in ranked[:top]:
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"  {name} = {shown}")
+        if len(ranked) > top:
+            lines.append(f"  ... {len(ranked) - top} more")
+    if telemetry.histograms:
+        lines.append("histograms:")
+        for name, histogram in sorted(telemetry.histograms.items()):
+            lines.append(
+                f"  {name}: n={histogram.count} mean={histogram.mean:.3g} "
+                f"min={histogram.min:.3g} max={histogram.max:.3g}"
+            )
+    return "\n".join(lines)

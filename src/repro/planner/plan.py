@@ -45,6 +45,7 @@ from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram
 from ..engine.grounder import _free_variable_blocks, _split_body
 from ..engine.joins import _estimated_rows, order_atoms
 from ..engine.parallel import resolve_workers
+from ..obs import telemetry as _telemetry
 from .analysis import (
     ProgramShape,
     UcqUnfolding,
@@ -193,10 +194,23 @@ def plan_program(
     program): those are re-analysed on the next call instead of pinning a
     rewritable query to tier 2 for the program's lifetime.
     """
+    tel = _telemetry.ACTIVE
     plan = getattr(program, _SYNTACTIC_PLAN_ATTR, None)
     if plan is None:
-        plan = _classify(program)
+        if tel is not None:
+            tel.count("planner.plan_cache_misses")
+        with _telemetry.maybe_span("planner.classify"):
+            plan = _classify(program)
         setattr(program, _SYNTACTIC_PLAN_ATTR, plan)
+        if tel is not None:
+            tel.event(
+                "planner.tier_decision",
+                stage="syntactic",
+                tier=plan.tier,
+                tier_name=plan.tier_name,
+            )
+    elif tel is not None:
+        tel.count("planner.plan_cache_hits")
     enabled = SEMANTIC_ROUTING_DEFAULT if semantic is None else semantic
     if not enabled or plan.tier != TIER_GROUND_SAT:
         return plan
@@ -209,9 +223,22 @@ def plan_program(
         setattr(program, _SEMANTIC_PLANS_ATTR, per_budget)
     semantic_plan = per_budget.get(resolved)
     if semantic_plan is None:
+        if tel is not None:
+            tel.count("planner.semantic_cache_misses")
         semantic_plan = analyse_rewritability(program, resolved)
         if not (semantic_plan.semantic and semantic_plan.semantic.transient):
             per_budget[resolved] = semantic_plan
+        if tel is not None:
+            report = semantic_plan.semantic
+            tel.event(
+                "planner.tier_decision",
+                stage="semantic",
+                tier=semantic_plan.tier,
+                tier_name=semantic_plan.tier_name,
+                rewriting=report.rewriting if report is not None else None,
+            )
+    elif tel is not None:
+        tel.count("planner.semantic_cache_hits")
     return semantic_plan
 
 

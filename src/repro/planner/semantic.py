@@ -59,6 +59,7 @@ from ..core.instance import Fact, Instance
 from ..core.schema import RelationSymbol
 from ..core.structures import expansion_with_constants
 from ..datalog.ddlog import ADOM, GOAL, DisjunctiveDatalogProgram, Rule
+from ..obs import telemetry as _telemetry
 from .analysis import UcqUnfolding, UnfoldedDisjunct
 
 __all__ = [
@@ -186,13 +187,26 @@ class SemanticReport:
 
 @dataclass
 class _Deadline:
-    """Soft wall-clock deadline checked between stages."""
+    """Soft wall-clock deadline checked between stages.
+
+    With telemetry enabled, every check also records the time elapsed since
+    the previous check into the ``planner.semantic.phase.<stage>``
+    histogram — per-phase timing measured at exactly the points the budget
+    is enforced, with no extra bookkeeping on the disabled path.
+    """
 
     seconds: float
     started: float = field(default_factory=time.perf_counter)
+    last_check: float | None = None
 
     def check(self, stage: str) -> None:
-        if time.perf_counter() - self.started > self.seconds:
+        now = time.perf_counter()
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            previous = self.last_check if self.last_check is not None else self.started
+            tel.record(f"planner.semantic.phase.{stage}", now - previous)
+            self.last_check = now
+        if now - self.started > self.seconds:
             raise DeadlineExceeded(
                 f"wall-clock budget of {self.seconds:g}s exhausted during {stage}"
             )
@@ -965,7 +979,40 @@ def analyse_rewritability(
     tier 2 with a :class:`SemanticReport` explaining why the program stays
     on the ground+CDCL engine (inapplicable, budget exceeded, genuinely
     unrewritable, or failed cross-validation).
+
+    With telemetry enabled the analysis runs under a
+    ``planner.semantic.analyse`` span annotated with the outcome and the
+    fraction of the wall-clock budget consumed; the per-phase timings land
+    in the ``planner.semantic.phase.*`` histograms (see :class:`_Deadline`).
     """
+    tel = _telemetry.ACTIVE
+    if tel is None:
+        return _analyse_rewritability(program, budget)
+    with tel.span(
+        "planner.semantic.analyse", time_budget_s=budget.time_budget_s
+    ) as handle:
+        plan = _analyse_rewritability(program, budget)
+        report = plan.semantic
+        if report is not None:
+            handle.set(
+                tier=plan.tier,
+                applicable=report.applicable,
+                rewriting=report.rewriting,
+                elapsed_s=report.elapsed_s,
+                budget_consumed=(
+                    report.elapsed_s / budget.time_budget_s
+                    if budget.time_budget_s
+                    else None
+                ),
+                transient=report.transient,
+            )
+        return plan
+
+
+def _analyse_rewritability(
+    program: DisjunctiveDatalogProgram,
+    budget: SemanticBudget,
+):
     from ..core.homomorphism import core as core_of
     from ..csp.canonical_datalog import has_tree_duality
     from ..csp.duality import is_fo_definable_csp

@@ -46,6 +46,7 @@ from ..datalog.plain import DatalogProgram, seed_row_builder
 from ..engine.grounder import _split_body, instantiate_atom
 from ..engine.joins import JoinPlan, compile_join, execute_join, join_exists
 from ..engine.sat import Clause
+from ..obs import telemetry as _telemetry
 
 Element = Hashable
 
@@ -123,6 +124,7 @@ class DeltaGrounder:
         self._rules: list[_RuleState] = []
         self._emitted: set[Clause] = set()
         self.clauses_emitted = 0
+        self.instantiations = 0  # clause instantiations attempted (incl. tautologies)
         bootstrap: list[Clause] = []
         for rule in program.rules:
             edb_atoms, adom_atoms, idb_atoms = _split_body(
@@ -167,6 +169,7 @@ class DeltaGrounder:
         are not re-emitted: retracting and re-asserting their guards is all
         the reactivation they need.
         """
+        instantiations_before = self.instantiations
         emitted: list[Clause] = []
 
         def emit(clause: Clause) -> None:
@@ -234,6 +237,14 @@ class DeltaGrounder:
                     for values in all_tuples:
                         self._emit_clause(state, assignment, values, emit)
         self.clauses_emitted += len(emitted)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("delta.ground_inserts")
+            tel.count("delta.clauses_emitted", len(emitted))
+            tel.count(
+                "delta.instantiations",
+                self.instantiations - instantiations_before,
+            )
         return emitted
 
     # -- clause construction ---------------------------------------------------
@@ -245,6 +256,7 @@ class DeltaGrounder:
         values: tuple,
         emit: Callable[[Clause], None],
     ) -> None:
+        self.instantiations += 1
         assignment = dict(partial)
         assignment.update(zip(state.free, values))
         negative = {instantiate_atom(a, assignment) for a in state.idb_atoms}
@@ -338,13 +350,14 @@ class IncrementalFixpoint:
         added = [f for f in facts if f not in self._edb.facts]
         if not added:
             return
-        new_edb = self._edb.with_facts(added)
-        new_elements = new_edb.active_domain - self._edb.active_domain
-        self._edb = new_edb
-        delta = list(added) + [
-            Fact(_ADOM_SYMBOL, (element,)) for element in new_elements
-        ]
-        self._propagate(delta)
+        with _telemetry.maybe_span("dred.insert", facts=len(added)):
+            new_edb = self._edb.with_facts(added)
+            new_elements = new_edb.active_domain - self._edb.active_domain
+            self._edb = new_edb
+            delta = list(added) + [
+                Fact(_ADOM_SYMBOL, (element,)) for element in new_elements
+            ]
+            self._propagate(delta)
 
     def delete(self, facts: Iterable[Fact]) -> None:
         removed = [f for f in facts if f in self._edb.facts]
@@ -428,6 +441,11 @@ class IncrementalFixpoint:
                 if join_exists(plan, remaining, seed_row):
                     rederived.append(fact)
                     break
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("dred.deletes")
+            tel.count("dred.overdeleted", len(overdeleted_facts))
+            tel.count("dred.rederived", len(rederived))
         if rederived:
             self._propagate(rederived)
 

@@ -33,10 +33,13 @@ randomized update streams).
 from __future__ import annotations
 
 import itertools
+import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from ..core.instance import Fact, Instance
+from ..obs import telemetry as _telemetry
 from ..datalog.ddlog import DisjunctiveDatalogProgram
 from ..engine.sat import ClauseSolver
 from ..omq.query import OntologyMediatedQuery
@@ -237,16 +240,123 @@ def _state_for(plan: QueryPlan) -> "_SatState | _FixpointState | _UcqState":
     return _SatState(plan)
 
 
+#: Ring-buffer capacity for the per-event history kept by a session; the
+#: cumulative totals are unbounded, so nothing is lost to the bound except
+#: old per-event detail.
+DEFAULT_EVENT_WINDOW = 256
+
+
 @dataclass
 class SessionStats:
-    """Counters describing the work a session has done so far."""
+    """Counters describing the work a session has done so far.
+
+    Two layers: *cumulative* totals (plain ints/floats plus the per-op
+    ``totals`` table, never truncated) and a fixed-size ring buffer of the
+    most recent per-event records (``events``, newest last) — so stats stay
+    O(window) on unbounded streams.  Every insert/delete epoch and every
+    query is one event carrying its measured wall-clock ``seconds`` (the
+    timing is always on: two ``perf_counter`` calls per event).
+
+    :meth:`rollup` folds both layers into the ``obda-session-rollup/v1``
+    schema — the observed read/insert/delete mix and cost per event that
+    workload-adaptive re-planning consumes (see ``docs/observability.md``).
+    """
 
     epoch: int = 0
     facts_inserted: int = 0
     facts_deleted: int = 0
     clauses_pushed: int = 0
     queries_answered: int = 0
-    epochs: list[dict] = field(default_factory=list)
+    window: int = DEFAULT_EVENT_WINDOW
+    events: deque = field(default=None, repr=False)
+    totals: dict = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.events = deque(maxlen=self.window)
+        self.totals = {
+            op: {"count": 0, "facts": 0, "clauses": 0, "seconds": 0.0}
+            for op in ("insert", "delete", "query")
+        }
+
+    def record_event(
+        self,
+        op: str,
+        *,
+        facts: int = 0,
+        clauses: int = 0,
+        seconds: float = 0.0,
+        **extra,
+    ) -> dict:
+        """Fold one insert/delete/query event into totals and the ring."""
+        totals = self.totals[op]
+        totals["count"] += 1
+        totals["facts"] += facts
+        totals["clauses"] += clauses
+        totals["seconds"] += seconds
+        event = {
+            "epoch": self.epoch,
+            "op": op,
+            "facts": facts,
+            "clauses": clauses,
+            "seconds": seconds,
+        }
+        if extra:
+            event.update(extra)
+        self.events.append(event)
+        return event
+
+    @property
+    def epochs(self) -> list[dict]:
+        """The update epochs (inserts and deletes) still in the ring buffer."""
+        return [event for event in self.events if event["op"] != "query"]
+
+    def rollup(self) -> dict:
+        """The ``obda-session-rollup/v1`` mix-and-cost summary.
+
+        This is the API contract the adaptive re-planner consumes:
+        ``mix`` gives the observed read/insert/delete event fractions over
+        the whole stream, ``ops`` the cumulative per-op cost (count, facts,
+        clauses, total and mean seconds), and ``window`` the same shape
+        restricted to the ring buffer — the *recent* mix a re-planner
+        should weight over the historical one.
+        """
+        ops: dict[str, dict] = {}
+        total_events = 0
+        for op, totals in self.totals.items():
+            count = totals["count"]
+            total_events += count
+            ops[op] = {
+                "count": count,
+                "facts": totals["facts"],
+                "clauses": totals["clauses"],
+                "total_s": totals["seconds"],
+                "mean_s": totals["seconds"] / count if count else 0.0,
+            }
+        mix = {
+            op: (info["count"] / total_events if total_events else 0.0)
+            for op, info in ops.items()
+        }
+        recent = {op: {"count": 0, "total_s": 0.0} for op in self.totals}
+        for event in self.events:
+            bucket = recent[event["op"]]
+            bucket["count"] += 1
+            bucket["total_s"] += event["seconds"]
+        for bucket in recent.values():
+            bucket["mean_s"] = (
+                bucket["total_s"] / bucket["count"] if bucket["count"] else 0.0
+            )
+        return {
+            "schema": "obda-session-rollup/v1",
+            "epoch": self.epoch,
+            "events": total_events,
+            "mix": mix,
+            "ops": ops,
+            "window": {
+                "capacity": self.events.maxlen,
+                "size": len(self.events),
+                "recent": recent,
+            },
+        }
 
 
 class ObdaSession:
@@ -295,6 +405,10 @@ class ObdaSession:
             self._states[name] = _state_for(plan)
         self._instance = Instance([])
         self.stats = SessionStats()
+        self._query_stats: dict[str, dict] = {
+            name: {"queries_answered": 0, "total_s": 0.0, "last_s": None}
+            for name in self._states
+        }
         initial = list(initial_facts)
         if initial:
             self.insert_facts(initial)
@@ -318,22 +432,53 @@ class ObdaSession:
         return self._state(name).plan
 
     def explain(self) -> dict[str, dict]:
-        """JSON-able plan explanations for every query in the workload."""
-        return {name: state.plan.describe() for name, state in self._states.items()}
+        """JSON-able plan explanations plus live counters per query.
 
-    def _state(self, name: str | None) -> "_SatState | _FixpointState | _UcqState":
+        Each query's entry is its static :meth:`QueryPlan.describe` dict
+        extended with a ``"live"`` section: the per-query serving counters
+        (queries answered, last/total/mean query latency) and the session's
+        :meth:`SessionStats.rollup` — the observed read/insert/delete mix
+        and cost per event.
+        """
+        rollup = self.stats.rollup()
+        explanations: dict[str, dict] = {}
+        for name, state in self._states.items():
+            info = dict(state.plan.describe())
+            counters = dict(self._query_stats[name])
+            answered = counters["queries_answered"]
+            counters["mean_s"] = counters["total_s"] / answered if answered else 0.0
+            counters["rollup"] = rollup
+            info["live"] = counters
+            explanations[name] = info
+        return explanations
+
+    def _resolve_name(self, name: str | None) -> str:
         if name is None:
             if len(self._states) == 1:
-                return next(iter(self._states.values()))
+                return next(iter(self._states))
             raise ValueError(
                 f"session serves {sorted(self._states)}; pass a query name"
             )
-        try:
-            return self._states[name]
-        except KeyError:
+        if name not in self._states:
             raise KeyError(
                 f"unknown query {name!r}; session serves {sorted(self._states)}"
-            ) from None
+            )
+        return name
+
+    def _state(self, name: str | None) -> "_SatState | _FixpointState | _UcqState":
+        return self._states[self._resolve_name(name)]
+
+    def _record_query(self, name: str, seconds: float) -> None:
+        self.stats.queries_answered += 1
+        self.stats.record_event("query", seconds=seconds, query=name)
+        live = self._query_stats[name]
+        live["queries_answered"] += 1
+        live["total_s"] += seconds
+        live["last_s"] = seconds
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("session.queries")
+            tel.record("session.query_s", seconds)
 
     # -- updates ---------------------------------------------------------------
 
@@ -352,19 +497,31 @@ class ObdaSession:
                 added.append(fact)
         if not added:
             return 0
-        old = self._instance
-        delta = Instance(added)
-        new = old.with_facts(added)
-        pushed = 0
-        for state in self._states.values():
-            pushed += state.insert(old, delta, new)
-        self._instance = new
+        start = time.perf_counter()
+        with _telemetry.maybe_span(
+            "session.insert", epoch=self.stats.epoch + 1, facts=len(added)
+        ) as span:
+            old = self._instance
+            delta = Instance(added)
+            new = old.with_facts(added)
+            pushed = 0
+            for state in self._states.values():
+                pushed += state.insert(old, delta, new)
+            self._instance = new
+            span.set(clauses=pushed)
+        seconds = time.perf_counter() - start
         self.stats.epoch += 1
         self.stats.facts_inserted += len(added)
         self.stats.clauses_pushed += pushed
-        self.stats.epochs.append(
-            {"epoch": self.stats.epoch, "op": "insert", "facts": len(added), "clauses": pushed}
+        self.stats.record_event(
+            "insert", facts=len(added), clauses=pushed, seconds=seconds
         )
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("session.inserts")
+            tel.count("session.facts_inserted", len(added))
+            tel.count("session.clauses_pushed", pushed)
+            tel.record("session.insert_s", seconds)
         return len(added)
 
     def delete_facts(self, facts: Iterable[Fact]) -> int:
@@ -383,14 +540,22 @@ class ObdaSession:
                 removed.append(fact)
         if not removed:
             return 0
-        for state in self._states.values():
-            state.delete(removed)
-        self._instance = self._instance.without_facts(removed)
+        start = time.perf_counter()
+        with _telemetry.maybe_span(
+            "session.delete", epoch=self.stats.epoch + 1, facts=len(removed)
+        ):
+            for state in self._states.values():
+                state.delete(removed)
+            self._instance = self._instance.without_facts(removed)
+        seconds = time.perf_counter() - start
         self.stats.epoch += 1
         self.stats.facts_deleted += len(removed)
-        self.stats.epochs.append(
-            {"epoch": self.stats.epoch, "op": "delete", "facts": len(removed), "clauses": 0}
-        )
+        self.stats.record_event("delete", facts=len(removed), seconds=seconds)
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("session.deletes")
+            tel.count("session.facts_deleted", len(removed))
+            tel.record("session.delete_s", seconds)
         return len(removed)
 
     # -- queries ---------------------------------------------------------------
@@ -407,13 +572,27 @@ class ObdaSession:
 
     def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
         """The certain answers of the (named) query on the current instance."""
-        self.stats.queries_answered += 1
-        return self._state(name).certain_answers(self._instance)
+        resolved = self._resolve_name(name)
+        start = time.perf_counter()
+        with _telemetry.maybe_span(
+            "session.query", query=resolved, kind="certain_answers"
+        ):
+            answers = self._states[resolved].certain_answers(self._instance)
+        self._record_query(resolved, time.perf_counter() - start)
+        return answers
 
     def is_certain(self, answer: Sequence = (), name: str | None = None) -> bool:
         """Does the tuple belong to the certain answers right now?"""
-        self.stats.queries_answered += 1
-        return self._state(name).is_certain(self._instance, tuple(answer))
+        resolved = self._resolve_name(name)
+        start = time.perf_counter()
+        with _telemetry.maybe_span(
+            "session.query", query=resolved, kind="is_certain"
+        ):
+            result = self._states[resolved].is_certain(
+                self._instance, tuple(answer)
+            )
+        self._record_query(resolved, time.perf_counter() - start)
+        return result
 
     def answer_batch(
         self,
@@ -421,10 +600,15 @@ class ObdaSession:
         name: str | None = None,
     ) -> dict[tuple, bool]:
         """Decide a batch of candidate tuples in one pass over the warm state."""
-        state = self._state(name)
-        self.stats.queries_answered += 1
+        resolved = self._resolve_name(name)
         batch = [tuple(candidate) for candidate in candidates]
-        return state.decide_batch(self._instance, batch)
+        start = time.perf_counter()
+        with _telemetry.maybe_span(
+            "session.query", query=resolved, kind="answer_batch", batch=len(batch)
+        ):
+            decided = self._states[resolved].decide_batch(self._instance, batch)
+        self._record_query(resolved, time.perf_counter() - start)
+        return decided
 
     def answer_all(self) -> dict[str, frozenset[tuple]]:
         """Certain answers of every query in the workload."""
@@ -439,13 +623,16 @@ class ObdaSession:
         regrounds from the live facts only, resetting solver and guard
         state (the streaming equivalent of a VACUUM).
         """
-        facts = sorted(self._instance.facts, key=str)
-        rebuilt: dict[str, _SatState | _FixpointState | _UcqState] = {}
-        old = Instance([])
-        delta = Instance(facts)
-        for name, state in self._states.items():
-            fresh = _state_for(state.plan)
-            if facts:
-                fresh.insert(old, delta, self._instance)
-            rebuilt[name] = fresh
-        self._states = rebuilt
+        with _telemetry.maybe_span(
+            "session.compact", facts=len(self._instance.facts)
+        ):
+            facts = sorted(self._instance.facts, key=str)
+            rebuilt: dict[str, _SatState | _FixpointState | _UcqState] = {}
+            old = Instance([])
+            delta = Instance(facts)
+            for name, state in self._states.items():
+                fresh = _state_for(state.plan)
+                if facts:
+                    fresh.insert(old, delta, self._instance)
+                rebuilt[name] = fresh
+            self._states = rebuilt

@@ -52,6 +52,7 @@ from typing import Iterable, Mapping, Sequence
 from ..core.cq import Variable
 from ..core.instance import Fact, Instance
 from ..datalog.ddlog import GOAL, DisjunctiveDatalogProgram
+from ..obs import telemetry as _telemetry
 from ..planner.execute import vacuous_answers, vacuous_decisions
 from .session import DEFAULT_QUERY, ObdaSession, _compile
 
@@ -191,8 +192,109 @@ class ShardedObdaSession:
         return self._sessions[0].plan(name)
 
     def explain(self) -> dict[str, dict]:
-        """JSON-able plan explanations for every query in the workload."""
-        return self._sessions[0].explain()
+        """Plan explanations with live per-shard counters merged in.
+
+        Shards share the compiled programs, so the static plan explanation
+        is identical on every shard.  Each query entry additionally carries:
+
+        * ``"live"`` — the per-query counters aggregated across shards,
+          including the cross-shard ``obda-session-rollup/v1`` mix-and-cost
+          rollup (same schema as a single :class:`ObdaSession`);
+        * ``"shards"`` — one record per shard (facts held, clauses pushed,
+          epoch, queries answered, last-epoch latency) so shard skew is
+          visible without attaching a profiler;
+        * ``"shard_skew"`` — the max/mean fact-count ratio over shards
+          (1.0 = perfectly balanced).
+        """
+        per_shard = [session.explain() for session in self._sessions]
+        shard_live: list[dict] = []
+        for index, session in enumerate(self._sessions):
+            stats = session.stats
+            epochs = stats.epochs
+            shard_live.append(
+                {
+                    "shard": index,
+                    "facts": len(session.instance),
+                    "clauses_pushed": stats.clauses_pushed,
+                    "epoch": stats.epoch,
+                    "queries_answered": stats.queries_answered,
+                    "last_epoch_s": epochs[-1]["seconds"] if epochs else None,
+                }
+            )
+        facts = [entry["facts"] for entry in shard_live]
+        mean_facts = sum(facts) / len(facts)
+        skew = {
+            "facts_max": max(facts),
+            "facts_mean": mean_facts,
+            "facts_ratio": (max(facts) / mean_facts) if mean_facts else 1.0,
+        }
+        rollup = self._merged_rollup()
+        explanations = per_shard[0]
+        for name, info in explanations.items():
+            lives = [shard[name]["live"] for shard in per_shard]
+            answered = sum(live["queries_answered"] for live in lives)
+            total_s = sum(live["total_s"] for live in lives)
+            last = [live["last_s"] for live in lives if live["last_s"] is not None]
+            info["live"] = {
+                "queries_answered": answered,
+                "total_s": total_s,
+                "mean_s": total_s / answered if answered else 0.0,
+                # the slowest shard bounds the merged answer's latency
+                "last_s": max(last) if last else None,
+                "rollup": rollup,
+            }
+            info["shards"] = shard_live
+            info["shard_skew"] = skew
+        return explanations
+
+    def _merged_rollup(self) -> dict:
+        """The shards' stats folded into one ``obda-session-rollup/v1``."""
+        ops = {
+            op: {"count": 0, "facts": 0, "clauses": 0, "total_s": 0.0}
+            for op in ("insert", "delete", "query")
+        }
+        recent = {op: {"count": 0, "total_s": 0.0} for op in ops}
+        window_size = 0
+        capacity = 0
+        for session in self._sessions:
+            for op, totals in session.stats.totals.items():
+                merged = ops[op]
+                merged["count"] += totals["count"]
+                merged["facts"] += totals["facts"]
+                merged["clauses"] += totals["clauses"]
+                merged["total_s"] += totals["seconds"]
+            events = session.stats.events
+            window_size += len(events)
+            capacity += events.maxlen
+            for event in events:
+                bucket = recent[event["op"]]
+                bucket["count"] += 1
+                bucket["total_s"] += event["seconds"]
+        total_events = 0
+        for merged in ops.values():
+            total_events += merged["count"]
+            merged["mean_s"] = (
+                merged["total_s"] / merged["count"] if merged["count"] else 0.0
+            )
+        for bucket in recent.values():
+            bucket["mean_s"] = (
+                bucket["total_s"] / bucket["count"] if bucket["count"] else 0.0
+            )
+        return {
+            "schema": "obda-session-rollup/v1",
+            "epoch": self.stats.epoch,
+            "events": total_events,
+            "mix": {
+                op: (merged["count"] / total_events if total_events else 0.0)
+                for op, merged in ops.items()
+            },
+            "ops": ops,
+            "window": {
+                "capacity": capacity,
+                "size": window_size,
+                "recent": recent,
+            },
+        }
 
     @property
     def instance(self) -> Instance:
@@ -286,42 +388,63 @@ class ShardedObdaSession:
             fresh.append(fact)
         if not fresh:
             return 0
-        broadcast = [fact for fact in fresh if not fact.arguments]
-        regular = [fact for fact in fresh if fact.arguments]
-        displaced: list[Fact] = []
-        for fact in regular:
-            self._root_facts[self._union_constants(fact, displaced)].add(fact)
-        deletes: dict[int, list[Fact]] = {}
-        inserts: dict[int, list[Fact]] = {}
-        routed: set[Fact] = set()
-        # Route the batch's new facts plus facts of components whose
-        # placement just changed; cascading merges within the batch resolve
-        # to each fact's final root here.
-        for fact in regular + displaced:
-            if fact in routed:
-                continue
-            routed.add(fact)
-            shard = self._root_shard[self._find(fact.arguments[0])]
-            current = self._fact_shard.get(fact)
-            if current == shard:
-                continue
-            if current is not None:  # migrate a previously routed fact
-                deletes.setdefault(current, []).append(fact)
-                self.stats.facts_migrated += 1
-            inserts.setdefault(shard, []).append(fact)
-            self._fact_shard[fact] = shard
-        for shard, batch in deletes.items():
-            self._sessions[shard].delete_facts(batch)
-        for shard, batch in inserts.items():
-            self._sessions[shard].insert_facts(batch)
-        if broadcast:
-            self._broadcast.update(broadcast)
-            self.stats.broadcasts += len(broadcast)
-            for session in self._sessions:
-                session.insert_facts(broadcast)
+        migrated_before = self.stats.facts_migrated
+        with _telemetry.maybe_span(
+            "shards.insert", facts=len(fresh), epoch=self.stats.epoch + 1
+        ) as span:
+            broadcast = [fact for fact in fresh if not fact.arguments]
+            regular = [fact for fact in fresh if fact.arguments]
+            displaced: list[Fact] = []
+            for fact in regular:
+                self._root_facts[self._union_constants(fact, displaced)].add(
+                    fact
+                )
+            deletes: dict[int, list[Fact]] = {}
+            inserts: dict[int, list[Fact]] = {}
+            routed: set[Fact] = set()
+            # Route the batch's new facts plus facts of components whose
+            # placement just changed; cascading merges within the batch
+            # resolve to each fact's final root here.
+            for fact in regular + displaced:
+                if fact in routed:
+                    continue
+                routed.add(fact)
+                shard = self._root_shard[self._find(fact.arguments[0])]
+                current = self._fact_shard.get(fact)
+                if current == shard:
+                    continue
+                if current is not None:  # migrate a previously routed fact
+                    deletes.setdefault(current, []).append(fact)
+                    self.stats.facts_migrated += 1
+                inserts.setdefault(shard, []).append(fact)
+                self._fact_shard[fact] = shard
+            for shard, batch in deletes.items():
+                self._sessions[shard].delete_facts(batch)
+            for shard, batch in inserts.items():
+                self._sessions[shard].insert_facts(batch)
+            if broadcast:
+                self._broadcast.update(broadcast)
+                self.stats.broadcasts += len(broadcast)
+                for session in self._sessions:
+                    session.insert_facts(broadcast)
+            span.set(
+                migrated=self.stats.facts_migrated - migrated_before,
+                broadcast=len(broadcast),
+            )
         self.stats.epoch += 1
         self.stats.facts_inserted += len(fresh)
         self._instance_cache = None
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("shards.inserts")
+            tel.count(
+                "shards.facts_migrated",
+                self.stats.facts_migrated - migrated_before,
+            )
+            sizes = self.shard_sizes()
+            mean_size = sum(sizes) / len(sizes)
+            if mean_size:
+                tel.record("shards.facts_skew", max(sizes) / mean_size)
         return len(fresh)
 
     def delete_facts(self, facts: Iterable[Fact]) -> int:
@@ -347,14 +470,20 @@ class ShardedObdaSession:
             removed += 1
         if not removed:
             return 0
-        for shard, batch in removals.items():
-            self._sessions[shard].delete_facts(batch)
-        if broadcast:
-            for session in self._sessions:
-                session.delete_facts(broadcast)
+        with _telemetry.maybe_span(
+            "shards.delete", facts=removed, epoch=self.stats.epoch + 1
+        ):
+            for shard, batch in removals.items():
+                self._sessions[shard].delete_facts(batch)
+            if broadcast:
+                for session in self._sessions:
+                    session.delete_facts(broadcast)
         self.stats.epoch += 1
         self.stats.facts_deleted += removed
         self._instance_cache = None
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("shards.deletes")
         return removed
 
     def compact(self) -> None:

@@ -1,0 +1,492 @@
+"""The structured telemetry layer: spans, counters, exporters, rollups.
+
+Three angles pin the layer down:
+
+* **recorder semantics** — span parentage, mis-nested close recovery,
+  counters/histograms, install/enable scoping, and the no-op disabled path;
+* **instrumentation truth** — counters recorded through the engine agree
+  with ground truth the instrumented components expose independently
+  (``ClauseSolver.stats``, session stats, explicit fixpoint runs), checked
+  over a real Table 1 serving stream;
+* **export contracts** — the Chrome trace-event document validates, the
+  ``obda-session-rollup/v1`` schema is complete on both ``ObdaSession`` and
+  ``ShardedObdaSession.explain()``, and disabled-mode instrumentation stays
+  cheap enough to leave always-on.
+"""
+
+import json
+
+import pytest
+
+from repro.core import Atom, Fact, Instance, RelationSymbol, Variable
+from repro.datalog import DisjunctiveDatalogProgram, Rule, adom_atom, goal_atom
+from repro.datalog.plain import DatalogProgram
+from repro.engine.grounder import ground_program
+from repro.engine.sat import ClauseSolver
+from repro.obs import (
+    NOOP_SPAN,
+    Telemetry,
+    chrome_trace,
+    enabled,
+    maybe_span,
+    text_summary,
+    validate_chrome_trace,
+    validate_trace_file,
+    write_chrome_trace,
+)
+from repro.obs import telemetry as _telemetry
+from repro.service import (
+    ObdaSession,
+    ShardedObdaSession,
+    medical_universe,
+    random_stream,
+    replay,
+)
+from repro.service.session import DEFAULT_EVENT_WINDOW, SessionStats
+from repro.workloads.medical import example_2_1_omq
+
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+EDGE = RelationSymbol("edge", 2)
+P = RelationSymbol("P", 1)
+Q = RelationSymbol("Q", 1)
+X, Y = Variable("x"), Variable("y")
+
+
+def _fixpoint_program() -> DisjunctiveDatalogProgram:
+    """Recursive, disjunction-free: routed to the tier-1 fixpoint state."""
+    return DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(P, (X,)),), (Atom(A, (X,)),)),
+            Rule((Atom(P, (Y,)),), (Atom(P, (X,)), Atom(EDGE, (X, Y)))),
+            Rule((goal_atom(X),), (Atom(P, (X,)), Atom(B, (X,)))),
+        ]
+    )
+
+
+def _disjunctive_program() -> DisjunctiveDatalogProgram:
+    """Genuinely disjunctive: routed to the tier-2 CDCL state."""
+    return DisjunctiveDatalogProgram(
+        [
+            Rule((Atom(P, (X,)), Atom(Q, (X,))), (adom_atom(X),)),
+            Rule((), (Atom(P, (X,)), Atom(A, (X,)))),
+            Rule((goal_atom(X),), (Atom(Q, (X,)), Atom(EDGE, (X, Y)))),
+        ]
+    )
+
+
+# -- recorder semantics ---------------------------------------------------------
+
+
+def test_span_tree_parentage_and_stack():
+    tel = Telemetry(clock=iter(range(100)).__next__)
+    with tel.span("root", kind="outer"):
+        with tel.span("child"):
+            tel.event("leaf", n=1)
+        with tel.span("sibling") as handle:
+            handle.set(rows=7)
+    assert tel.open_spans == 0
+    names = [span.name for span in tel.spans]
+    assert names == ["root", "child", "leaf", "sibling"]
+    root, child, leaf, sibling = tel.spans
+    assert root.parent is None
+    assert child.parent == root.index
+    assert leaf.parent == child.index
+    assert sibling.parent == root.index
+    assert leaf.duration_s == 0.0
+    assert sibling.attributes == {"rows": 7}
+    assert root.attributes == {"kind": "outer"}
+    assert all(span.duration_s is not None for span in tel.spans)
+
+
+def test_mis_nested_close_does_not_leak_stack():
+    tel = Telemetry()
+    outer = tel.span("outer")
+    tel.span("inner")  # never closed explicitly
+    outer.__exit__(None, None, None)
+    assert tel.open_spans == 0
+
+
+def test_span_closes_on_exception():
+    tel = Telemetry()
+    with pytest.raises(RuntimeError):
+        with tel.span("failing"):
+            raise RuntimeError("boom")
+    assert tel.open_spans == 0
+    assert tel.spans[0].duration_s is not None
+
+
+def test_counters_and_histograms():
+    tel = Telemetry()
+    tel.count("widgets")
+    tel.count("widgets", 4)
+    tel.record("latency", 0.5)
+    tel.record("latency", 1.5)
+    assert tel.counter("widgets") == 5
+    assert tel.counter("missing") == 0
+    histogram = tel.histograms["latency"]
+    assert histogram.count == 2
+    assert histogram.mean == pytest.approx(1.0)
+    assert histogram.min == 0.5 and histogram.max == 1.5
+    described = tel.describe()
+    assert described["counters"]["widgets"] == 5
+    assert described["histograms"]["latency"]["count"] == 2
+
+
+def test_enabled_scoping_restores_previous_recorder():
+    assert _telemetry.ACTIVE is None
+    with enabled() as outer:
+        assert _telemetry.ACTIVE is outer
+        with enabled() as inner:
+            assert _telemetry.ACTIVE is inner
+        assert _telemetry.ACTIVE is outer
+    assert _telemetry.ACTIVE is None
+
+
+def test_maybe_span_disabled_is_shared_noop():
+    assert _telemetry.ACTIVE is None
+    handle = maybe_span("anything", rows=3)
+    assert handle is NOOP_SPAN
+    with handle as span:
+        span.set(ignored=True)  # must not raise, must not allocate
+    with enabled() as tel:
+        with maybe_span("real", rows=3):
+            pass
+        assert [span.name for span in tel.spans] == ["real"]
+
+
+# -- instrumentation truth ------------------------------------------------------
+
+
+def test_table1_stream_span_tree_completeness():
+    """Every epoch and query of a Table 1 serving stream appears as a span."""
+    with enabled() as tel:
+        session = ObdaSession(example_2_1_omq())
+        universe = medical_universe(patients=4, generations=3)
+        events = random_stream(universe, 16, seed=11, query_every=2)
+        replay(session, events)
+    assert tel.open_spans == 0
+    by_name: dict[str, int] = {}
+    for span in tel.spans:
+        by_name[span.name] = by_name.get(span.name, 0) + 1
+    stats = session.stats
+    totals = stats.totals
+    assert by_name.get("session.insert", 0) == totals["insert"]["count"]
+    assert by_name.get("session.delete", 0) == totals["delete"]["count"]
+    assert by_name.get("session.query", 0) == totals["query"]["count"]
+    assert totals["query"]["count"] == stats.queries_answered > 0
+    # Counter cross-checks against the session's own always-on stats.
+    assert tel.counter("session.inserts") == totals["insert"]["count"]
+    assert tel.counter("session.facts_inserted") == stats.facts_inserted
+    assert tel.counter("session.facts_deleted") == stats.facts_deleted
+    assert tel.counter("session.clauses_pushed") == stats.clauses_pushed
+    assert tel.counter("session.queries") == stats.queries_answered
+    # Epoch spans carry their epoch attribute in increasing order.
+    epochs = [
+        span.attributes["epoch"]
+        for span in tel.spans
+        if span.name in ("session.insert", "session.delete")
+    ]
+    assert epochs == sorted(epochs) and epochs[-1] == stats.epoch
+    # All spans close with well-formed parentage (tree edges point backwards).
+    for span in tel.spans:
+        assert span.duration_s is not None
+        if span.parent is not None:
+            assert 0 <= span.parent < span.index
+
+
+def test_sat_counters_crossvalidate_solver_stats():
+    """Telemetry's sat.* counters equal the solver's own internal stats."""
+    with enabled() as tel:
+        session = ObdaSession(_disjunctive_program())
+        universe = [Fact(A, (i,)) for i in range(3)] + [
+            Fact(EDGE, (i, i + 1)) for i in range(3)
+        ]
+        events = random_stream(universe, 14, seed=5, query_every=2)
+        replay(session, events)
+    solver = session._state(None).solver
+    stats = solver.stats
+    assert stats.solve_calls > 0
+    assert tel.counter("sat.solve_calls") == stats.solve_calls
+    assert tel.counter("sat.conflicts") == stats.conflicts
+    assert tel.counter("sat.propagations") == stats.propagations
+    assert tel.counter("sat.decisions") == stats.decisions
+    assert tel.counter("sat.learned_clauses") == stats.learned_clauses
+    assert tel.counter("sat.restarts") == stats.restarts
+    assert stats.learned_literals >= stats.learned_clauses >= stats.conflicts * 0
+    described = stats.describe()
+    assert described["solve_calls"] == stats.solve_calls
+
+
+def test_sat_stats_always_on_without_telemetry():
+    solver = ClauseSolver()
+    p, q = ("P", (1,)), ("Q", (1,))
+    solver.add_clause((), (p, q))
+    solver.add_clause((p,), ())
+    assert _telemetry.ACTIVE is None
+    assert solver.solve()
+    assert solver.stats.solve_calls == 1
+    assert solver.stats.restarts == 1
+    assert solver.stats.propagations >= 1
+
+
+def test_fixpoint_and_dred_counters():
+    program = _fixpoint_program()
+    with enabled() as tel:
+        session = ObdaSession(program)
+        session.insert_facts(
+            [Fact(A, (1,)), Fact(EDGE, (1, 2)), Fact(EDGE, (2, 3)), Fact(B, (3,))]
+        )
+        assert session.certain_answers() == frozenset({(3,)})
+        session.delete_facts([Fact(EDGE, (2, 3))])
+        assert session.certain_answers() == frozenset()
+    assert tel.counter("dred.deletes") >= 1
+    assert tel.counter("dred.overdeleted") >= 1  # Reach(3) is overdeleted
+    assert any(span.name == "dred.insert" for span in tel.spans)
+
+
+def test_plain_fixpoint_round_counters():
+    reach = RelationSymbol("Reach", 1)
+    program = DatalogProgram(
+        [
+            Rule((Atom(reach, (X,)),), (Atom(A, (X,)),)),
+            Rule((Atom(reach, (Y,)),), (Atom(reach, (X,)), Atom(EDGE, (X, Y)))),
+            Rule((goal_atom(X),), (Atom(reach, (X,)),)),
+        ]
+    )
+    chain = [Fact(A, (0,))] + [Fact(EDGE, (i, i + 1)) for i in range(4)]
+    with enabled() as tel:
+        model = program.least_fixpoint(Instance(chain))
+    assert tel.counter("fixpoint.runs") == 1
+    # The 5-node chain needs at least 5 rounds to saturate Reach.
+    assert tel.counter("fixpoint.rounds") >= 5
+    assert tel.counter("fixpoint.rows_derived") >= 10  # Reach + goal rows
+    rounds = tel.histograms["fixpoint.round_delta_rows"]
+    assert rounds.count == tel.counter("fixpoint.rounds")
+    (span,) = [s for s in tel.spans if s.name == "fixpoint.least_fixpoint"]
+    assert span.attributes["rounds"] == tel.counter("fixpoint.rounds")
+    assert sum(1 for fact in model if fact.relation == reach) == 5
+
+
+def test_grounder_counters_and_span():
+    program = _disjunctive_program()
+    data = Instance([Fact(A, (1,)), Fact(EDGE, (1, 2)), Fact(EDGE, (2, 3))])
+    with enabled() as tel:
+        grounded = ground_program(program, data)
+    assert tel.counter("grounder.clauses_emitted") > 0
+    assert tel.counter("grounder.clauses_kept") == len(grounded.clauses)
+    assert (
+        tel.counter("grounder.clauses_in")
+        == tel.counter("grounder.dedup_drops")
+        + tel.counter("grounder.subsumption_hits")
+        + tel.counter("grounder.clauses_kept")
+    )
+    (span,) = [s for s in tel.spans if s.name == "grounder.ground_program"]
+    assert span.attributes["clauses_kept"] == len(grounded.clauses)
+
+
+def test_join_counters_balance():
+    with enabled() as tel:
+        session = ObdaSession(_fixpoint_program())
+        session.insert_facts(
+            [Fact(A, (1,)), Fact(EDGE, (1, 2)), Fact(B, (2,))]
+        )
+        session.certain_answers()
+    assert tel.counter("join.plans_executed") > 0
+    steps = tel.counter("join.bucket_probe_steps") + tel.counter("join.merge_steps")
+    assert steps > 0
+
+
+# -- session stats: ring buffer + rollup ----------------------------------------
+
+
+def test_session_stats_ring_buffer_bounds_events():
+    stats = SessionStats(window=4)
+    for index in range(10):
+        stats.epoch += 1
+        stats.record_event("insert", facts=1, seconds=0.01)
+    assert len(stats.events) == 4
+    assert stats.events.maxlen == 4
+    assert stats.totals["insert"]["count"] == 10  # cumulative survives eviction
+    assert [event["epoch"] for event in stats.events] == [7, 8, 9, 10]
+    rollup = stats.rollup()
+    assert rollup["events"] == 10
+    assert rollup["window"]["capacity"] == 4
+    assert rollup["window"]["size"] == 4
+    assert rollup["window"]["recent"]["insert"]["count"] == 4
+
+
+def test_session_stats_default_window():
+    stats = SessionStats()
+    assert stats.events.maxlen == DEFAULT_EVENT_WINDOW
+
+
+def test_rollup_schema_contract():
+    stats = SessionStats(window=8)
+    stats.epoch = 1
+    stats.record_event("insert", facts=3, clauses=5, seconds=0.2)
+    stats.record_event("query", seconds=0.1, query="q")
+    stats.record_event("query", seconds=0.3, query="q")
+    rollup = stats.rollup()
+    assert rollup["schema"] == "obda-session-rollup/v1"
+    assert set(rollup) == {"schema", "epoch", "events", "mix", "ops", "window"}
+    assert rollup["mix"] == {
+        "insert": pytest.approx(1 / 3),
+        "delete": 0.0,
+        "query": pytest.approx(2 / 3),
+    }
+    assert sum(rollup["mix"].values()) == pytest.approx(1.0)
+    ops = rollup["ops"]
+    assert set(ops) == {"insert", "delete", "query"}
+    assert ops["insert"] == {
+        "count": 1,
+        "facts": 3,
+        "clauses": 5,
+        "total_s": pytest.approx(0.2),
+        "mean_s": pytest.approx(0.2),
+    }
+    assert ops["query"]["mean_s"] == pytest.approx(0.2)
+    assert rollup["window"]["recent"]["query"]["mean_s"] == pytest.approx(0.2)
+    assert json.dumps(rollup)  # JSON-able end to end
+
+
+def test_explain_reports_live_counters_and_rollup():
+    session = ObdaSession(example_2_1_omq())
+    universe = medical_universe(patients=3, generations=2)
+    events = random_stream(universe, 12, seed=3, query_every=2)
+    replay(session, events)
+    info = session.explain()["q"]
+    assert "tier" in info and "tier_name" in info  # plan keys stay top-level
+    live = info["live"]
+    assert live["queries_answered"] == session.stats.queries_answered > 0
+    assert live["total_s"] > 0
+    assert live["last_s"] is not None
+    assert live["mean_s"] == pytest.approx(live["total_s"] / live["queries_answered"])
+    rollup = live["rollup"]
+    assert rollup["schema"] == "obda-session-rollup/v1"
+    assert rollup["mix"]["insert"] > 0 and rollup["mix"]["query"] > 0
+    assert rollup["events"] == sum(op["count"] for op in rollup["ops"].values())
+
+
+def test_sharded_explain_parity():
+    session = ShardedObdaSession(example_2_1_omq(), shards=3)
+    universe = medical_universe(patients=4, generations=2)
+    events = random_stream(universe, 12, seed=9, query_every=3)
+    replay(session, events)
+    info = session.explain()["q"]
+    assert "tier" in info and "tier_name" in info
+    shards = info["shards"]
+    assert len(shards) == 3
+    for index, record in enumerate(shards):
+        assert record["shard"] == index
+        assert set(record) >= {
+            "shard",
+            "facts",
+            "clauses_pushed",
+            "epoch",
+            "queries_answered",
+            "last_epoch_s",
+        }
+    assert sum(record["facts"] for record in shards) == len(session.instance)
+    skew = info["shard_skew"]
+    assert skew["facts_max"] == max(record["facts"] for record in shards)
+    assert skew["facts_ratio"] >= 1.0 or skew["facts_max"] == 0
+    live = info["live"]
+    assert live["queries_answered"] > 0
+    rollup = live["rollup"]
+    assert rollup["schema"] == "obda-session-rollup/v1"
+    assert set(rollup) == {"schema", "epoch", "events", "mix", "ops", "window"}
+    assert rollup["ops"]["insert"]["count"] == sum(
+        shard.stats.totals["insert"]["count"] for shard in session._sessions
+    )
+
+
+# -- exporters ------------------------------------------------------------------
+
+
+def test_chrome_trace_valid_and_loadable(tmp_path):
+    with enabled() as tel:
+        session = ObdaSession(example_2_1_omq())
+        universe = medical_universe(patients=3, generations=2)
+        replay(session, random_stream(universe, 10, seed=1, query_every=2))
+    document = chrome_trace(tel)
+    assert validate_chrome_trace(document) == []
+    events = document["traceEvents"]
+    phases = {event["ph"] for event in events}
+    assert "X" in phases and "C" in phases and "M" in phases
+    durations = [event for event in events if event["ph"] == "X"]
+    assert len(durations) == sum(
+        1
+        for span in tel.spans
+        if span.duration_s and span.duration_s > 0 or span.attributes
+    )
+    # Round-trips through JSON on disk and revalidates.
+    path = write_chrome_trace(tel, tmp_path / "trace.json")
+    assert validate_trace_file(path) == []
+    reloaded = json.loads(path.read_text())
+    assert reloaded["otherData"]["spans"] == len(tel.spans)
+
+
+def test_validate_chrome_trace_rejects_malformed():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({"traceEvents": {}}) != []
+    bad_phase = {"traceEvents": [{"ph": "Z", "name": "x", "ts": 0, "pid": 1, "tid": 1}]}
+    assert validate_chrome_trace(bad_phase) != []
+    negative = {
+        "traceEvents": [
+            {"ph": "X", "name": "x", "ts": -5, "dur": 1, "pid": 1, "tid": 1}
+        ]
+    }
+    assert validate_chrome_trace(negative) != []
+
+
+def test_text_summary_renders_tree_and_counters():
+    with enabled() as tel:
+        with maybe_span("outer"):
+            with maybe_span("inner"):
+                pass
+            with maybe_span("inner"):
+                pass
+        tel.count("things", 3)
+        tel.record("sizes", 2.0)
+    summary = text_summary(tel)
+    assert "outer" in summary
+    assert "inner" in summary and "×2" in summary
+    assert "things = 3" in summary
+    assert "sizes" in summary
+
+
+# -- disabled-mode overhead -----------------------------------------------------
+
+
+def test_disabled_mode_overhead_microbenchmark():
+    """The disabled instrumentation path must stay sub-microsecond-ish.
+
+    Bounds are deliberately loose (CI machines vary wildly); the point is
+    to catch a regression that makes the disabled path allocate or take a
+    lock — those show up as order-of-magnitude jumps, not percentages.
+    """
+    import timeit
+
+    assert _telemetry.ACTIVE is None
+    iterations = 50_000
+    guard_s = timeit.timeit(
+        "tel = _telemetry.ACTIVE\n"
+        "if tel is not None:\n"
+        "    tel.count('x')",
+        globals={"_telemetry": _telemetry},
+        number=iterations,
+    )
+    span_s = timeit.timeit(
+        "with maybe_span('x'):\n    pass",
+        globals={"maybe_span": maybe_span},
+        number=iterations,
+    )
+    assert guard_s / iterations < 5e-6  # ~50x headroom over the expected cost
+    assert span_s / iterations < 10e-6
+    # And the serving layer stays fast end to end with telemetry off.
+    session = ObdaSession(_fixpoint_program())
+    session.insert_facts([Fact(A, (1,)), Fact(EDGE, (1, 2)), Fact(B, (2,))])
+    answers = session.certain_answers()
+    assert answers == frozenset({(2,)})
+    assert _telemetry.ACTIVE is None
