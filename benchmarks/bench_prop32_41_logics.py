@@ -6,10 +6,10 @@ cycles, timing each translation.
 """
 
 from repro.core import Fact, Instance
+from repro.core import RelationSymbol, Schema, Variable
 from repro.datalog import evaluate_boolean
 from repro.fpp import ForbiddenPatternsProblem, colour_instance, make_palette
 from repro.mmsnp import Implication, MMSNPFormula, SchemaAtom, SOAtom, SOVariable
-from repro.core import RelationSymbol, Schema, Variable
 from repro.translations import (
     csp_to_mddlog,
     fpp_to_mddlog,

@@ -34,6 +34,7 @@ or hand-mangled trace fails CI rather than failing in the viewer.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import subprocess
@@ -73,10 +74,8 @@ def run_pytest_benchmarks(paths: list[str]) -> tuple[dict, float, int]:
     except (OSError, json.JSONDecodeError):
         raw = {"benchmarks": []}
     finally:
-        try:
+        with contextlib.suppress(OSError):
             os.unlink(raw_path)
-        except OSError:
-            pass
     return raw, wall, completed.returncode
 
 

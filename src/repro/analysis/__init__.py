@@ -1,0 +1,58 @@
+"""Static diagnostics for datalog/MDDlog programs.
+
+The front door is :func:`analyse` (full :class:`DiagnosticReport`) and
+:func:`vet_program` (the ``check="warn"|"strict"|"off"`` hook every compile
+path exposes).  ``python -m repro.analysis <target>...`` lints workload
+modules and example scripts from the command line; the stable diagnostic
+codes are documented in ``docs/diagnostics.md``.
+"""
+
+from .checks import (
+    CHECK_MODES,
+    REGISTRY,
+    CheckInfo,
+    ProgramContext,
+    all_codes,
+    analyse,
+    shardability_diagnostics,
+    vet_program,
+)
+from .deps import (
+    cyclic_relations,
+    dependency_graph,
+    idb_names,
+    reachable_predicates,
+)
+from .diagnostics import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Diagnostic,
+    DiagnosticReport,
+    ProgramAnalysisError,
+    merge_reports,
+)
+
+__all__ = [
+    "CHECK_MODES",
+    "ERROR",
+    "INFO",
+    "REGISTRY",
+    "SEVERITIES",
+    "WARNING",
+    "CheckInfo",
+    "Diagnostic",
+    "DiagnosticReport",
+    "ProgramAnalysisError",
+    "ProgramContext",
+    "all_codes",
+    "analyse",
+    "cyclic_relations",
+    "dependency_graph",
+    "idb_names",
+    "merge_reports",
+    "reachable_predicates",
+    "shardability_diagnostics",
+    "vet_program",
+]

@@ -1,0 +1,106 @@
+"""Command-line linter: ``python -m repro.analysis <target>...``.
+
+Targets are dotted module names (``repro.workloads.medical``) or ``.py``
+file paths (``examples/quickstart.py``).  Exit status: 0 when every
+harvested program is free of error-severity diagnostics (and, under
+``--strict``, of warnings too), 1 otherwise, 2 when a target cannot be
+imported or a factory raises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .checks import REGISTRY, analyse
+from .diagnostics import ERROR, INFO, WARNING
+from .harvest import harvest_target
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyse MDDlog programs in workload "
+        "modules and example scripts.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        help="dotted module names or .py files to lint",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warning-severity diagnostics as failures too",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    parser.add_argument(
+        "--show-info",
+        action="store_true",
+        help="also print info-severity diagnostics (tier pinning, shardability)",
+    )
+    parser.add_argument(
+        "--list-codes",
+        action="store_true",
+        help="print every registered diagnostic code and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    options = _build_parser().parse_args(argv)
+    if options.list_codes:
+        for info in REGISTRY.values():
+            print(f"{info.code}  {info.severity:8s}  {info.title}: {info.summary}")
+        return 0
+    if not options.targets:
+        print("no targets given (try --help)", file=sys.stderr)
+        return 2
+    failing = ERROR if not options.strict else (ERROR, WARNING)
+    min_severity = INFO if options.show_info else WARNING
+    exit_code = 0
+    documents = []
+    for target in options.targets:
+        programs, failures = harvest_target(target)
+        if not programs and not failures and not options.json:
+            print(f"== {target}: no programs harvested (no zero-argument "
+                  "factories with a program/OMQ return annotation)")
+        for failure in failures:
+            exit_code = 2
+            if not options.json:
+                print(f"{failure.label}: HARVEST FAILED: {failure.error}")
+            documents.append(
+                {"target": failure.label, "harvest_error": failure.error}
+            )
+        for harvested in programs:
+            report = analyse(harvested.program)
+            if any(d.severity in failing for d in report):
+                exit_code = max(exit_code, 1)
+            documents.append(
+                {"target": harvested.label, **report.describe()}
+            )
+            if not options.json:
+                shown = report.format_text(min_severity)
+                status = "FAIL" if any(
+                    d.severity in failing for d in report
+                ) else "ok"
+                print(f"== {harvested.label}: {status}")
+                if shown != "clean: no diagnostics" or status == "ok":
+                    print(
+                        "\n".join(
+                            "   " + line for line in shown.splitlines()
+                        )
+                    )
+    if options.json:
+        print(json.dumps({"reports": documents, "exit": exit_code}, indent=2))
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

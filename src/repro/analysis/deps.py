@@ -1,0 +1,101 @@
+"""Predicate dependency graphs over disjunctive datalog programs.
+
+The IDB dependency graph — an edge from every head predicate of a rule to
+every IDB predicate of its body — drives both the planner's recursion
+detection (:mod:`repro.planner.analysis` imports :func:`cyclic_relations`
+from here) and the analyzer's reachability diagnostics (dead rules that no
+goal or constraint can ever observe).  One implementation, two consumers:
+the planner and the linter must never disagree about what "recursive" or
+"reachable" means.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram
+
+
+def idb_names(program: DisjunctiveDatalogProgram) -> set[str]:
+    """Names of the relations derived by some rule head (``adom`` excluded)."""
+    return {
+        atom.relation.name for rule in program.rules for atom in rule.head
+    } - {ADOM}
+
+
+def dependency_graph(program: DisjunctiveDatalogProgram) -> dict[str, set[str]]:
+    """Head-to-body IDB edges: ``graph[p]`` is every IDB predicate some
+    rule deriving ``p`` reads."""
+    names = idb_names(program)
+    graph: dict[str, set[str]] = {name: set() for name in names}
+    for rule in program.rules:
+        body_idb = {
+            atom.relation.name for atom in rule.body if atom.relation.name in names
+        }
+        for atom in rule.head:
+            if atom.relation.name in names:
+                graph[atom.relation.name] |= body_idb
+    return graph
+
+
+def cyclic_relations(graph: dict[str, set[str]]) -> set[str]:
+    """Relation names on a dependency cycle (Tarjan SCCs, iteratively)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = itertools.count()
+    cyclic: set[str] = set()
+    for root in graph:
+        if root in index:
+            continue
+        # Iterative Tarjan: (node, iterator over successors) frames.
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = lowlink[root] = next(counter)
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = next(counter)
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in graph[node]:
+                    cyclic.update(component)
+    return cyclic
+
+
+def reachable_predicates(
+    graph: dict[str, set[str]], roots: set[str]
+) -> set[str]:
+    """Predicates reachable from ``roots`` along head-to-body edges."""
+    reachable = set(roots)
+    frontier = [name for name in roots if name in graph]
+    while frontier:
+        node = frontier.pop()
+        for succ in graph.get(node, ()):
+            if succ not in reachable:
+                reachable.add(succ)
+                frontier.append(succ)
+    return reachable

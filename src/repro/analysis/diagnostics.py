@@ -1,0 +1,176 @@
+"""Diagnostic records: the stable vocabulary of the static analyzer.
+
+Every finding of :mod:`repro.analysis.checks` is a :class:`Diagnostic` — a
+stable code (``MD001``), a severity, the offending rule or symbol, a human
+message and, where one exists, a suggested fix.  Codes are *append-only*
+API: once a code has shipped it keeps its meaning forever, so runtime
+errors (``service.shards``), lint output (``tools/check_program.py``) and
+documentation (``docs/diagnostics.md``) can all reference the same
+vocabulary.
+
+Severity policy (see ``docs/diagnostics.md``):
+
+* **error** — the program is structurally broken (arity clash, unsafe
+  rule): evaluating it would crash or silently return wrong answers.
+  ``check="strict"`` compile paths refuse these before any solver work.
+* **warning** — almost certainly a bug (dead rules, singleton constants),
+  but evaluation is well-defined; reported, never fatal outside
+  ``--strict`` lint runs.
+* **info** — explanatory facts about routing and deployability (tier
+  pinning, shardability): not defects, but the answers to "why is this
+  slow / why can't I shard it" surfaced ahead of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+#: Severity names in decreasing order of gravity.
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer.
+
+    ``rule_index`` points into ``program.rules`` when the finding is about
+    a specific rule (``rule`` carries its rendered text); ``subject`` names
+    the offending symbol, constant or variable.  ``suggestion`` is a human
+    hint, not a machine-applicable fix.
+    """
+
+    code: str
+    severity: str
+    message: str
+    rule_index: int | None = None
+    rule: str | None = None
+    subject: str | None = None
+    suggestion: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; expected one of {SEVERITIES}"
+            )
+
+    def __str__(self) -> str:
+        location = f" [rule {self.rule_index}]" if self.rule_index is not None else ""
+        text = f"{self.code} {self.severity}{location}: {self.message}"
+        if self.suggestion:
+            text += f" (hint: {self.suggestion})"
+        return text
+
+    def describe(self) -> dict:
+        """A JSON-able dump (what the CLI emits with ``--json``)."""
+        info = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.rule_index is not None:
+            info["rule_index"] = self.rule_index
+        if self.rule is not None:
+            info["rule"] = self.rule
+        if self.subject is not None:
+            info["subject"] = self.subject
+        if self.suggestion is not None:
+            info["suggestion"] = self.suggestion
+        return info
+
+
+class ProgramAnalysisError(ValueError):
+    """A ``check="strict"`` compile path refused a program.
+
+    Subclasses ``ValueError`` so call sites that already guard compilation
+    with ``except ValueError`` keep working; carries the error-severity
+    diagnostics for programmatic access.
+    """
+
+    def __init__(
+        self,
+        label: str,
+        diagnostics: tuple[Diagnostic, ...],
+        message: str | None = None,
+    ) -> None:
+        self.label = label
+        self.diagnostics = diagnostics
+        if message is None:
+            lines = "; ".join(str(d) for d in diagnostics)
+            message = f"program {label!r} failed static analysis: {lines}"
+        super().__init__(message)
+
+
+@dataclass
+class DiagnosticReport:
+    """All diagnostics of one program, with severity views and formatting."""
+
+    diagnostics: tuple[Diagnostic, ...] = field(default_factory=tuple)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def of_severity(self, severity: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(INFO)
+
+    @property
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def raise_if_errors(self, label: str = "<program>") -> None:
+        """Raise :class:`ProgramAnalysisError` when any error is present."""
+        errors = self.errors
+        if errors:
+            raise ProgramAnalysisError(label, errors)
+
+    def format_text(self, min_severity: str = INFO) -> str:
+        """One line per diagnostic at or above ``min_severity``."""
+        threshold = SEVERITIES.index(min_severity)
+        shown = [
+            d for d in self.diagnostics if SEVERITIES.index(d.severity) <= threshold
+        ]
+        if not shown:
+            return "clean: no diagnostics"
+        return "\n".join(str(d) for d in shown)
+
+    def describe(self) -> dict:
+        return {
+            "diagnostics": [d.describe() for d in self.diagnostics],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+        }
+
+
+def merge_reports(reports: Iterable[DiagnosticReport]) -> DiagnosticReport:
+    """Concatenate several reports (used by the workload-level CLI)."""
+    merged: list[Diagnostic] = []
+    for report in reports:
+        merged.extend(report.diagnostics)
+    return DiagnosticReport(tuple(merged))

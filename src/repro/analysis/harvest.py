@@ -1,0 +1,137 @@
+"""Collecting programs out of workload modules for the lint CLI.
+
+``python -m repro.analysis`` points at modules (``repro.workloads.medical``)
+or files (``examples/quickstart.py``); this module turns each target into a
+list of named :class:`DisjunctiveDatalogProgram` objects to analyse:
+
+* module attributes that already *are* programs or OMQs;
+* public zero-argument callables whose return annotation names an OMQ or
+  program type — the convention every committed workload follows.  Only
+  such annotated factories are called: a bare ``main()`` in an example
+  script is never executed by the linter.
+
+OMQs are compiled with :func:`repro.omq.certain.compile_to_mddlog`
+(``check="off"`` — the harvested program is analysed by the caller);
+OMQs outside the translatable fragment (functional/transitive roles)
+are skipped, not failures.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import inspect
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..datalog.ddlog import DisjunctiveDatalogProgram
+from ..omq.query import OntologyMediatedQuery
+
+#: Return-annotation substrings that mark a callable as a program factory.
+FACTORY_ANNOTATIONS = ("OntologyMediatedQuery", "DisjunctiveDatalogProgram")
+
+
+@dataclass(frozen=True)
+class HarvestedProgram:
+    """One program found in a target, with its provenance label."""
+
+    label: str
+    program: DisjunctiveDatalogProgram
+
+
+@dataclass(frozen=True)
+class HarvestFailure:
+    """A factory that raised while being harvested (not a lint finding)."""
+
+    label: str
+    error: str
+
+
+def load_module(target: str):
+    """Import a dotted module name or a ``.py`` file path."""
+    path = Path(target)
+    if target.endswith(".py") or path.exists():
+        name = "_repro_lint_" + path.stem
+        spec = importlib.util.spec_from_file_location(name, path)
+        if spec is None or spec.loader is None:
+            raise ImportError(f"cannot load {target}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    return importlib.import_module(target)
+
+
+def _is_factory(obj) -> bool:
+    if not callable(obj) or inspect.isclass(obj):
+        return False
+    try:
+        signature = inspect.signature(obj)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.default is inspect.Parameter.empty and parameter.kind not in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            return False
+    annotation = signature.return_annotation
+    if annotation is inspect.Signature.empty:
+        return False
+    rendered = annotation if isinstance(annotation, str) else getattr(
+        annotation, "__name__", str(annotation)
+    )
+    return any(marker in rendered for marker in FACTORY_ANNOTATIONS)
+
+
+def _coerce(value, label: str) -> list[HarvestedProgram]:
+    if isinstance(value, DisjunctiveDatalogProgram):
+        return [HarvestedProgram(label, value)]
+    if isinstance(value, OntologyMediatedQuery):
+        from ..omq.certain import compile_to_mddlog
+
+        try:
+            program = compile_to_mddlog(value)
+        except ValueError:
+            return []  # outside the translatable fragment — not a finding
+        return [HarvestedProgram(label, program)]
+    if isinstance(value, (list, tuple)):
+        found = []
+        for position, item in enumerate(value):
+            found.extend(_coerce(item, f"{label}[{position}]"))
+        return found
+    return []
+
+
+def harvest_module(
+    module, label: str
+) -> tuple[list[HarvestedProgram], list[HarvestFailure]]:
+    """All programs reachable from a module's public surface."""
+    programs: list[HarvestedProgram] = []
+    failures: list[HarvestFailure] = []
+    for name in sorted(vars(module)):
+        if name.startswith("_"):
+            continue
+        obj = getattr(module, name)
+        if getattr(obj, "__module__", module.__name__) != module.__name__:
+            continue  # re-exports are linted where they are defined
+        qualified = f"{label}:{name}"
+        programs.extend(_coerce(obj, qualified))
+        if _is_factory(obj):
+            try:
+                value = obj()
+            except Exception as error:  # noqa: BLE001 - reported, not raised
+                failures.append(HarvestFailure(qualified, repr(error)))
+                continue
+            programs.extend(_coerce(value, qualified))
+    return programs, failures
+
+
+def harvest_target(
+    target: str,
+) -> tuple[list[HarvestedProgram], list[HarvestFailure]]:
+    """Import and harvest one CLI target (module name or file path)."""
+    try:
+        module = load_module(target)
+    except Exception as error:  # noqa: BLE001 - reported, not raised
+        return [], [HarvestFailure(target, repr(error))]
+    return harvest_module(module, target)

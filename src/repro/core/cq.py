@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence, cast
 
 from .homomorphism import homomorphisms
 from .instance import Fact, Instance
@@ -36,7 +36,7 @@ class Atom:
     """A relational atom ``R(t1, ..., tn)`` over variables and constants."""
 
     relation: RelationSymbol
-    arguments: tuple
+    arguments: tuple[Term, ...]
 
     def __post_init__(self) -> None:
         if len(self.arguments) != self.relation.arity:
@@ -135,7 +135,7 @@ class ConjunctiveQuery:
 
     # -- structure -------------------------------------------------------------
 
-    def canonical_instance(self) -> tuple[Instance, tuple]:
+    def canonical_instance(self) -> tuple[Instance, tuple[Term, ...]]:
         """The canonical instance of the query (variables become constants).
 
         Returns the instance together with the tuple of (images of the) answer
@@ -145,8 +145,11 @@ class ConjunctiveQuery:
         return Instance(facts), tuple(self.answer_variables)
 
     def substitute(self, mapping: Mapping[Term, Term]) -> "ConjunctiveQuery":
+        # Fork elimination only ever merges variables into variables (or drops
+        # an answer variable onto a constant representative, which the
+        # ConjunctiveQuery constructor then rejects), hence the cast.
         return ConjunctiveQuery(
-            tuple(mapping.get(v, v) for v in self.answer_variables),
+            tuple(cast(Variable, mapping.get(v, v)) for v in self.answer_variables),
             (atom.substitute(mapping) for atom in self.atoms),
         )
 
@@ -176,11 +179,11 @@ class ConjunctiveQuery:
             terms = list(atom.arguments)
             for other in terms[1:]:
                 union(terms[0], other)
-        groups: dict[Term, list[Atom]] = {}
+        groups: dict[Term | None, list[Atom]] = {}
         for atom in self.atoms:
             root = find(atom.arguments[0]) if atom.arguments else None
             groups.setdefault(root, []).append(atom)
-        components = []
+        components: list[ConjunctiveQuery] = []
         for atoms in groups.values():
             terms_here = {t for atom in atoms for t in atom.arguments}
             answers = tuple(v for v in self.answer_variables if v in terms_here)
@@ -192,10 +195,10 @@ class ConjunctiveQuery:
 
     # -- evaluation ------------------------------------------------------------
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
+    def evaluate(self, instance: Instance) -> frozenset[tuple[Term, ...]]:
         """The answer set ``q(D)`` (set of tuples over ``adom(D)``)."""
         canonical, answer_terms = self.canonical_instance()
-        answers: set[tuple] = set()
+        answers: set[tuple[Term, ...]] = set()
         if not self.atoms:
             # An atomless query is satisfied trivially; with answer variables it
             # would be unsafe, so only the Boolean case is meaningful here.
@@ -204,12 +207,12 @@ class ConjunctiveQuery:
             answers.add(tuple(hom.get(t, t) for t in answer_terms))
         return frozenset(answers)
 
-    def holds_in(self, instance: Instance, answer: Sequence = ()) -> bool:
+    def holds_in(self, instance: Instance, answer: Sequence[Term] = ()) -> bool:
         """Does the tuple ``answer`` belong to ``q(D)``?"""
         canonical, answer_terms = self.canonical_instance()
         if not self.atoms:
             return self.arity == 0
-        fixed: dict = {}
+        fixed: dict[Term, Term] = {}
         for term, value in zip(answer_terms, answer):
             if term in fixed and fixed[term] != value:
                 return False
@@ -249,13 +252,13 @@ class UnionOfConjunctiveQueries:
     def size(self) -> int:
         return sum(d.size() for d in self.disjuncts)
 
-    def evaluate(self, instance: Instance) -> frozenset[tuple]:
-        answers: set[tuple] = set()
+    def evaluate(self, instance: Instance) -> frozenset[tuple[Term, ...]]:
+        answers: set[tuple[Term, ...]] = set()
         for disjunct in self.disjuncts:
             answers.update(disjunct.evaluate(instance))
         return frozenset(answers)
 
-    def holds_in(self, instance: Instance, answer: Sequence = ()) -> bool:
+    def holds_in(self, instance: Instance, answer: Sequence[Term] = ()) -> bool:
         return any(d.holds_in(instance, answer) for d in self.disjuncts)
 
     def __eq__(self, other: object) -> bool:
@@ -322,7 +325,7 @@ def eliminate_forks(query: ConjunctiveQuery) -> ConjunctiveQuery:
     while changed:
         changed = False
         binary_atoms = [a for a in current.atoms if a.relation.arity == 2]
-        by_role_target: dict[tuple, list] = {}
+        by_role_target: dict[tuple[RelationSymbol, Term], list[Term]] = {}
         for atom in binary_atoms:
             by_role_target.setdefault((atom.relation, atom.arguments[1]), []).append(
                 atom.arguments[0]
@@ -431,7 +434,7 @@ def tree_queries(query: "ConjunctiveQuery | UnionOfConjunctiveQueries") -> list[
     """
     ucq = as_ucq(query)
     collected: list[ConjunctiveQuery] = []
-    seen: set = set()
+    seen: set[tuple[tuple[Variable, ...], frozenset[Atom]]] = set()
 
     def add(candidate: ConjunctiveQuery) -> None:
         key = (candidate.answer_variables, candidate.atoms)
@@ -486,7 +489,7 @@ def all_cqs_up_to(
 ) -> Iterator[ConjunctiveQuery]:
     """Enumerate CQs over a schema with bounded variables and atoms (test helper)."""
     variables = vars_(*(f"x{i}" for i in range(num_variables)))
-    possible_atoms = []
+    possible_atoms: list[Atom] = []
     for symbol in schema:
         for args in itertools.product(variables, repeat=symbol.arity):
             possible_atoms.append(Atom(symbol, args))

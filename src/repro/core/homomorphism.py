@@ -313,10 +313,9 @@ def core(instance: Instance) -> Instance:
 def is_core(instance: Instance) -> bool:
     """True if every endomorphism of the instance is surjective on its domain."""
     size = len(instance.active_domain)
-    for endo in endomorphisms(instance):
-        if len(set(endo.values())) < size:
-            return False
-    return True
+    return all(
+        len(set(endo.values())) >= size for endo in endomorphisms(instance)
+    )
 
 
 def retracts_onto(instance: Instance, sub_domain: Sequence[Element]) -> bool:

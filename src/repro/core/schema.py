@@ -9,7 +9,10 @@ schemas, whose relation symbols are unary (*concept names*) or binary
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Hashable, Iterable, Iterator, Mapping
+
+if TYPE_CHECKING:
+    from .instance import Fact
 
 
 @dataclass(frozen=True, order=True)
@@ -33,7 +36,7 @@ class RelationSymbol:
     def __str__(self) -> str:
         return f"{self.name}/{self.arity}"
 
-    def __call__(self, *args):
+    def __call__(self, *args: Hashable) -> "Fact":
         """Build a fact (or atom) over this symbol: ``R(a, b)``."""
         from .instance import Fact
 

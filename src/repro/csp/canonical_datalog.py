@@ -243,12 +243,13 @@ def k_consistency_refutes(template: Instance, data: Instance, k: int = 2) -> boo
                     for value in domain:
                         extended = dict(mapping)
                         extended[extra] = value
-                        if _partial_homomorphism(data, template, extended):
-                            # the extension must also be consistent with every
-                            # k-subscope it completes
-                            if _subscopes_allow(partial, extended, k):
-                                extendable = True
-                                break
+                        # the extension must also be consistent with every
+                        # k-subscope it completes
+                        if _partial_homomorphism(
+                            data, template, extended
+                        ) and _subscopes_allow(partial, extended, k):
+                            extendable = True
+                            break
                     if extendable:
                         survivors.add(images)
                 if survivors != partial[scope]:

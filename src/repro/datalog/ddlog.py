@@ -147,9 +147,10 @@ class DisjunctiveDatalogProgram:
             for atom in rule.body:
                 if atom.relation.name == GOAL:
                     raise ValueError("the goal relation must not occur in rule bodies")
-            if any(a.relation.name == GOAL for a in rule.head):
-                if len(rule.head) != 1:
-                    raise ValueError("goal rules must have a single head atom")
+            if len(rule.head) != 1 and any(
+                a.relation.name == GOAL for a in rule.head
+            ):
+                raise ValueError("goal rules must have a single head atom")
 
     # -- relations -------------------------------------------------------------
 

@@ -21,12 +21,7 @@ import itertools
 from typing import Hashable, Iterable, Iterator, Sequence
 
 from ..core.instance import Fact, Instance
-from ..engine.grounder import (
-    Clause,
-    GroundAtom,
-    instantiate_atom as _ground_atom,
-    ground_program,
-)
+from ..engine.grounder import Clause, GroundAtom, ground_program, instantiate_atom as _ground_atom
 from ..engine.sat import solver_for_clauses
 from .ddlog import ADOM, DisjunctiveDatalogProgram
 

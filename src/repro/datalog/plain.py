@@ -11,15 +11,9 @@ from __future__ import annotations
 from typing import Callable, Hashable, Iterator, Sequence
 
 from ..core.cq import Atom, Variable
-from ..core.instance import (
-    Fact,
-    Instance,
-    MutableIndexedInstance,
-    TupleIndexedInstance,
-)
+from ..core.instance import Fact, Instance, MutableIndexedInstance, TupleIndexedInstance
 from ..core.interning import Interner, IntRow
 from ..core.schema import RelationSymbol
-from ..obs import telemetry as _telemetry
 from ..engine.joins import (
     JoinPlan,
     canonical_key,
@@ -29,6 +23,7 @@ from ..engine.joins import (
     join_assignments,
     order_atoms,
 )
+from ..obs import telemetry as _telemetry
 from .ddlog import ADOM, DisjunctiveDatalogProgram, Rule
 
 Element = Hashable

@@ -302,7 +302,7 @@ def big_or(parts: Iterable[Concept]) -> Concept:
 
 def is_in_nnf(c: Concept) -> bool:
     """True if negation occurs only directly in front of concept names."""
-    for sub in c.subconcepts():
-        if isinstance(sub, Not) and not isinstance(sub.operand, ConceptName):
-            return False
-    return True
+    return not any(
+        isinstance(sub, Not) and not isinstance(sub.operand, ConceptName)
+        for sub in c.subconcepts()
+    )

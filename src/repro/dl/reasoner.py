@@ -187,14 +187,20 @@ class TypeSystem:
         """
         supers = self.super_roles(base_role)
         for concept in self.closure:
-            if isinstance(concept, Forall) and concept in source:
-                if concept.role in supers or concept.role.is_universal():
-                    if concept.filler.nnf() not in target:
-                        return False
-            if isinstance(concept, Exists) and concept not in source:
-                if concept.role in supers:
-                    if concept.filler.nnf() in target:
-                        return False
+            if (
+                isinstance(concept, Forall)
+                and concept in source
+                and (concept.role in supers or concept.role.is_universal())
+                and concept.filler.nnf() not in target
+            ):
+                return False
+            if (
+                isinstance(concept, Exists)
+                and concept not in source
+                and concept.role in supers
+                and concept.filler.nnf() in target
+            ):
+                return False
         return True
 
     def u_compatible(self, first: Type, second: Type) -> bool:
@@ -278,12 +284,11 @@ class TypeSystem:
             ]
             good = self.good_types(candidates)
             # Every ∃U.C asserted true needs a witness type in the family.
-            if all(
+            if good and all(
                 (not bit) or any(d.filler.nnf() in t for t in good)
                 for d, bit in valuation.items()
             ):
-                if good:
-                    yield good
+                yield good
 
     def uses_universal_role(self) -> bool:
         return bool(self.u_existentials) or any(
@@ -298,10 +303,10 @@ def concept_satisfiable(concept: Concept, ontology: Ontology) -> bool:
     """Is the concept satisfiable w.r.t. the ontology (in some model of O)?"""
     system = TypeSystem(ontology, extra_concepts=[concept])
     target = concept.nnf()
-    for family in system.globally_coherent_families():
-        if any(target in t for t in family):
-            return True
-    return False
+    return any(
+        any(target in t for t in family)
+        for family in system.globally_coherent_families()
+    )
 
 
 def concept_subsumed(sub: Concept, sup: Concept, ontology: Ontology) -> bool:

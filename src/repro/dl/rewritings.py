@@ -145,7 +145,7 @@ def eliminate_inverse_roles(
                 )
     for transitive in ontology.transitive_roles():
         new_axioms.append(TransitiveRole(Role(transitive)))
-    for functional in ontology.functional_roles():
+    for _functional in ontology.functional_roles():
         raise ValueError("inverse-role elimination does not support functional roles")
 
     rewritten_query = None

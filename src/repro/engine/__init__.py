@@ -18,12 +18,6 @@ the indexed homomorphism search in :mod:`repro.core.homomorphism`); see
 """
 
 from .grounder import Clause, GroundAtom, GroundProgram, ground_program
-from .parallel import (
-    ParallelEvaluator,
-    ReplicaPool,
-    parallel_certain_answers,
-    resolve_workers,
-)
 from .joins import (
     JoinPlan,
     canonical_key,
@@ -35,13 +29,8 @@ from .joins import (
     matching_rows,
     order_atoms,
 )
-from .sat import (
-    ClauseSolver,
-    TseitinAux,
-    solver_for_clauses,
-    tseitin_clauses,
-    tseitin_encode,
-)
+from .parallel import ParallelEvaluator, ReplicaPool, parallel_certain_answers, resolve_workers
+from .sat import ClauseSolver, TseitinAux, solver_for_clauses, tseitin_clauses, tseitin_encode
 
 __all__ = [
     "Clause",

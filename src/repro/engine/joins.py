@@ -397,7 +397,9 @@ def _row_matches(step: _JoinStep, probes, row: IntRow, partial: IntRow) -> bool:
     for position, is_slot, key in probes:
         if row[position] != (partial[key] if is_slot else key):
             return False
-    for left, right in step.intra:
+    # Explicit loop, not all(...): this runs per candidate row, and a
+    # generator frame per call is measurable on the join hot path.
+    for left, right in step.intra:  # noqa: SIM110
         if row[left] != row[right]:
             return False
     return True

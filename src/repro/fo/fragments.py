@@ -41,11 +41,10 @@ def _guards(formula: Formula, guarded: Formula) -> bool:
     needed = guarded.free_variables()
     if isinstance(formula, RelationalAtom):
         return needed <= formula.free_variables()
-    if isinstance(formula, Equality):
-        # Only the trivial guard x = x is allowed (the paper's convention for
-        # unguarded quantification over at most one free variable).
-        if formula.left == formula.right:
-            return needed <= formula.free_variables()
+    # Only the trivial equality guard x = x is allowed (the paper's
+    # convention for unguarded quantification over at most one free variable).
+    if isinstance(formula, Equality) and formula.left == formula.right:
+        return needed <= formula.free_variables()
     return False
 
 

@@ -79,13 +79,13 @@ class ForbiddenPatternsProblem:
 
     def admits_good_colouring(self, data: Instance) -> bool:
         """Is the instance in ``Forb(F)``: some colouring avoids all patterns?"""
-        for coloured in self.colourings(data):
-            if not any(
+        return any(
+            not any(
                 has_homomorphism(pattern.instance, coloured)
                 for pattern in self.patterns
-            ):
-                return True
-        return False
+            )
+            for coloured in self.colourings(data)
+        )
 
     def in_forb(self, data: Instance) -> bool:
         return self.admits_good_colouring(data)

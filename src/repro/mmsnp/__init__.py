@@ -1,6 +1,16 @@
 """MMSNP, GMSNP and MMSNP2 formulas, the coMMSNP query language, normal forms
 and containment (Sections 4.1 and 5.2)."""
 
+from .containment import (
+    ContainmentWitness,
+    common_schema,
+    comsnp_contained_in,
+    containment_counterexample,
+    formulas_equivalent_bounded,
+    reduce_to_sentence_containment,
+    sentences_equivalent_on,
+    suggested_domain_size,
+)
 from .formulas import (
     CoMMSNPQuery,
     EqualityAtom,
@@ -18,16 +28,6 @@ from .normal_forms import (
     marked_expansion,
     saturate_free_variables,
     substitute_implication,
-)
-from .containment import (
-    ContainmentWitness,
-    common_schema,
-    comsnp_contained_in,
-    containment_counterexample,
-    formulas_equivalent_bounded,
-    reduce_to_sentence_containment,
-    sentences_equivalent_on,
-    suggested_domain_size,
 )
 
 __all__ = [

@@ -139,10 +139,10 @@ def sentences_equivalent_on(
     instances: Iterable[Instance],
 ) -> bool:
     """Do two MMSNP sentences agree on every given instance?"""
-    for instance in instances:
-        if first.holds(instance) != second.holds(instance):
-            return False
-    return True
+    return all(
+        first.holds(instance) == second.holds(instance)
+        for instance in instances
+    )
 
 
 def formulas_equivalent_bounded(

@@ -256,10 +256,10 @@ class MMSNPFormula:
             return self.is_sentence()
         free_map = dict(zip(self.free_variables, assignment))
         fact_universe = sorted(instance.facts, key=str)
-        for so_assignment in self._so_assignments(domain, fact_universe):
-            if self._check_implications(instance, domain, so_assignment, free_map):
-                return True
-        return False
+        return any(
+            self._check_implications(instance, domain, so_assignment, free_map)
+            for so_assignment in self._so_assignments(domain, fact_universe)
+        )
 
     def _so_assignments(self, domain, fact_universe):
         element_sets = list(_powerset(domain))
@@ -291,9 +291,10 @@ class MMSNPFormula:
             mapping = dict(free_map)
             mapping.update(zip(fo_variables, values))
             for implication in self.implications:
-                if self._body_holds(instance, implication, mapping, so_assignment):
-                    if not self._head_holds(implication, mapping, so_assignment):
-                        return False
+                if self._body_holds(
+                    instance, implication, mapping, so_assignment
+                ) and not self._head_holds(implication, mapping, so_assignment):
+                    return False
         return True
 
     def _body_holds(self, instance, implication, mapping, so_assignment) -> bool:

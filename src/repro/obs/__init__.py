@@ -34,6 +34,7 @@ from .telemetry import (
     enabled,
     install,
     maybe_span,
+    now,
     uninstall,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "enabled",
     "install",
     "maybe_span",
+    "now",
     "text_summary",
     "uninstall",
     "validate_chrome_trace",

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 __all__ = [
     "ACTIVE",
@@ -49,8 +49,16 @@ __all__ = [
     "enabled",
     "install",
     "maybe_span",
+    "now",
     "uninstall",
 ]
+
+#: The repo's one monotone clock.  Engine and serving code time intervals
+#: through this alias (``_telemetry.now()``) instead of importing
+#: ``time.perf_counter`` directly — ``tools/lint_invariants.py`` (RL001)
+#: confines raw ``perf_counter`` references to this package and the
+#: benchmark harness, so there is a single seam for faking time.
+now: Callable[[], float] = time.perf_counter
 
 
 class Histogram:
@@ -76,7 +84,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, float | None]:
         return {
             "count": self.count,
             "total": self.total,
@@ -105,17 +113,17 @@ class Span:
         self.parent = parent
         self.start_s = start_s
         self.duration_s: float | None = None
-        self.attributes: dict | None = None
+        self.attributes: dict[str, object] | None = None
 
-    def set(self, **attributes) -> None:
+    def set(self, **attributes: object) -> None:
         """Attach attributes to the span (merged over earlier ones)."""
         if self.attributes is None:
             self.attributes = attributes
         else:
             self.attributes.update(attributes)
 
-    def describe(self) -> dict:
-        info = {
+    def describe(self) -> dict[str, object]:
+        info: dict[str, object] = {
             "name": self.name,
             "index": self.index,
             "parent": self.parent,
@@ -136,13 +144,13 @@ class _SpanHandle:
         self._telemetry = telemetry
         self.span = span
 
-    def set(self, **attributes) -> None:
+    def set(self, **attributes: object) -> None:
         self.span.set(**attributes)
 
     def __enter__(self) -> "_SpanHandle":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self._telemetry._close(self.span)
 
 
@@ -150,15 +158,15 @@ class _NoopSpan:
     """The shared disabled-path span: every operation is a no-op."""
 
     __slots__ = ()
-    span = None
+    span: None = None
 
-    def set(self, **attributes) -> None:
+    def set(self, **attributes: object) -> None:
         pass
 
     def __enter__(self) -> "_NoopSpan":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         pass
 
 
@@ -174,7 +182,7 @@ class Telemetry:
     exported traces start at t=0.
     """
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._clock = clock
         self.epoch_s = clock()
         self.spans: list[Span] = []
@@ -184,7 +192,7 @@ class Telemetry:
 
     # -- spans -----------------------------------------------------------------
 
-    def span(self, name: str, **attributes) -> _SpanHandle:
+    def span(self, name: str, **attributes: object) -> _SpanHandle:
         """Open a span; use as a context manager (closing pops the stack)."""
         parent = self._stack[-1].index if self._stack else None
         span = Span(name, len(self.spans), parent, self._clock() - self.epoch_s)
@@ -202,7 +210,7 @@ class Telemetry:
             if self._stack.pop() is span:
                 break
 
-    def event(self, name: str, **attributes) -> None:
+    def event(self, name: str, **attributes: object) -> None:
         """Record an instant event: a zero-duration span at the current time."""
         parent = self._stack[-1].index if self._stack else None
         span = Span(name, len(self.spans), parent, self._clock() - self.epoch_s)
@@ -234,7 +242,7 @@ class Telemetry:
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0)
 
-    def describe(self) -> dict:
+    def describe(self) -> dict[str, object]:
         """A JSON-able dump of everything recorded so far."""
         return {
             "spans": [span.describe() for span in self.spans],
@@ -251,7 +259,7 @@ class Telemetry:
 
         return text_summary(self, top=top)
 
-    def chrome_trace(self) -> dict:
+    def chrome_trace(self) -> dict[str, object]:
         """The Chrome trace-event document (see exporter)."""
         from .export import chrome_trace
 
@@ -299,7 +307,7 @@ def enabled(telemetry: Telemetry | None = None) -> Iterator[Telemetry]:
         ACTIVE = previous
 
 
-def maybe_span(name: str, **attributes):
+def maybe_span(name: str, **attributes: object) -> "_SpanHandle | _NoopSpan":
     """A span on the active recorder, or the shared no-op when disabled.
 
     The disabled cost is one module attribute load, a comparison and the

@@ -1,10 +1,10 @@
 """Ontology-mediated queries and certain-answer engines."""
 
-from .query import OntologyMediatedQuery
-from .certain import ENGINES, certain_answers, is_certain_answer
 from .atomic import AtomicEngine
 from .bounded import BoundedModelEngine
+from .certain import ENGINES, certain_answers, is_certain_answer
 from .forest import ForestEngine
+from .query import OntologyMediatedQuery
 
 __all__ = [
     "ENGINES",

@@ -95,7 +95,7 @@ def _select_engine(omq: OntologyMediatedQuery, engine: str):
     return ForestEngine(normalised)
 
 
-def compile_to_mddlog(omq: OntologyMediatedQuery):
+def compile_to_mddlog(omq: OntologyMediatedQuery, check: str = "off"):
     """Compile the OMQ once into an equivalent MDDlog program (Theorem 3.3).
 
     This is the ahead-of-time path of the serving layer
@@ -106,6 +106,12 @@ def compile_to_mddlog(omq: OntologyMediatedQuery):
     ``ValueError`` for ontology features with no complete MDDlog
     translation (functional roles; transitive or universal roles beyond the
     atomic-query rewritings).
+
+    ``check`` runs the static analyzer (:mod:`repro.analysis`) over the
+    compiled program: ``"warn"`` reports findings as Python warnings,
+    ``"strict"`` raises :class:`repro.analysis.ProgramAnalysisError` on
+    error-severity diagnostics, ``"off"`` (the default — the translation
+    is trusted) skips it.
     """
     from ..translations.alc_ucq_mddlog import alc_ucq_to_mddlog
 
@@ -127,6 +133,10 @@ def compile_to_mddlog(omq: OntologyMediatedQuery):
     # the Theorem 4.6 CSP templates directly instead of bridging the
     # exponentially larger compiled program back through a type system.
     program.source_omq = normalised
+    if check != "off":
+        from ..analysis import vet_program
+
+        vet_program(program, check, label=f"compiled({normalised.query})")
     return program
 
 

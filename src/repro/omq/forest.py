@@ -416,10 +416,10 @@ class ForestAbstraction:
         for label in tree.labels:
             if ConceptName(label) not in node_type:
                 return False
-        for roles, child in tree.children:
-            if BelowRequirement(roles, child) not in node_reqs:
-                return False
-        return True
+        return all(
+            BelowRequirement(roles, child) in node_reqs
+            for roles, child in tree.children
+        )
 
     def _child_contribution(
         self, base_role: Role, child_type: frozenset, child_reqs: frozenset
@@ -444,9 +444,10 @@ class ForestAbstraction:
         """Anywhere-requirements that already match at the node itself."""
         result = set()
         for requirement in self.requirements:
-            if isinstance(requirement, AnywhereRequirement):
-                if self._tree_matches_at(requirement.tree, node_type, below_reqs):
-                    result.add(requirement)
+            if isinstance(
+                requirement, AnywhereRequirement
+            ) and self._tree_matches_at(requirement.tree, node_type, below_reqs):
+                result.add(requirement)
         return frozenset(result)
 
     # -- the fixpoint -----------------------------------------------------------------
@@ -657,15 +658,28 @@ class ForestEngine:
         def consistent(element: Element, label: tuple[frozenset, frozenset]) -> bool:
             node_type = label[0]
             for source, target, role in edges:
-                if source == element and target in assignment:
-                    if not self.system.compatible(node_type, assignment[target][0], role):
-                        return False
-                if target == element and source in assignment:
-                    if not self.system.compatible(assignment[source][0], node_type, role):
-                        return False
-                if source == element and target == element:
-                    if not self.system.compatible(node_type, node_type, role):
-                        return False
+                if (
+                    source == element
+                    and target in assignment
+                    and not self.system.compatible(
+                        node_type, assignment[target][0], role
+                    )
+                ):
+                    return False
+                if (
+                    target == element
+                    and source in assignment
+                    and not self.system.compatible(
+                        assignment[source][0], node_type, role
+                    )
+                ):
+                    return False
+                if (
+                    source == element
+                    and target == element
+                    and not self.system.compatible(node_type, node_type, role)
+                ):
+                    return False
             return True
 
         def search(index: int) -> Iterator[dict[Element, tuple[frozenset, frozenset]]]:
@@ -792,15 +806,28 @@ class ForestEngine:
         def consistent(element: Element, label) -> bool:
             node_type = label[0]
             for source, target, role in edges:
-                if source == element and target in assignment:
-                    if not self.system.compatible(node_type, assignment[target][0], role):
-                        return False
-                if target == element and source in assignment:
-                    if not self.system.compatible(assignment[source][0], node_type, role):
-                        return False
-                if source == element and target == element:
-                    if not self.system.compatible(node_type, node_type, role):
-                        return False
+                if (
+                    source == element
+                    and target in assignment
+                    and not self.system.compatible(
+                        node_type, assignment[target][0], role
+                    )
+                ):
+                    return False
+                if (
+                    target == element
+                    and source in assignment
+                    and not self.system.compatible(
+                        assignment[source][0], node_type, role
+                    )
+                ):
+                    return False
+                if (
+                    source == element
+                    and target == element
+                    and not self.system.compatible(node_type, node_type, role)
+                ):
+                    return False
             return True
 
         def search(index: int) -> bool:
@@ -828,10 +855,10 @@ class ForestEngine:
         space = self._observable_space(views)
         if any(not space[element] for element in elements):
             return False
-        for combination in itertools.product(*(space[e] for e in elements)):
-            if self._achievable(views, dict(zip(elements, combination))):
-                return True
-        return False
+        return any(
+            self._achievable(views, dict(zip(elements, combination)))
+            for combination in itertools.product(*(space[e] for e in elements))
+        )
 
     # -- public API -------------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Hashable, Sequence
 
+from ..analysis.deps import cyclic_relations, dependency_graph
 from ..core.cq import Atom, Variable
 from ..core.schema import RelationSymbol
 from ..datalog.ddlog import ADOM, DisjunctiveDatalogProgram, Rule
@@ -65,74 +66,14 @@ def analyse_program(program: DisjunctiveDatalogProgram) -> ProgramShape:
     defines_adom = any(
         atom.relation.name == ADOM for rule in program.rules for atom in rule.head
     )
-    idb_names = {
-        atom.relation.name for rule in program.rules for atom in rule.head
-    } - {ADOM}
-    graph: dict[str, set[str]] = {name: set() for name in idb_names}
-    for rule in program.rules:
-        body_idb = {
-            atom.relation.name
-            for atom in rule.body
-            if atom.relation.name in idb_names
-        }
-        for atom in rule.head:
-            if atom.relation.name in idb_names:
-                graph[atom.relation.name] |= body_idb
+    graph = dependency_graph(program)
     return ProgramShape(
         rule_count=len(program.rules),
         constraint_count=constraint_count,
         disjunctive_rule_count=disjunctive_rule_count,
-        recursive_relations=tuple(sorted(_cyclic_relations(graph))),
+        recursive_relations=tuple(sorted(cyclic_relations(graph))),
         defines_adom=defines_adom,
     )
-
-
-def _cyclic_relations(graph: dict[str, set[str]]) -> set[str]:
-    """Relation names on a dependency cycle (Tarjan SCCs, iteratively)."""
-    index: dict[str, int] = {}
-    lowlink: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    counter = itertools.count()
-    cyclic: set[str] = set()
-    for root in graph:
-        if root in index:
-            continue
-        # Iterative Tarjan: (node, iterator over successors) frames.
-        work = [(root, iter(sorted(graph[root])))]
-        index[root] = lowlink[root] = next(counter)
-        stack.append(root)
-        on_stack.add(root)
-        while work:
-            node, successors = work[-1]
-            advanced = False
-            for succ in successors:
-                if succ not in index:
-                    index[succ] = lowlink[succ] = next(counter)
-                    stack.append(succ)
-                    on_stack.add(succ)
-                    work.append((succ, iter(sorted(graph[succ]))))
-                    advanced = True
-                    break
-                if succ in on_stack:
-                    lowlink[node] = min(lowlink[node], index[succ])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index[node]:
-                component = []
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.append(member)
-                    if member == node:
-                        break
-                if len(component) > 1 or node in graph[node]:
-                    cyclic.update(component)
-    return cyclic
 
 
 # ---------------------------------------------------------------------------

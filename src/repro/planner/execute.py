@@ -66,10 +66,10 @@ def _disjunct_guards_hold(disjunct: UnfoldedDisjunct, adom: frozenset) -> bool:
     for term in disjunct.adom_terms:
         if not isinstance(term, Variable) and term not in adom:
             return False
-    for term in disjunct.answer_terms:
-        if not isinstance(term, Variable) and term not in adom:
-            return False
-    return True
+    return all(
+        isinstance(term, Variable) or term in adom
+        for term in disjunct.answer_terms
+    )
 
 
 def _free_adom_variables(

@@ -178,6 +178,7 @@ def plan_program(
     program: DisjunctiveDatalogProgram,
     semantic: bool | None = None,
     budget: SemanticBudget | None = None,
+    check: str = "off",
 ) -> QueryPlan:
     """The (cached) cheapest-correct-engine plan for a compiled program.
 
@@ -193,7 +194,16 @@ def plan_program(
     wall-clock deadline, which says more about machine load than about the
     program): those are re-analysed on the next call instead of pinning a
     rewritable query to tier 2 for the program's lifetime.
+
+    ``check`` runs the static analyzer first: ``"strict"`` raises
+    :class:`repro.analysis.ProgramAnalysisError` on error-severity
+    diagnostics before any classification work, ``"warn"`` reports them as
+    Python warnings, ``"off"`` (default) trusts the caller.
     """
+    if check != "off":
+        from ..analysis import vet_program
+
+        vet_program(program, check, label="plan_program")
     tel = _telemetry.ACTIVE
     plan = getattr(program, _SYNTACTIC_PLAN_ATTR, None)
     if plan is None:

@@ -50,7 +50,6 @@ from __future__ import annotations
 
 import itertools
 import math
-import time
 from dataclasses import dataclass, field, replace
 from typing import Sequence
 
@@ -196,11 +195,11 @@ class _Deadline:
     """
 
     seconds: float
-    started: float = field(default_factory=time.perf_counter)
+    started: float = field(default_factory=_telemetry.now)
     last_check: float | None = None
 
     def check(self, stage: str) -> None:
-        now = time.perf_counter()
+        now = _telemetry.now()
         tel = _telemetry.ACTIVE
         if tel is not None:
             previous = self.last_check if self.last_check is not None else self.started
@@ -213,7 +212,7 @@ class _Deadline:
 
     @property
     def elapsed(self) -> float:
-        return time.perf_counter() - self.started
+        return _telemetry.now() - self.started
 
 
 @dataclass(frozen=True)
@@ -264,7 +263,7 @@ def _templates_for(
     try:
         encoding = omq_to_csp(omq)
     except (UnsupportedOntologyError, ValueError) as error:
-        raise _Inapplicable(f"Theorem 4.6 encoding unavailable: {error}")
+        raise _Inapplicable(f"Theorem 4.6 encoding unavailable: {error}") from error
     deadline.check("Theorem 4.6 template construction")
     if encoding.boolean:
         raw: list[tuple[Instance, tuple[RelationSymbol, ...]]] = [
@@ -344,7 +343,7 @@ def _bridge_omq(program: DisjunctiveDatalogProgram, budget: SemanticBudget):
     try:
         formula = mddlog_to_mmsnp(program)
     except ValueError as error:
-        raise _Inapplicable(f"not an MDDlog program: {error}")
+        raise _Inapplicable(f"not an MDDlog program: {error}") from error
     if not formula.is_mmsnp():
         raise _Inapplicable(
             "the program's MMSNP form leaves the plain MMSNP fragment "
@@ -353,7 +352,7 @@ def _bridge_omq(program: DisjunctiveDatalogProgram, budget: SemanticBudget):
     try:
         return mddlog_to_alc_aq(program)
     except ValueError as error:
-        raise _Inapplicable(f"outside the Theorem 3.4 fragment: {error}")
+        raise _Inapplicable(f"outside the Theorem 3.4 fragment: {error}") from error
 
 
 def _gate_type_space(omq, budget: SemanticBudget) -> None:
@@ -368,7 +367,7 @@ def _gate_type_space(omq, budget: SemanticBudget) -> None:
         extra.append(ConceptName(atom.relation.name))
         system = TypeSystem(omq.ontology, extra_concepts=extra)
     except (UnsupportedOntologyError, ValueError) as error:
-        raise _Inapplicable(f"type elimination unavailable: {error}")
+        raise _Inapplicable(f"type elimination unavailable: {error}") from error
     decisions = len(system.concept_name_decisions) + len(
         system.existential_decisions
     )

@@ -33,15 +33,15 @@ randomized update streams).
 from __future__ import annotations
 
 import itertools
-import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..analysis import vet_program
 from ..core.instance import Fact, Instance
-from ..obs import telemetry as _telemetry
 from ..datalog.ddlog import DisjunctiveDatalogProgram
 from ..engine.sat import ClauseSolver
+from ..obs import telemetry as _telemetry
 from ..omq.query import OntologyMediatedQuery
 from ..planner import (
     TIER_FIXPOINT,
@@ -377,6 +377,13 @@ class ObdaSession:
     tier-2 programs: by default a compiled-but-rewritable query is served
     by the constructed rewriting on tier 0/1.  Leave all three at their
     defaults in production.
+
+    ``check`` runs the static analyzer (:mod:`repro.analysis`) over every
+    compiled program before any solver state is built: ``"warn"`` (the
+    default) surfaces error/warning-severity diagnostics as Python
+    warnings, ``"strict"`` raises
+    :class:`repro.analysis.ProgramAnalysisError` on errors, ``"off"``
+    skips the analysis.
     """
 
     def __init__(
@@ -386,6 +393,7 @@ class ObdaSession:
         force_tier: int | None = None,
         semantic: bool | None = None,
         semantic_budget=None,
+        check: str = "warn",
     ) -> None:
         if isinstance(workload, Mapping):
             entries = dict(workload)
@@ -394,8 +402,13 @@ class ObdaSession:
         if not entries:
             raise ValueError("a session needs at least one query")
         self._states: dict[str, _SatState | _FixpointState | _UcqState] = {}
-        for name, entry in entries.items():
-            program = _compile(entry)
+        compiled = {name: _compile(entry) for name, entry in entries.items()}
+        for name, program in compiled.items():
+            # Vet the whole workload before building any solver state: a
+            # strict session refuses a broken program with zero grounding
+            # or SAT work done.
+            vet_program(program, check, label=name)
+        for name, program in compiled.items():
             if force_tier is not None:
                 plan = plan_for_tier(program, force_tier)
             else:
@@ -497,7 +510,7 @@ class ObdaSession:
                 added.append(fact)
         if not added:
             return 0
-        start = time.perf_counter()
+        start = _telemetry.now()
         with _telemetry.maybe_span(
             "session.insert", epoch=self.stats.epoch + 1, facts=len(added)
         ) as span:
@@ -509,7 +522,7 @@ class ObdaSession:
                 pushed += state.insert(old, delta, new)
             self._instance = new
             span.set(clauses=pushed)
-        seconds = time.perf_counter() - start
+        seconds = _telemetry.now() - start
         self.stats.epoch += 1
         self.stats.facts_inserted += len(added)
         self.stats.clauses_pushed += pushed
@@ -540,14 +553,14 @@ class ObdaSession:
                 removed.append(fact)
         if not removed:
             return 0
-        start = time.perf_counter()
+        start = _telemetry.now()
         with _telemetry.maybe_span(
             "session.delete", epoch=self.stats.epoch + 1, facts=len(removed)
         ):
             for state in self._states.values():
                 state.delete(removed)
             self._instance = self._instance.without_facts(removed)
-        seconds = time.perf_counter() - start
+        seconds = _telemetry.now() - start
         self.stats.epoch += 1
         self.stats.facts_deleted += len(removed)
         self.stats.record_event("delete", facts=len(removed), seconds=seconds)
@@ -573,25 +586,25 @@ class ObdaSession:
     def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
         """The certain answers of the (named) query on the current instance."""
         resolved = self._resolve_name(name)
-        start = time.perf_counter()
+        start = _telemetry.now()
         with _telemetry.maybe_span(
             "session.query", query=resolved, kind="certain_answers"
         ):
             answers = self._states[resolved].certain_answers(self._instance)
-        self._record_query(resolved, time.perf_counter() - start)
+        self._record_query(resolved, _telemetry.now() - start)
         return answers
 
     def is_certain(self, answer: Sequence = (), name: str | None = None) -> bool:
         """Does the tuple belong to the certain answers right now?"""
         resolved = self._resolve_name(name)
-        start = time.perf_counter()
+        start = _telemetry.now()
         with _telemetry.maybe_span(
             "session.query", query=resolved, kind="is_certain"
         ):
             result = self._states[resolved].is_certain(
                 self._instance, tuple(answer)
             )
-        self._record_query(resolved, time.perf_counter() - start)
+        self._record_query(resolved, _telemetry.now() - start)
         return result
 
     def answer_batch(
@@ -602,12 +615,12 @@ class ObdaSession:
         """Decide a batch of candidate tuples in one pass over the warm state."""
         resolved = self._resolve_name(name)
         batch = [tuple(candidate) for candidate in candidates]
-        start = time.perf_counter()
+        start = _telemetry.now()
         with _telemetry.maybe_span(
             "session.query", query=resolved, kind="answer_batch", batch=len(batch)
         ):
             decided = self._states[resolved].decide_batch(self._instance, batch)
-        self._record_query(resolved, time.perf_counter() - start)
+        self._record_query(resolved, _telemetry.now() - start)
         return decided
 
     def answer_all(self) -> dict[str, frozenset[tuple]]:

@@ -45,13 +45,16 @@ session validates this at construction time.
 from __future__ import annotations
 
 import hashlib
-import itertools
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
-from ..core.cq import Variable
+from ..analysis import (
+    ProgramAnalysisError,
+    shardability_diagnostics,
+    vet_program,
+)
 from ..core.instance import Fact, Instance
-from ..datalog.ddlog import GOAL, DisjunctiveDatalogProgram
+from ..datalog.ddlog import DisjunctiveDatalogProgram
 from ..obs import telemetry as _telemetry
 from ..planner.execute import vacuous_answers, vacuous_decisions
 from .session import DEFAULT_QUERY, ObdaSession, _compile
@@ -71,25 +74,23 @@ def shardability_violation(program: DisjunctiveDatalogProgram) -> str | None:
     disjoint union of instances decompose into per-component evaluation.
     The three conditions each close one coupling channel between shards:
 
-    * a **disconnected rule body** grounds with variables bound in
-      different components, so a clause can relate facts two shards never
-      see together;
-    * a **constant in a rule** names the same element from every shard's
-      grounding, whether or not the element's facts live there;
-    * a **nullary IDB relation** (other than ``goal``, which never occurs
-      in bodies) is a single shared propositional atom that clauses from
-      different shards both constrain.
+    * a **disconnected rule body** (``MD101``) grounds with variables
+      bound in different components, so a clause can relate facts two
+      shards never see together;
+    * a **constant in a rule** (``MD102``) names the same element from
+      every shard's grounding, whether or not the element's facts live
+      there;
+    * a **nullary IDB relation** (``MD103``, other than ``goal``, which
+      never occurs in bodies) is a single shared propositional atom that
+      clauses from different shards both constrain.
+
+    The conditions are produced by the static analyzer
+    (:func:`repro.analysis.shardability_diagnostics`), so a lint run
+    predicts this function's verdict code for code and message for
+    message.
     """
-    for symbol in program.idb_relations:
-        if symbol.arity == 0 and symbol.name != GOAL:
-            return f"nullary IDB relation {symbol} is shared across shards"
-    for rule in program.rules:
-        if not rule.is_connected():
-            return f"rule body is not connected: {rule}"
-        for atom in itertools.chain(rule.head, rule.body):
-            for term in atom.arguments:
-                if not isinstance(term, Variable):
-                    return f"constant {term!r} in rule: {rule}"
+    for diagnostic in shardability_diagnostics(program):
+        return f"[{diagnostic.code}] {diagnostic.message}"
     return None
 
 
@@ -137,6 +138,7 @@ class ShardedObdaSession:
         initial_facts: Iterable[Fact] = (),
         semantic: bool | None = None,
         semantic_budget=None,
+        check: str = "warn",
     ) -> None:
         if shards < 1:
             raise ValueError("need at least one shard")
@@ -148,15 +150,31 @@ class ShardedObdaSession:
         # through the per-program plan cache, one semantic analysis.
         compiled = {name: _compile(entry) for name, entry in entries.items()}
         for name, program in compiled.items():
-            violation = shardability_violation(program)
-            if violation is not None:
-                raise ValueError(
-                    f"query {name!r} cannot be sharded: {violation}"
+            vet_program(program, check, label=name)
+        for name, program in compiled.items():
+            # Shardability is enforced regardless of ``check``: serving an
+            # unshardable program would return *wrong* answers, not just
+            # suspicious ones.  Raised from the analyzer's diagnostics, so
+            # the runtime error carries the same MD1xx code and message a
+            # lint run reports.
+            diagnostics = tuple(shardability_diagnostics(program))
+            if diagnostics:
+                first = diagnostics[0]
+                raise ProgramAnalysisError(
+                    name,
+                    diagnostics,
+                    message=f"query {name!r} cannot be sharded: "
+                    f"[{first.code}] {first.message}",
                 )
         self.shard_count = shards
         self._sessions = [
+            # check="off": the workload was already vetted once above;
+            # per-shard sessions share the compiled program objects.
             ObdaSession(
-                compiled, semantic=semantic, semantic_budget=semantic_budget
+                compiled,
+                semantic=semantic,
+                semantic_budget=semantic_budget,
+                check="off",
             )
             for _ in range(shards)
         ]

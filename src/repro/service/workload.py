@@ -16,13 +16,13 @@ medical workload and :func:`graph_stream` for the CSP zoo's ``edge`` schema.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..core.instance import Fact, Instance
 from ..core.schema import RelationSymbol
 from ..engine.grounder import ground_program
+from ..obs import telemetry as _telemetry
 from .session import ObdaSession
 
 INSERT = "insert"
@@ -123,7 +123,7 @@ def replay(
     raises ``AssertionError`` with the offending epoch.
     """
     report = StreamReport()
-    started = time.perf_counter()
+    started = _telemetry.now()
     for event in events:
         report.events += 1
         if event.kind == INSERT:
@@ -145,7 +145,7 @@ def replay(
                             f"for {name!r} diverge: {sorted(got)} != "
                             f"{sorted(expected)}"
                         )
-    report.elapsed_s = time.perf_counter() - started
+    report.elapsed_s = _telemetry.now() - started
     report.validated = validate
     return report
 
@@ -217,7 +217,7 @@ def from_scratch_stream_cost(
     programs = [session.program(name) for name in session.query_names]
     instance = Instance([])
     answers: list[frozenset] = []
-    started = time.perf_counter()
+    started = _telemetry.now()
     for event in events:
         if event.kind == INSERT:
             instance = instance.with_facts(event.facts)
@@ -226,5 +226,5 @@ def from_scratch_stream_cost(
         else:
             for program in programs:
                 answers.append(ground_program(program, instance).certain_answers())
-    elapsed = time.perf_counter() - started
+    elapsed = _telemetry.now() - started
     return elapsed, answers

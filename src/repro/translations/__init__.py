@@ -2,15 +2,15 @@
 
 from .alc_aq_mddlog import alc_aq_to_mddlog, mddlog_to_alc_aq
 from .alc_ucq_mddlog import alc_ucq_to_mddlog, mddlog_to_alc_ucq
-from .csp_templates import (
-    CspEncoding,
-    csp_to_mddlog,
-    csp_to_omq,
-    marked_csp_to_omq,
-    omq_to_csp,
-)
+from .csp_templates import CspEncoding, csp_to_mddlog, csp_to_omq, marked_csp_to_omq, omq_to_csp
 from .fpp_mddlog import fpp_to_mddlog, mddlog_to_fpp
-from .mmsnp_mddlog import mddlog_to_mmsnp, mmsnp_to_mddlog
+from .frontier_gnfo import (
+    FirstOrderOntologyMediatedQuery,
+    frontier_ddlog_to_gnfo_omq,
+    proposition_3_15_omq,
+    proposition_3_15_schema,
+    rule_to_gnfo_sentence,
+)
 from .gmsnp_frontier import (
     close_under_identification,
     frontier_ddlog_to_gmsnp,
@@ -19,13 +19,7 @@ from .gmsnp_frontier import (
     mmsnp2_to_gmsnp,
     mmsnp_as_gmsnp,
 )
-from .frontier_gnfo import (
-    FirstOrderOntologyMediatedQuery,
-    frontier_ddlog_to_gnfo_omq,
-    proposition_3_15_omq,
-    proposition_3_15_schema,
-    rule_to_gnfo_sentence,
-)
+from .mmsnp_mddlog import mddlog_to_mmsnp, mmsnp_to_mddlog
 
 __all__ = [
     "CspEncoding",

@@ -56,10 +56,10 @@ class TwoQbf:
         return True
 
     def _satisfies(self, assignment: dict[int, bool]) -> bool:
-        for clause in self.clauses:
-            if not any(assignment[v] == polarity for v, polarity in clause):
-                return False
-        return True
+        return all(
+            any(assignment[v] == polarity for v, polarity in clause)
+            for clause in self.clauses
+        )
 
 
 def qbf_schema(num_clauses: int) -> Schema:

@@ -5,11 +5,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core import Fact, Instance, MarkedInstance, RelationSymbol
 from repro.csp import (
+    NP_HARD,
+    PTIME,
     CoCspQuery,
     GeneralizedCoCspQuery,
     MarkedCoCspQuery,
-    NP_HARD,
-    PTIME,
     Template,
     arc_consistency_refutes,
     bounded_obstruction_set,
@@ -33,10 +33,10 @@ from repro.workloads.csp_zoo import (
     cycle_graph,
     directed_path_template,
     linear_equations_template,
-    transitive_tournament_template,
     one_in_three_sat_template,
     random_graph,
     three_colourability_template,
+    transitive_tournament_template,
     two_colourability_template,
     two_sat_template,
 )

@@ -56,7 +56,7 @@ def test_delta_chain_matches_from_scratch(seed):
     universe = _universe([1, 2, 3])
     instance = Instance([])
     live: set = set()
-    for step in range(30):
+    for _step in range(30):
         # exercise both cold and warm index paths: sometimes touch the
         # indexes before updating so the delta copy has something to carry
         if rng.random() < 0.5:

@@ -302,7 +302,7 @@ def test_join_counters_balance():
 
 def test_session_stats_ring_buffer_bounds_events():
     stats = SessionStats(window=4)
-    for index in range(10):
+    for _index in range(10):
         stats.epoch += 1
         stats.record_event("insert", facts=1, seconds=0.01)
     assert len(stats.events) == 4

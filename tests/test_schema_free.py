@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import Fact, Instance, RelationSymbol
+from repro.core.cq import atomic_query
 from repro.core.homomorphism import has_homomorphism
 from repro.dl import ConceptInclusion, ConceptName, Exists, Ontology, Role
 from repro.dl.concepts import Top
@@ -14,7 +15,6 @@ from repro.obda import (
     shield_concept_names,
 )
 from repro.omq import OntologyMediatedQuery
-from repro.core.cq import atomic_query
 from repro.workloads.csp_zoo import EDGE, cycle_graph, two_colourability_template
 
 

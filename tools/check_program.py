@@ -1,0 +1,44 @@
+"""Lint MDDlog workloads from the command line (CI's static-analysis job).
+
+A thin launcher around ``python -m repro.analysis`` that works from a
+fresh checkout without ``PYTHONPATH`` gymnastics::
+
+    python tools/check_program.py repro.workloads.medical examples/*.py
+
+With no targets, lints the default corpus: every ``repro.workloads``
+module plus every ``examples/*.py`` script.  Exit status follows the CLI:
+0 clean, 1 diagnostics at failing severity, 2 harvest/import failure.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+
+def default_targets() -> list[str]:
+    """The committed corpus: all workload modules and example scripts."""
+    workloads = sorted(
+        f"repro.workloads.{path.stem}"
+        for path in (REPO_ROOT / "src" / "repro" / "workloads").glob("*.py")
+        if path.stem != "__init__"
+    )
+    examples = sorted(
+        str(path.relative_to(Path.cwd()))
+        if path.is_relative_to(Path.cwd())
+        else str(path)
+        for path in (REPO_ROOT / "examples").glob("*.py")
+    )
+    return workloads + examples
+
+
+if __name__ == "__main__":
+    argv = sys.argv[1:]
+    if not any(not arg.startswith("-") for arg in argv):
+        argv = argv + default_targets()
+    sys.exit(main(argv))
