@@ -28,7 +28,11 @@ existing consolidated results file (``--output``, by default the committed
 itself, empty-overlap behavior included, stays exercised on every PR.  It
 also schema-validates every committed ``results/TRACE_*.json`` telemetry
 export (Chrome trace-event JSON, see ``docs/observability.md``) so a stale
-or hand-mangled trace fails CI rather than failing in the viewer.
+or hand-mangled trace fails CI rather than failing in the viewer, and the
+committed ``results/ADAPTIVE_ROUTING.json`` verdict (the adaptive
+re-planning artifact of ``bench_adaptive_routing.py``, see
+``docs/adaptive.md``): schema tag, 1-3 recorded re-plans, and every
+measured segment at or above its required ratio of the best pinned tier.
 """
 
 from __future__ import annotations
@@ -166,6 +170,53 @@ def validate_committed_traces() -> list[str]:
     return errors
 
 
+def validate_adaptive_report() -> list[str]:
+    """Validate the committed ``results/ADAPTIVE_ROUTING.json`` verdict.
+
+    Returns human-readable error strings; the file is a required CI
+    artifact (``bench_adaptive_routing.py`` commits it), so a missing or
+    mangled document fails the check rather than passing silently.
+    """
+    path = BENCH_DIR / "results" / "ADAPTIVE_ROUTING.json"
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: cannot read committed verdict: {error}"]
+    errors: list[str] = []
+    if document.get("schema") != "adaptive-routing/v1":
+        errors.append(
+            f"{path.name}: schema {document.get('schema')!r} is not "
+            "'adaptive-routing/v1'"
+        )
+    replans = document.get("replan_count")
+    if not isinstance(replans, int) or not 1 <= replans <= 3:
+        errors.append(
+            f"{path.name}: replan_count {replans!r} outside the required "
+            "1-3 window"
+        )
+    if document.get("answers_identical") is not True:
+        errors.append(f"{path.name}: answers_identical is not true")
+    required = document.get("required_ratio")
+    if not isinstance(required, (int, float)) or required < 0.8:
+        errors.append(
+            f"{path.name}: required_ratio {required!r} below the 0.8 floor"
+        )
+        required = 0.8
+    segments = document.get("segments")
+    if not isinstance(segments, dict) or not segments:
+        errors.append(f"{path.name}: no segments recorded")
+        segments = {}
+    for name, entry in segments.items():
+        ratio = entry.get("ratio_vs_best_forced")
+        if not isinstance(ratio, (int, float)) or ratio < required:
+            errors.append(
+                f"{path.name}: segment {name!r} ratio {ratio!r} below the "
+                f"required {required}"
+            )
+    return errors
+
+
 def gate_verdict(consolidated: dict, max_regression: float) -> tuple[bool, str]:
     """Apply the regression gate to a baseline-annotated consolidated file.
 
@@ -282,6 +333,15 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"TRACE FAILURE: {error}")
             return 1
         print("committed TRACE_*.json exports: valid Chrome trace-event JSON")
+        adaptive_errors = validate_adaptive_report()
+        if adaptive_errors:
+            for error in adaptive_errors:
+                print(f"ADAPTIVE FAILURE: {error}")
+            return 1
+        print(
+            "committed ADAPTIVE_ROUTING.json: schema valid, re-plans in "
+            "window, all segments at the required ratio"
+        )
     else:
         raw, wall, returncode = run_pytest_benchmarks(paths)
         consolidated = consolidate(raw, args.label, wall, baseline)

@@ -23,6 +23,7 @@ from typing import Hashable, Iterable, Iterator, Sequence
 from ..core.instance import Fact, Instance
 from ..engine.grounder import Clause, GroundAtom, ground_program, instantiate_atom as _ground_atom
 from ..engine.sat import solver_for_clauses
+from ..planner.policy import _UNSET
 from .ddlog import ADOM, DisjunctiveDatalogProgram
 
 __all__ = [
@@ -74,11 +75,13 @@ def has_model_avoiding(
 def evaluate(
     program: DisjunctiveDatalogProgram,
     instance: Instance,
-    parallel: "int | str | None" = None,
-    chunk_size: int | None = None,
-    force_tier: int | None = None,
-    semantic: bool | None = None,
-    semantic_budget=None,
+    policy=None,
+    *,
+    parallel=_UNSET,
+    chunk_size=_UNSET,
+    force_tier=_UNSET,
+    semantic=_UNSET,
+    semantic_budget=_UNSET,
 ) -> frozenset[tuple]:
     """The certain answers ``qΠ(D)`` of a DDlog program on an instance.
 
@@ -87,8 +90,13 @@ def evaluate(
     recursive disjunction-free programs as a semi-naive least fixpoint, and
     only genuinely disjunctive programs ground once and decide all
     ``domain ** arity`` candidates against the persistent solver.  Answers
-    are identical for every tier; ``force_tier`` pins one (2 is always
-    sound) for cross-validation and benchmarking.
+    are identical for every tier.
+
+    Every knob arrives through one frozen
+    :class:`~repro.planner.PlanPolicy` (``policy=``); the individual
+    keywords remain as deprecated aliases.  ``tier`` pins one tier (2 is
+    always sound) for cross-validation and benchmarking, bypassing the
+    semantic stage entirely.
 
     ``parallel`` affects only the ground+CDCL tier: with > 1 worker the
     candidate decisions are dispatched in chunks across a worker pool in
@@ -99,20 +107,31 @@ def evaluate(
 
     ``semantic`` / ``semantic_budget`` control the planner's semantic
     rewritability stage (:mod:`repro.planner.semantic`) for syntactic
-    tier-2 programs; ``force_tier`` bypasses it entirely.  The semantic
-    analysis runs once per program object (cached on the program), so its
-    one-off cost — typically well under a second, bounded by the budget's
-    deadline — amortizes across repeated evaluations and serving sessions;
-    for a genuinely single-shot query on a small instance where that
-    up-front cost is not worth paying, pass ``semantic=False``.
+    tier-2 programs.  The semantic analysis runs once per program object
+    (cached on the program), so its one-off cost — typically well under a
+    second, bounded by the budget's deadline — amortizes across repeated
+    evaluations and serving sessions; for a genuinely single-shot query on
+    a small instance where that up-front cost is not worth paying, pass
+    ``PlanPolicy(semantic=False)``.
     """
-    from ..planner import execute_plan, plan_for_tier, plan_program
+    from ..planner import execute_plan, plan_program
+    from ..planner.policy import resolve_policy
 
-    if force_tier is not None:
-        plan = plan_for_tier(program, force_tier)
-    else:
-        plan = plan_program(program, semantic=semantic, budget=semantic_budget)
-    return execute_plan(plan, instance, parallel=parallel, chunk_size=chunk_size)
+    policy = resolve_policy(
+        policy,
+        {
+            "parallel": parallel,
+            "chunk_size": chunk_size,
+            "force_tier": force_tier,
+            "semantic": semantic,
+            "semantic_budget": semantic_budget,
+        },
+        where="evaluate",
+    )
+    plan = plan_program(program, policy)
+    return execute_plan(
+        plan, instance, parallel=policy.parallel, chunk_size=policy.chunk_size
+    )
 
 
 def evaluate_boolean(program: DisjunctiveDatalogProgram, instance: Instance) -> bool:

@@ -32,6 +32,7 @@ from ..csp.rewritability import (
 )
 from ..csp.template import prune_to_incomparable
 from ..omq.query import OntologyMediatedQuery
+from ..planner.policy import _UNSET
 from ..translations.csp_templates import CspEncoding, omq_to_csp
 
 
@@ -237,8 +238,10 @@ def serve_omq_workload(
     workload,
     initial_instance: Instance | None = None,
     shards: int = 1,
-    semantic: bool | None = None,
-    semantic_budget=None,
+    policy=None,
+    *,
+    semantic=_UNSET,
+    semantic_budget=_UNSET,
 ):
     """Compile an OMQ workload into a live serving session.
 
@@ -255,29 +258,32 @@ def serve_omq_workload(
     connected, constant-free — programs) and per-shard certain answers are
     merged.  This is the deployment-facing entry point tying Section 5's
     one-shot applications to the streaming serving layer.
+
+    ``policy`` is the unified :class:`~repro.planner.PlanPolicy` (forced
+    tier, semantic stage, adaptive re-planning, unfolding caps); the
+    ``semantic=`` / ``semantic_budget=`` keywords remain as deprecated
+    aliases.
     """
+    from ..planner.policy import resolve_policy
+
+    policy = resolve_policy(
+        policy,
+        {"semantic": semantic, "semantic_budget": semantic_budget},
+        where="serve_omq_workload",
+    )
     initial = () if initial_instance is None else initial_instance.facts
     if shards > 1:
         from ..service.shards import ShardedObdaSession
 
         return ShardedObdaSession(
-            workload,
-            shards=shards,
-            initial_facts=initial,
-            semantic=semantic,
-            semantic_budget=semantic_budget,
+            workload, shards=shards, initial_facts=initial, policy=policy
         )
     from ..service.session import ObdaSession
 
-    return ObdaSession(
-        workload,
-        initial_facts=initial,
-        semantic=semantic,
-        semantic_budget=semantic_budget,
-    )
+    return ObdaSession(workload, initial_facts=initial, policy=policy)
 
 
-def plan_omq_workload(workload, semantic: bool | None = None, semantic_budget=None) -> dict:
+def plan_omq_workload(workload, policy=None, *, semantic=_UNSET, semantic_budget=_UNSET) -> dict:
     """Plan a workload without serving it: query name -> :class:`QueryPlan`.
 
     Compiles each entry exactly as :func:`serve_omq_workload` would (OMQs
@@ -291,12 +297,16 @@ def plan_omq_workload(workload, semantic: bool | None = None, semantic_budget=No
     from collections.abc import Mapping
 
     from ..planner import plan_workload
+    from ..planner.policy import resolve_policy
     from ..service.session import DEFAULT_QUERY, _compile
 
+    policy = resolve_policy(
+        policy,
+        {"semantic": semantic, "semantic_budget": semantic_budget},
+        where="plan_omq_workload",
+    )
     if not isinstance(workload, Mapping):
         workload = {DEFAULT_QUERY: workload}
     return plan_workload(
-        {name: _compile(entry) for name, entry in workload.items()},
-        semantic=semantic,
-        budget=semantic_budget,
+        {name: _compile(entry) for name, entry in workload.items()}, policy
     )

@@ -32,6 +32,13 @@ the serving sessions and the OMQ layer all route through here — see the
 planner section of ``ARCHITECTURE.md`` and ``docs/planner.md``.
 """
 
+from .adaptive import (
+    AdaptiveController,
+    TierCostModel,
+    TierRates,
+    candidate_plans,
+    static_rates,
+)
 from .analysis import (
     MAX_DISJUNCT_ATOMS,
     MAX_UNFOLDED_DISJUNCTS,
@@ -39,6 +46,8 @@ from .analysis import (
     UcqUnfolding,
     UnfoldedDisjunct,
     analyse_program,
+    effective_unfold_caps,
+    estimate_unfolding,
     unfold_to_ucq,
 )
 from .execute import (
@@ -64,6 +73,13 @@ from .plan import (
     plan_program,
     plan_workload,
 )
+from .policy import (
+    DEFAULT_ADAPTIVE,
+    AdaptivePolicy,
+    PlanPolicy,
+    UnfoldCaps,
+    resolve_policy,
+)
 from .semantic import (
     SemanticBudget,
     SemanticReport,
@@ -72,9 +88,13 @@ from .semantic import (
 )
 
 __all__ = [
+    "DEFAULT_ADAPTIVE",
     "MAX_DISJUNCT_ATOMS",
     "MAX_UNFOLDED_DISJUNCTS",
+    "AdaptiveController",
+    "AdaptivePolicy",
     "CostEstimate",
+    "PlanPolicy",
     "PlannedMddlogEngine",
     "ProgramShape",
     "QueryPlan",
@@ -84,18 +104,26 @@ __all__ = [
     "TIER_GROUND_SAT",
     "TIER_NAMES",
     "TIER_REWRITE",
+    "TierCostModel",
+    "TierRates",
     "UcqUnfolding",
+    "UnfoldCaps",
     "UnfoldedDisjunct",
     "analyse_program",
     "analyse_rewritability",
     "auto_workers",
+    "candidate_plans",
     "cross_validate",
+    "effective_unfold_caps",
     "estimate_cost",
+    "estimate_unfolding",
     "execute_plan",
     "fixpoint_certain_answers",
     "plan_for_tier",
     "plan_program",
     "plan_workload",
+    "resolve_policy",
+    "static_rates",
     "ucq_candidate_certain",
     "ucq_certain_answers",
     "unfold_to_ucq",

@@ -18,7 +18,15 @@ planner acts on, for an already-compiled disjunctive datalog program:
 Unfolding can blow up exponentially in the rule nesting, so it is guarded
 by caps on the number of disjuncts and the atoms per disjunct; when a cap
 trips, the planner falls back to the fixpoint tier, which is always
-available for disjunction-free programs.
+available for disjunction-free programs.  The caps themselves are a *cost
+model decision* (:func:`effective_unfold_caps`): the unfolding size is
+estimated in closed form over the IDB call graph
+(:func:`estimate_unfolding`) and the caps widen past the fixed historical
+256 x 24 limits exactly when the estimated UCQ work stays within budget —
+or within a constant factor of the fixpoint alternative's per-read cost —
+so a program with many *small* disjuncts is no longer exiled to tier 1 by
+an arbitrary constant.  Explicit :class:`~repro.planner.policy.UnfoldCaps`
+numbers override the model entirely.
 """
 
 from __future__ import annotations
@@ -271,3 +279,124 @@ def unfold_to_ucq(
         if len(goal_disjuncts) + len(constraint_disjuncts) > max_disjuncts:
             return None
     return UcqUnfolding(tuple(goal_disjuncts), tuple(constraint_disjuncts))
+
+
+# ---------------------------------------------------------------------------
+# Cost-based unfolding caps
+# ---------------------------------------------------------------------------
+
+#: The historical fixed caps' work product — the cost model's budget floor.
+DEFAULT_UNFOLD_WORK_BUDGET = float(MAX_UNFOLDED_DISJUNCTS * MAX_DISJUNCT_ATOMS)
+#: Admit an unfolding whose estimated work stays within this factor of the
+#: fixpoint alternative's per-read score: tier 0 is stateless under
+#: streaming updates, so a moderately wider UCQ still beats maintaining a
+#: materialization.
+UNFOLD_FIXPOINT_ADVANTAGE = 8.0
+#: Hard ceilings the cost model never widens past (blowup backstops).
+UNFOLD_DISJUNCT_CEILING = 4096
+UNFOLD_ATOM_CEILING = 96
+_ESTIMATE_CLAMP = 1e12
+
+
+def estimate_unfolding(
+    program: DisjunctiveDatalogProgram,
+) -> tuple[int, int] | None:
+    """Closed-form size estimate of the UCQ unfolding, without unfolding.
+
+    Returns ``(disjuncts, max_atoms_per_disjunct)`` computed by a memoized
+    pass over the nonrecursive IDB call graph: a relation's disjunct count
+    is the sum over its defining rules of the product of its IDB body
+    atoms' counts, and its atom count is the body's EDB atoms plus its IDB
+    atoms' contributions.  Unification only ever *kills* branches, so both
+    figures are upper bounds on the real unfolding.  Returns ``None`` for
+    programs the unfolder cannot handle anyway (recursive, disjunctive, or
+    ``adom``-defining).
+    """
+    shape = analyse_program(program)
+    if shape.defines_adom or not shape.disjunction_free or shape.recursive:
+        return None
+    definitions: dict[RelationSymbol, list[Rule]] = {}
+    for rule in program.rules:
+        if rule.head:
+            definitions.setdefault(rule.head[0].relation, []).append(rule)
+    memo: dict[RelationSymbol, tuple[float, float]] = {}
+
+    def body_estimate(rule: Rule) -> tuple[float, float]:
+        disjuncts, atoms = 1.0, 0.0
+        for atom in rule.body:
+            if atom.relation.name == ADOM:
+                continue
+            if atom.relation in definitions:
+                sub_d, sub_a = relation_estimate(atom.relation)
+                disjuncts = min(disjuncts * sub_d, _ESTIMATE_CLAMP)
+                atoms += sub_a
+            else:
+                atoms += 1
+        return disjuncts, atoms
+
+    def relation_estimate(relation: RelationSymbol) -> tuple[float, float]:
+        cached = memo.get(relation)
+        if cached is not None:
+            return cached
+        disjuncts, atoms = 0.0, 0.0
+        for rule in definitions.get(relation, ()):
+            rule_d, rule_a = body_estimate(rule)
+            disjuncts = min(disjuncts + rule_d, _ESTIMATE_CLAMP)
+            atoms = max(atoms, rule_a)
+        memo[relation] = (disjuncts, atoms)
+        return memo[relation]
+
+    total_disjuncts, max_atoms = 0.0, 0.0
+    for rule in program.rules:
+        if rule.is_constraint() or rule.head[0].relation == program.goal_relation:
+            rule_d, rule_a = body_estimate(rule)
+            total_disjuncts = min(total_disjuncts + rule_d, _ESTIMATE_CLAMP)
+            max_atoms = max(max_atoms, rule_a)
+    return int(total_disjuncts), int(max_atoms)
+
+
+def fixpoint_read_score(program: DisjunctiveDatalogProgram) -> float:
+    """A rough per-read cost of the tier-1 alternative: total body atoms
+    joined per semi-naive round times the IDB relation count bounding the
+    number of rounds.  Unitless, comparable to the unfolding's
+    disjuncts x atoms work product."""
+    idb = {rule.head[0].relation for rule in program.rules if rule.head}
+    body_atoms = sum(len(rule.body) for rule in program.rules if rule.head)
+    return float(max(body_atoms, 1) * max(len(idb), 1))
+
+
+def effective_unfold_caps(
+    program: DisjunctiveDatalogProgram,
+    caps=None,
+) -> tuple[int, int]:
+    """The (max_disjuncts, max_atoms) the planner hands the unfolder.
+
+    ``caps`` is an optional :class:`~repro.planner.policy.UnfoldCaps`;
+    explicit numbers win outright.  Otherwise the decision is the cost
+    model's: estimate the unfolding in closed form and widen the caps past
+    the historical 256 x 24 fixed limits exactly when the estimated work
+    (disjuncts x atoms) stays within the work budget or within
+    ``UNFOLD_FIXPOINT_ADVANTAGE`` x the fixpoint alternative's read score —
+    capped by hard ceilings so a genuine blowup still trips early and
+    degrades to tier 1.
+    """
+    if caps is not None and caps.max_disjuncts is not None and caps.max_atoms is not None:
+        return caps.max_disjuncts, caps.max_atoms
+    budget = DEFAULT_UNFOLD_WORK_BUDGET
+    if caps is not None and caps.work_budget is not None:
+        budget = caps.work_budget
+    disjuncts, atoms = MAX_UNFOLDED_DISJUNCTS, MAX_DISJUNCT_ATOMS
+    estimate = estimate_unfolding(program)
+    if estimate is not None:
+        est_disjuncts, est_atoms = estimate
+        work = float(max(est_disjuncts, 1)) * float(max(est_atoms, 1))
+        allowance = max(budget, UNFOLD_FIXPOINT_ADVANTAGE * fixpoint_read_score(program))
+        if work <= allowance:
+            disjuncts = max(disjuncts, min(est_disjuncts, UNFOLD_DISJUNCT_CEILING))
+            atoms = max(atoms, min(est_atoms, UNFOLD_ATOM_CEILING))
+    if caps is not None:
+        if caps.max_disjuncts is not None:
+            disjuncts = caps.max_disjuncts
+        if caps.max_atoms is not None:
+            atoms = caps.max_atoms
+    return disjuncts, atoms

@@ -213,23 +213,38 @@ def ucq_candidate_certain(
 # ---------------------------------------------------------------------------
 
 
+# Cached on the (frozen) plan object via the repo's attribute-cache idiom:
+# the fixpoint tier's compiled datalog program carries per-rule join plans
+# (``DatalogProgram.compiled_rules``) that must stay warm across adaptive
+# tier-state swaps — rebuilding the program would discard them.
+_FIXPOINT_PROGRAM_ATTR = "_planner_fixpoint_program"
+
+
 def fixpoint_program(plan: QueryPlan) -> DatalogProgram:
     """The disjunction-free rules the fixpoint tier runs, as plain datalog.
 
     For plans carrying a semantic rewriting this is the constructed
     canonical datalog program; otherwise the plan's own rules minus
     constraints (which :func:`fixpoint_certain_answers` checks against the
-    materialized minimal model instead).
+    materialized minimal model instead).  The result is cached on the plan
+    so repeated state (re)builds — adaptive swaps, session compaction —
+    reuse one program object and its compiled-rule caches.
     """
+    cached = getattr(plan, _FIXPOINT_PROGRAM_ATTR, None)
+    if cached is not None:
+        return cached
     program = plan.execution_program
     if isinstance(program, DatalogProgram) and not any(
         rule.is_constraint() for rule in program.rules
     ):
-        return program
-    return DatalogProgram(
-        [rule for rule in program.rules if rule.head],
-        goal_relation=program.goal_relation,
-    )
+        result = program
+    else:
+        result = DatalogProgram(
+            [rule for rule in program.rules if rule.head],
+            goal_relation=program.goal_relation,
+        )
+    object.__setattr__(plan, _FIXPOINT_PROGRAM_ATTR, result)
+    return result
 
 
 def constraint_fires(rule, fixpoint: Instance) -> bool:
@@ -300,9 +315,13 @@ class PlannedMddlogEngine:
     its certain answers exactly.
     """
 
-    def __init__(self, program, semantic=None, budget=None) -> None:
+    def __init__(self, program, semantic=None, budget=None, policy=None) -> None:
+        from .policy import PlanPolicy
+
+        if policy is None:
+            policy = PlanPolicy(semantic=semantic, semantic_budget=budget)
         self.program = program
-        self.plan = plan_program(program, semantic=semantic, budget=budget)
+        self.plan = plan_program(program, policy)
 
     def certain_answers(
         self, instance: Instance, parallel: "int | str | None" = None

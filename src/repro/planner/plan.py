@@ -50,8 +50,10 @@ from .analysis import (
     ProgramShape,
     UcqUnfolding,
     analyse_program,
+    effective_unfold_caps,
     unfold_to_ucq,
 )
+from .policy import _UNSET, PlanPolicy, UnfoldCaps, resolve_policy
 from .semantic import DEFAULT_BUDGET, SemanticBudget, SemanticReport
 
 TIER_REWRITE = 0
@@ -169,24 +171,35 @@ SEMANTIC_ROUTING_DEFAULT = True
 # program, so a (weak-keyed) global cache whose values point back at the
 # keys would keep every program — and its materialized rewritings — alive
 # forever.  Attribute storage couples the cache entry's lifetime to the
-# program's own.
-_SYNTACTIC_PLAN_ATTR = "_planner_syntactic_plan"
+# program's own.  Syntactic plans are keyed by the resolved unfolding
+# caps (the cost model's — or an explicit ``UnfoldCaps`` — decision);
+# semantic plans by budget.
+_SYNTACTIC_PLANS_ATTR = "_planner_syntactic_plans"
 _SEMANTIC_PLANS_ATTR = "_planner_semantic_plans"
 
 
 def plan_program(
     program: DisjunctiveDatalogProgram,
-    semantic: bool | None = None,
-    budget: SemanticBudget | None = None,
-    check: str = "off",
+    policy: PlanPolicy | None = None,
+    *,
+    semantic=_UNSET,
+    budget=_UNSET,
+    check=_UNSET,
 ) -> QueryPlan:
     """The (cached) cheapest-correct-engine plan for a compiled program.
 
+    All knobs arrive through ``policy`` (:class:`PlanPolicy`); the
+    ``semantic=`` / ``budget=`` / ``check=`` keywords are deprecated
+    aliases that construct an equivalent policy and warn.  A policy with
+    ``tier`` set delegates to :func:`plan_for_tier` (forced tiers bypass
+    the semantic stage entirely).
+
     Syntactic classification always runs first (and is cached on the
-    program object).  When it lands on tier 2 and ``semantic`` is enabled
-    (the default, see ``SEMANTIC_ROUTING_DEFAULT``), the semantic stage of
+    program object, per resolved unfolding caps).  When it lands on tier 2
+    and ``policy.semantic`` is enabled (the default, see
+    ``SEMANTIC_ROUTING_DEFAULT``), the semantic stage of
     :mod:`repro.planner.semantic` attempts to *construct* an FO- or
-    datalog-rewriting within ``budget`` and route the program to tier 0/1;
+    datalog-rewriting within the budget and route the program to tier 0/1;
     otherwise — inapplicable, budget exceeded, genuinely disjunctive, or
     failed cross-validation — the syntactic tier-2 plan is returned with
     the semantic verdict attached.  Semantic plans are cached per
@@ -195,23 +208,36 @@ def plan_program(
     program): those are re-analysed on the next call instead of pinning a
     rewritable query to tier 2 for the program's lifetime.
 
-    ``check`` runs the static analyzer first: ``"strict"`` raises
+    ``policy.check`` runs the static analyzer first: ``"strict"`` raises
     :class:`repro.analysis.ProgramAnalysisError` on error-severity
     diagnostics before any classification work, ``"warn"`` reports them as
-    Python warnings, ``"off"`` (default) trusts the caller.
+    Python warnings, ``"off"`` (the default here) trusts the caller.
     """
-    if check != "off":
+    policy = resolve_policy(
+        policy,
+        {"semantic": semantic, "budget": budget, "check": check},
+        where="plan_program",
+    )
+    if policy.tier is not None:
+        return plan_for_tier(program, policy.tier, caps=policy.unfold_caps)
+    resolved_check = policy.resolved_check("off")
+    if resolved_check != "off":
         from ..analysis import vet_program
 
-        vet_program(program, check, label="plan_program")
+        vet_program(program, resolved_check, label="plan_program")
     tel = _telemetry.ACTIVE
-    plan = getattr(program, _SYNTACTIC_PLAN_ATTR, None)
+    caps_key = effective_unfold_caps(program, policy.unfold_caps)
+    syntactic_plans = getattr(program, _SYNTACTIC_PLANS_ATTR, None)
+    if syntactic_plans is None:
+        syntactic_plans = {}
+        setattr(program, _SYNTACTIC_PLANS_ATTR, syntactic_plans)
+    plan = syntactic_plans.get(caps_key)
     if plan is None:
         if tel is not None:
             tel.count("planner.plan_cache_misses")
         with _telemetry.maybe_span("planner.classify"):
-            plan = _classify(program)
-        setattr(program, _SYNTACTIC_PLAN_ATTR, plan)
+            plan = _classify(program, caps_key)
+        syntactic_plans[caps_key] = plan
         if tel is not None:
             tel.event(
                 "planner.tier_decision",
@@ -221,12 +247,18 @@ def plan_program(
             )
     elif tel is not None:
         tel.count("planner.plan_cache_hits")
-    enabled = SEMANTIC_ROUTING_DEFAULT if semantic is None else semantic
+    enabled = (
+        SEMANTIC_ROUTING_DEFAULT if policy.semantic is None else policy.semantic
+    )
     if not enabled or plan.tier != TIER_GROUND_SAT:
         return plan
     from .semantic import analyse_rewritability
 
-    resolved = budget if budget is not None else DEFAULT_BUDGET
+    resolved = (
+        policy.semantic_budget
+        if policy.semantic_budget is not None
+        else DEFAULT_BUDGET
+    )
     per_budget = getattr(program, _SEMANTIC_PLANS_ATTR, None)
     if per_budget is None:
         per_budget = {}
@@ -252,7 +284,13 @@ def plan_program(
     return semantic_plan
 
 
-def _classify(program: DisjunctiveDatalogProgram) -> QueryPlan:
+def _classify(
+    program: DisjunctiveDatalogProgram,
+    caps: tuple[int, int] | None = None,
+) -> QueryPlan:
+    max_disjuncts, max_atoms = (
+        caps if caps is not None else effective_unfold_caps(program)
+    )
     shape = analyse_program(program)
     if shape.defines_adom:
         return QueryPlan(
@@ -279,13 +317,13 @@ def _classify(program: DisjunctiveDatalogProgram) -> QueryPlan:
             program,
             shape,
         )
-    unfolding = unfold_to_ucq(program)
+    unfolding = unfold_to_ucq(program, max_disjuncts, max_atoms)
     if unfolding is None:
         return QueryPlan(
             TIER_FIXPOINT,
             "disjunction-free and nonrecursive, but the UCQ unfolding "
-            "exceeds the disjunct/atom caps: semi-naive least fixpoint, "
-            "no SAT",
+            f"exceeds the cost-model caps ({max_disjuncts} disjuncts x "
+            f"{max_atoms} atoms): semi-naive least fixpoint, no SAT",
             program,
             shape,
         )
@@ -302,19 +340,24 @@ def _classify(program: DisjunctiveDatalogProgram) -> QueryPlan:
     )
 
 
-def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
+def plan_for_tier(
+    program: DisjunctiveDatalogProgram,
+    tier: int,
+    caps: UnfoldCaps | None = None,
+) -> QueryPlan:
     """Force a specific tier (for cross-validation and benchmarks).
 
     Raises ``ValueError`` when the tier is not sound for the program:
     tier 2 is always legal, tier 1 needs a disjunction-free program, and
-    tier 0 additionally needs the UCQ unfolding to exist.  Forcing is a
-    *syntactic* notion: it bypasses (and thereby overrides) the semantic
-    stage entirely, so ``plan_for_tier(p, TIER_GROUND_SAT)`` pins a
-    semantically rewritable program to the ground+CDCL engine.
+    tier 0 additionally needs the UCQ unfolding to exist (under ``caps``,
+    by default the cost model's).  Forcing is a *syntactic* notion: it
+    bypasses (and thereby overrides) the semantic stage entirely, so
+    ``plan_for_tier(p, TIER_GROUND_SAT)`` pins a semantically rewritable
+    program to the ground+CDCL engine.
     """
     if tier not in TIER_NAMES:
         raise ValueError(f"unknown tier {tier!r}; expected one of {sorted(TIER_NAMES)}")
-    natural = plan_program(program, semantic=False)
+    natural = plan_program(program, PlanPolicy(semantic=False, unfold_caps=caps))
     if tier == natural.tier:
         return natural
     shape = natural.shape
@@ -337,7 +380,7 @@ def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
         )
     unfolding = natural.unfolding
     if unfolding is None:
-        unfolding = unfold_to_ucq(program)
+        unfolding = unfold_to_ucq(program, *effective_unfold_caps(program, caps))
     if unfolding is None:
         raise ValueError(
             "tier 0 is unavailable: the UCQ unfolding exceeds its caps"
@@ -349,12 +392,17 @@ def plan_for_tier(program: DisjunctiveDatalogProgram, tier: int) -> QueryPlan:
 
 def plan_workload(
     programs: Mapping[str, DisjunctiveDatalogProgram],
-    semantic: bool | None = None,
-    budget: SemanticBudget | None = None,
+    policy: PlanPolicy | None = None,
+    *,
+    semantic=_UNSET,
+    budget=_UNSET,
 ) -> dict[str, QueryPlan]:
     """Plan every compiled query of a workload (cached per program)."""
+    policy = resolve_policy(
+        policy, {"semantic": semantic, "budget": budget}, where="plan_workload"
+    )
     return {
-        name: plan_program(program, semantic=semantic, budget=budget)
+        name: plan_program(program, policy)
         for name, program in programs.items()
     }
 

@@ -1,0 +1,213 @@
+"""One frozen policy object for every planner-facing knob.
+
+Before this module the planner's knobs were sprawled across entry points as
+grown-over keyword arguments: ``force_tier=`` here, ``semantic=`` /
+``semantic_budget=`` there, ``check=`` on sessions, ``parallel=`` /
+``chunk_size=`` on ``evaluate``.  :class:`PlanPolicy` folds them into a
+single frozen dataclass accepted (as ``policy=``) by every public entry
+point — :class:`~repro.service.session.ObdaSession`,
+:class:`~repro.service.shards.ShardedObdaSession`,
+:func:`~repro.datalog.evaluation.evaluate`,
+:func:`~repro.planner.plan.plan_program` and
+:func:`~repro.obda.applications.serve_omq_workload` — plus the two knobs
+this PR introduces: :class:`AdaptivePolicy` (live re-planning of serving
+sessions, see :mod:`repro.planner.adaptive`) and :class:`UnfoldCaps`
+(cost-based tier-0 unfolding limits, see
+:func:`repro.planner.analysis.effective_unfold_caps`).
+
+The legacy keyword arguments still work, as *deprecated aliases*: each
+entry point routes them through :func:`resolve_policy`, which constructs
+the equivalent policy and emits one :class:`DeprecationWarning` naming the
+offending keywords.  Passing both ``policy=`` and a legacy keyword is a
+``TypeError`` — there is exactly one source of truth.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from .semantic import SemanticBudget
+
+
+class _Unset:
+    """Sentinel distinguishing "legacy kwarg not passed" from ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class UnfoldCaps:
+    """Limits on the tier-0 UCQ unfolding.
+
+    ``max_disjuncts`` / ``max_atoms`` pin the caps exactly (the historical
+    fixed behavior is ``UnfoldCaps(256, 24)``).  Leaving either ``None``
+    delegates to the cost model
+    (:func:`repro.planner.analysis.effective_unfold_caps`): the unfolding
+    size is estimated from the IDB call graph and admitted when its
+    work — disjuncts x atoms — stays within ``work_budget`` or within a
+    constant factor of the fixpoint alternative's per-read cost.
+    """
+
+    max_disjuncts: int | None = None
+    max_atoms: int | None = None
+    work_budget: float | None = None
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Hysteresis knobs for live re-planning of serving sessions.
+
+    A session with an adaptive policy watches its rolling read/insert/
+    delete mix (``SessionStats``) and re-plans a query onto a cheaper tier
+    when the observed mix crosses a breakeven — see
+    :mod:`repro.planner.adaptive`.  The knobs exist so the controller
+    *never flaps*:
+
+    * ``mix_window`` — how many of the most recent events form the trigger
+      mix (bounded by the stats ring buffer, 256);
+    * ``min_dwell`` — events that must pass on the current tier (since
+      session start or the last swap) before another swap is considered;
+    * ``cost_gap`` — the predicted cost of the current tier must exceed
+      the best candidate's by this factor, so near-ties never trigger;
+    * ``warmup`` — events before the first decision (the model has no
+      observations yet);
+    * ``max_replans`` — optional hard cap on swaps per query (``None`` =
+      unlimited).
+    """
+
+    mix_window: int = 24
+    min_dwell: int = 16
+    cost_gap: float = 1.8
+    warmup: int = 8
+    max_replans: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.mix_window < 1:
+            raise ValueError("mix_window must be at least 1")
+        if self.min_dwell < 0:
+            raise ValueError("min_dwell must be non-negative")
+        if self.cost_gap < 1.0:
+            raise ValueError("cost_gap below 1.0 would invite flapping")
+
+
+#: The policy ``adaptive=True`` resolves to.
+DEFAULT_ADAPTIVE = AdaptivePolicy()
+
+
+@dataclass(frozen=True)
+class PlanPolicy:
+    """Every planner/serving knob in one frozen, reusable object.
+
+    All fields default to ``None`` — "use the entry point's default" — so
+    ``PlanPolicy()`` is exactly the historical default behavior
+    everywhere.  Fields:
+
+    * ``tier`` — pin one planner tier (the old ``force_tier=``); forcing
+      bypasses the semantic stage and **pins** the session: adaptive
+      re-planning is disabled with a rationale in ``explain()``.
+    * ``semantic`` / ``semantic_budget`` — the semantic rewritability
+      stage (:mod:`repro.planner.semantic`) and its budget.
+    * ``check`` — static-analyzer mode (``"off"`` / ``"warn"`` /
+      ``"strict"``); ``None`` means the entry point's default (sessions
+      ``"warn"``, bare planning ``"off"``).
+    * ``parallel`` / ``chunk_size`` — tier-2 worker-pool controls
+      (``evaluate`` and the parallel executors).
+    * ``adaptive`` — ``True`` / an :class:`AdaptivePolicy` to enable live
+      re-planning in serving sessions; ``None`` / ``False`` disables it.
+    * ``unfold_caps`` — tier-0 unfolding limits (:class:`UnfoldCaps`);
+      ``None`` uses the cost-based default.
+    """
+
+    tier: int | None = None
+    semantic: bool | None = None
+    semantic_budget: "SemanticBudget | None" = None
+    check: str | None = None
+    parallel: int | str | None = None
+    chunk_size: int | None = None
+    adaptive: "AdaptivePolicy | bool | None" = None
+    unfold_caps: UnfoldCaps | None = None
+
+    def resolved_adaptive(self) -> AdaptivePolicy | None:
+        """The effective adaptive policy, or ``None`` when disabled."""
+        if self.adaptive is None or self.adaptive is False:
+            return None
+        if self.adaptive is True:
+            return DEFAULT_ADAPTIVE
+        return self.adaptive
+
+    def resolved_check(self, default: str) -> str:
+        return self.check if self.check is not None else default
+
+    def planning_view(self) -> "PlanPolicy":
+        """The policy as :func:`plan_program` should see it from a session.
+
+        Sessions vet programs themselves (with their own ``"warn"``
+        default), so the check is stripped before planning to avoid
+        vetting the same program twice.
+        """
+        if self.check is None:
+            return self
+        return replace(self, check=None)
+
+
+#: Maps each legacy keyword name to its :class:`PlanPolicy` field.
+LEGACY_KWARG_FIELDS: Mapping[str, str] = {
+    "force_tier": "tier",
+    "semantic": "semantic",
+    "semantic_budget": "semantic_budget",
+    "budget": "semantic_budget",
+    "check": "check",
+    "parallel": "parallel",
+    "chunk_size": "chunk_size",
+}
+
+_POLICY_FIELDS = frozenset(f.name for f in fields(PlanPolicy))
+
+
+def resolve_policy(
+    policy: PlanPolicy | None,
+    legacy: Mapping[str, object],
+    where: str,
+) -> PlanPolicy:
+    """Fold legacy keyword arguments and ``policy=`` into one policy.
+
+    ``legacy`` maps legacy keyword *names* to their values, ``_UNSET``
+    standing for "not passed".  Passing any legacy keyword emits a single
+    :class:`DeprecationWarning` naming them all; combining legacy keywords
+    with ``policy=`` raises ``TypeError`` (two sources of truth).
+    """
+    supplied = {
+        name: value for name, value in legacy.items() if value is not _UNSET
+    }
+    if not supplied:
+        return policy if policy is not None else PlanPolicy()
+    if policy is not None:
+        raise TypeError(
+            f"{where}: pass either policy=PlanPolicy(...) or the deprecated "
+            f"keyword(s) {sorted(supplied)}, not both"
+        )
+    mapped: dict[str, object] = {}
+    for name, value in supplied.items():
+        field_name = LEGACY_KWARG_FIELDS.get(name, name)
+        if field_name not in _POLICY_FIELDS:
+            raise TypeError(f"{where}: unknown legacy keyword {name!r}")
+        mapped[field_name] = value
+    rendered = ", ".join(
+        f"{LEGACY_KWARG_FIELDS.get(name, name)}=..." for name in sorted(supplied)
+    )
+    warnings.warn(
+        f"{where}: keyword argument(s) {', '.join(sorted(supplied))} are "
+        f"deprecated; pass policy=PlanPolicy({rendered}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return PlanPolicy(**mapped)  # type: ignore[arg-type]

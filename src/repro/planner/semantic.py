@@ -1017,8 +1017,9 @@ def _analyse_rewritability(
     from ..csp.duality import is_fo_definable_csp
     from ..csp.polymorphisms import has_bounded_width_certificate
     from .plan import QueryPlan, TIER_FIXPOINT, TIER_REWRITE, plan_program
+    from .policy import PlanPolicy
 
-    syntactic = plan_program(program, semantic=False)
+    syntactic = plan_program(program, PlanPolicy(semantic=False))
     deadline = _Deadline(budget.time_budget_s)
 
     def stay(rationale: str, applicable: bool = False, **fields) -> QueryPlan:

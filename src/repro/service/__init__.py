@@ -12,6 +12,7 @@ recomputation.
 """
 
 from .delta import DeltaGrounder, IncrementalFixpoint, adom_guard, fact_guard
+from .explain import EXPLAIN_SCHEMA, validate_explain
 from .session import ObdaSession, SessionStats
 from .shards import (
     ShardedObdaSession,
@@ -34,6 +35,7 @@ from .workload import (
 
 __all__ = [
     "DeltaGrounder",
+    "EXPLAIN_SCHEMA",
     "IncrementalFixpoint",
     "ObdaSession",
     "SessionStats",
@@ -53,4 +55,5 @@ __all__ = [
     "random_stream",
     "replay",
     "shardability_violation",
+    "validate_explain",
 ]

@@ -1,0 +1,123 @@
+"""The versioned ``explain()`` contract of the serving sessions.
+
+``ObdaSession.explain()`` and ``ShardedObdaSession.explain()`` return one
+JSON-able report per session.  Through v1 the report was an *implicit*
+contract — a flat ``{query_name: plan-describe + live counters}`` dict that
+every consumer (tests, benchmarks, the docs' worked examples) shaped by
+convention.  Adaptive re-planning made the report load-bearing: the
+acceptance gates of ``benchmarks/bench_adaptive_routing.py`` read the
+re-plan history out of it, so the shape is now **versioned and validated**:
+
+* every report carries ``schema == "obda-explain/v2"``;
+* per-query plan explanations moved under ``"queries"`` (the v1 flat
+  layout is gone — consumers migrate by inserting one key lookup);
+* a top-level ``"adaptive"`` block records whether live re-planning is
+  on, every swap taken so far (query-tagged, event-ordered), the
+  per-query controller state, and the rationale when adaptivity was
+  requested but denied (forced tier pins a session).
+
+:func:`validate_explain` is the executable contract — it returns the list
+of shape violations (empty = valid) and is asserted by the test-suite and
+the benchmark harness on every report they touch.
+"""
+
+from __future__ import annotations
+
+from typing import TypedDict
+
+#: The schema tag every session ``explain()`` report carries.
+EXPLAIN_SCHEMA = "obda-explain/v2"
+
+
+class ReplanRecord(TypedDict, total=False):
+    """One committed tier swap, as recorded in ``adaptive["replans"]``."""
+
+    event: int
+    epoch: int
+    from_tier: int
+    to_tier: int
+    trigger_mix: dict
+    predicted_cost: dict
+    swap_s: float
+    query: str
+    shard: int
+
+
+class AdaptiveBlock(TypedDict, total=False):
+    """The top-level ``"adaptive"`` section of an explain report."""
+
+    enabled: bool
+    replans: list
+    queries: dict
+    reason: str
+
+
+class ExplainReport(TypedDict):
+    """The ``obda-explain/v2`` top-level shape."""
+
+    schema: str
+    queries: dict
+    adaptive: AdaptiveBlock
+
+
+#: Keys every committed re-plan record must carry.
+_REPLAN_KEYS = ("event", "epoch", "from_tier", "to_tier", "trigger_mix", "swap_s")
+
+
+def validate_explain(report: dict) -> list[str]:
+    """Shape-check an explain report; returns the violations (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(report, dict):
+        return [f"report must be a dict, got {type(report).__name__}"]
+    if report.get("schema") != EXPLAIN_SCHEMA:
+        problems.append(
+            f"schema must be {EXPLAIN_SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    queries = report.get("queries")
+    if not isinstance(queries, dict) or not queries:
+        problems.append("queries must be a non-empty dict")
+        queries = {}
+    for name, info in queries.items():
+        if not isinstance(info, dict):
+            problems.append(f"queries[{name!r}] must be a dict")
+            continue
+        for key in ("tier", "tier_name", "live"):
+            if key not in info:
+                problems.append(f"queries[{name!r}] missing {key!r}")
+        live = info.get("live")
+        if isinstance(live, dict) and "rollup" in live:
+            rollup = live["rollup"]
+            if (
+                not isinstance(rollup, dict)
+                or rollup.get("schema") != "obda-session-rollup/v1"
+            ):
+                problems.append(f"queries[{name!r}] live.rollup schema mismatch")
+    adaptive = report.get("adaptive")
+    if not isinstance(adaptive, dict):
+        problems.append("adaptive must be a dict")
+        return problems
+    if not isinstance(adaptive.get("enabled"), bool):
+        problems.append("adaptive.enabled must be a bool")
+    replans = adaptive.get("replans")
+    if not isinstance(replans, list):
+        problems.append("adaptive.replans must be a list")
+        replans = []
+    for index, record in enumerate(replans):
+        if not isinstance(record, dict):
+            problems.append(f"adaptive.replans[{index}] must be a dict")
+            continue
+        for key in _REPLAN_KEYS:
+            if key not in record:
+                problems.append(f"adaptive.replans[{index}] missing {key!r}")
+        if "query" not in record:
+            problems.append(f"adaptive.replans[{index}] missing 'query' tag")
+    per_query = adaptive.get("queries")
+    if not isinstance(per_query, dict):
+        problems.append("adaptive.queries must be a dict")
+        per_query = {}
+    for name, block in per_query.items():
+        if not isinstance(block, dict) or "enabled" not in block:
+            problems.append(f"adaptive.queries[{name!r}] missing 'enabled'")
+    if adaptive.get("enabled") is False and replans:
+        problems.append("adaptive disabled yet replans recorded")
+    return problems

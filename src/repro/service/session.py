@@ -28,6 +28,14 @@ Each compiled query is routed by the tiered planner
 Answers after every update are identical to a from-scratch recomputation
 over the current instance (the streaming test-suite cross-validates this on
 randomized update streams).
+
+Sessions accept a :class:`~repro.planner.PlanPolicy` carrying every
+planning knob; with ``adaptive=`` enabled the session live-re-plans: an
+:class:`~repro.planner.AdaptiveController` per query watches the rolling
+read/insert/delete mix, and when the predicted cost crosses the policy's
+hysteresis gates the serving state is rebuilt on the cheaper tier from the
+current frozen instance — warm join-plan caches transplanted — without
+dropping an update or an answer (``docs/adaptive.md``).
 """
 
 from __future__ import annotations
@@ -53,13 +61,16 @@ from ..planner import (
     ucq_certain_answers,
     unfolding_consistent,
 )
+from ..planner.adaptive import AdaptiveController, candidate_plans
 from ..planner.execute import (
     constraint_fires,
     fixpoint_program,
     vacuous_answers,
     vacuous_decisions,
 )
+from ..planner.policy import _UNSET, PlanPolicy, resolve_policy
 from .delta import DeltaGrounder, IncrementalFixpoint, fact_guard
+from .explain import EXPLAIN_SCHEMA
 
 DEFAULT_QUERY = "q"
 
@@ -147,7 +158,7 @@ class _FixpointState:
     vacuously certain (the same convention as the SAT tier).
     """
 
-    def __init__(self, plan: QueryPlan) -> None:
+    def __init__(self, plan: QueryPlan, instance: Instance | None = None) -> None:
         self.plan = plan
         self.program = plan.program
         # Constraints of the program the tier actually executes: a semantic
@@ -158,7 +169,7 @@ class _FixpointState:
             for rule in plan.execution_program.rules
             if rule.is_constraint()
         ]
-        self.fixpoint = IncrementalFixpoint(fixpoint_program(plan))
+        self.fixpoint = IncrementalFixpoint(fixpoint_program(plan), instance=instance)
 
     def insert(self, old: Instance, delta: Instance, new: Instance) -> int:
         self.fixpoint.insert(delta)
@@ -229,15 +240,6 @@ class _UcqState:
 
     def is_certain(self, instance: Instance, answer: tuple) -> bool:
         return self.decide_batch(instance, [answer])[answer]
-
-
-def _state_for(plan: QueryPlan) -> "_SatState | _FixpointState | _UcqState":
-    """The persistent per-query serving state matching a plan's tier."""
-    if plan.tier == TIER_REWRITE:
-        return _UcqState(plan)
-    if plan.tier == TIER_FIXPOINT:
-        return _FixpointState(plan)
-    return _SatState(plan)
 
 
 #: Ring-buffer capacity for the per-event history kept by a session; the
@@ -369,55 +371,91 @@ class ObdaSession:
     query's persistent state; ``certain_answers`` / ``answer_batch`` /
     ``is_certain`` answer from the warm state without regrounding.
 
-    ``force_tier`` pins every query to one planner tier (2 is always
-    sound) — the cross-validation and benchmarking knob behind the
-    planner-vs-forced-tier suites; forcing bypasses the semantic stage, so
-    it also overrides semantic routing.  ``semantic`` / ``semantic_budget``
-    control that stage (:mod:`repro.planner.semantic`) for syntactic
-    tier-2 programs: by default a compiled-but-rewritable query is served
-    by the constructed rewriting on tier 0/1.  Leave all three at their
-    defaults in production.
+    Every planning knob arrives as one frozen
+    :class:`~repro.planner.PlanPolicy` (``policy=``): ``tier`` pins every
+    query to one planner tier (2 is always sound) — the cross-validation
+    and benchmarking knob behind the planner-vs-forced-tier suites;
+    forcing bypasses the semantic stage *and pins the session* (adaptive
+    re-planning is disabled, with the rationale recorded in
+    :meth:`explain`).  ``semantic`` / ``semantic_budget`` control the
+    semantic rewritability stage (:mod:`repro.planner.semantic`) for
+    syntactic tier-2 programs: by default a compiled-but-rewritable query
+    is served by the constructed rewriting on tier 0/1.  ``adaptive``
+    (``True`` or an :class:`~repro.planner.AdaptivePolicy`) turns on live
+    re-planning between the sound tiers as the observed mix shifts.  The
+    old ``force_tier=`` / ``semantic=`` / ``semantic_budget=`` / ``check=``
+    keywords remain as deprecated aliases.
 
-    ``check`` runs the static analyzer (:mod:`repro.analysis`) over every
-    compiled program before any solver state is built: ``"warn"`` (the
-    default) surfaces error/warning-severity diagnostics as Python
-    warnings, ``"strict"`` raises
-    :class:`repro.analysis.ProgramAnalysisError` on errors, ``"off"``
-    skips the analysis.
+    ``check`` (policy field) runs the static analyzer
+    (:mod:`repro.analysis`) over every compiled program before any solver
+    state is built: ``"warn"`` (the default) surfaces
+    error/warning-severity diagnostics as Python warnings, ``"strict"``
+    raises :class:`repro.analysis.ProgramAnalysisError` on errors,
+    ``"off"`` skips the analysis.
     """
 
     def __init__(
         self,
         workload,
         initial_facts: Iterable[Fact] = (),
-        force_tier: int | None = None,
-        semantic: bool | None = None,
-        semantic_budget=None,
-        check: str = "warn",
+        policy: PlanPolicy | None = None,
+        *,
+        force_tier=_UNSET,
+        semantic=_UNSET,
+        semantic_budget=_UNSET,
+        check=_UNSET,
     ) -> None:
+        policy = resolve_policy(
+            policy,
+            {
+                "force_tier": force_tier,
+                "semantic": semantic,
+                "semantic_budget": semantic_budget,
+                "check": check,
+            },
+            where="ObdaSession",
+        )
+        self.policy = policy
         if isinstance(workload, Mapping):
             entries = dict(workload)
         else:
             entries = {DEFAULT_QUERY: workload}
         if not entries:
             raise ValueError("a session needs at least one query")
-        self._states: dict[str, _SatState | _FixpointState | _UcqState] = {}
         compiled = {name: _compile(entry) for name, entry in entries.items()}
+        resolved_check = policy.resolved_check("warn")
         for name, program in compiled.items():
             # Vet the whole workload before building any solver state: a
             # strict session refuses a broken program with zero grounding
             # or SAT work done.
-            vet_program(program, check, label=name)
-        for name, program in compiled.items():
-            if force_tier is not None:
-                plan = plan_for_tier(program, force_tier)
-            else:
-                plan = plan_program(
-                    program, semantic=semantic, budget=semantic_budget
-                )
-            self._states[name] = _state_for(plan)
+            vet_program(program, resolved_check, label=name)
         self._instance = Instance([])
         self.stats = SessionStats()
+        self._adaptive = policy.resolved_adaptive()
+        self._adaptive_reason: str | None = None
+        if policy.tier is not None and self._adaptive is not None:
+            self._adaptive = None
+            self._adaptive_reason = (
+                f"tier forced to {policy.tier}: adaptive re-planning disabled"
+            )
+        self._controllers: dict[str, AdaptiveController] = {}
+        #: Warm per-tier join-plan caches harvested from retired states,
+        #: keyed query name -> tier; transplanted on swap-back so a
+        #: returning tier does not recompile what it already knew.
+        self._warm: dict[str, dict[int, object]] = {name: {} for name in compiled}
+        self._states: dict[str, _SatState | _FixpointState | _UcqState] = {}
+        for name, program in compiled.items():
+            if policy.tier is not None:
+                plan = plan_for_tier(program, policy.tier, caps=policy.unfold_caps)
+            else:
+                plan = plan_program(program, policy.planning_view())
+            if self._adaptive is not None:
+                candidates = candidate_plans(program, plan)
+                if len(candidates) > 1:
+                    self._controllers[name] = AdaptiveController(
+                        name, plan, self._adaptive, candidates
+                    )
+            self._states[name] = self._build_state(plan)
         self._query_stats: dict[str, dict] = {
             name: {"queries_answered": 0, "total_s": 0.0, "last_s": None}
             for name in self._states
@@ -444,17 +482,23 @@ class ObdaSession:
         """The planner's routing decision for the (named) query."""
         return self._state(name).plan
 
-    def explain(self) -> dict[str, dict]:
-        """JSON-able plan explanations plus live counters per query.
+    def explain(self) -> dict:
+        """The versioned ``obda-explain/v2`` report for the whole session.
 
-        Each query's entry is its static :meth:`QueryPlan.describe` dict
-        extended with a ``"live"`` section: the per-query serving counters
-        (queries answered, last/total/mean query latency) and the session's
-        :meth:`SessionStats.rollup` — the observed read/insert/delete mix
-        and cost per event.
+        Top-level shape: ``{"schema", "queries", "adaptive"}``.  Each
+        query's entry under ``"queries"`` is its static
+        :meth:`QueryPlan.describe` dict extended with a ``"live"`` section:
+        the per-query serving counters (queries answered, last/total/mean
+        query latency) and the session's :meth:`SessionStats.rollup` — the
+        observed read/insert/delete mix and cost per event.  The
+        ``"adaptive"`` block carries every re-plan decision taken so far
+        (``"replans"``, query-tagged and event-ordered), the per-query
+        controller state, and — when adaptivity was requested but the
+        session is pinned — the ``"reason"`` it stayed off.  The shape is
+        validated by :func:`repro.service.explain.validate_explain`.
         """
         rollup = self.stats.rollup()
-        explanations: dict[str, dict] = {}
+        queries: dict[str, dict] = {}
         for name, state in self._states.items():
             info = dict(state.plan.describe())
             counters = dict(self._query_stats[name])
@@ -462,8 +506,26 @@ class ObdaSession:
             counters["mean_s"] = counters["total_s"] / answered if answered else 0.0
             counters["rollup"] = rollup
             info["live"] = counters
-            explanations[name] = info
-        return explanations
+            queries[name] = info
+        adaptive: dict = {"enabled": bool(self._controllers)}
+        if self._adaptive_reason is not None:
+            adaptive["reason"] = self._adaptive_reason
+        per_query: dict[str, dict] = {}
+        replans: list[dict] = []
+        for name in self._states:
+            controller = self._controllers.get(name)
+            if controller is None:
+                per_query[name] = {"enabled": False}
+                continue
+            per_query[name] = controller.describe()
+            for record in controller.history:
+                tagged = dict(record)
+                tagged["query"] = name
+                replans.append(tagged)
+        replans.sort(key=lambda record: record["event"])
+        adaptive["queries"] = per_query
+        adaptive["replans"] = replans
+        return {"schema": EXPLAIN_SCHEMA, "queries": queries, "adaptive": adaptive}
 
     def _resolve_name(self, name: str | None) -> str:
         if name is None:
@@ -481,6 +543,90 @@ class ObdaSession:
     def _state(self, name: str | None) -> "_SatState | _FixpointState | _UcqState":
         return self._states[self._resolve_name(name)]
 
+    # -- serving-state lifecycle ----------------------------------------------
+
+    def _build_state(
+        self, plan: QueryPlan, warm=None
+    ) -> "_SatState | _FixpointState | _UcqState":
+        """Fresh serving state for a plan, loaded from the current instance.
+
+        ``warm`` is a per-tier join-plan cache harvested by
+        :meth:`_harvest_warm` from a retired state of the *same* plan
+        object; transplanting it means a swap-back recompiles nothing (the
+        caches are identity-guarded on the session's shared interner, so a
+        stale transplant degrades to a recompile, never to wrong plans).
+        """
+        if plan.tier == TIER_REWRITE:
+            return _UcqState(plan)
+        if plan.tier == TIER_FIXPOINT:
+            state = _FixpointState(plan, instance=self._instance)
+            if warm is not None:
+                state.fixpoint._rederive_plans = warm[0]
+                state.fixpoint._rederive_interner = warm[1]
+            return state
+        state = _SatState(plan)
+        if warm is not None:
+            for rule_state, (plans, interner) in zip(state.grounder._rules, warm):
+                rule_state.plans = plans
+                rule_state.plans_interner = interner
+        facts = sorted(self._instance.facts, key=str)
+        if facts:
+            state.insert(Instance([]), Instance(facts), self._instance)
+        return state
+
+    def _harvest_warm(self, name: str, state) -> None:
+        """Bank a retiring state's compiled join plans under its tier."""
+        if isinstance(state, _SatState):
+            self._warm[name][state.plan.tier] = [
+                (rule.plans, rule.plans_interner)
+                for rule in state.grounder._rules
+            ]
+        elif isinstance(state, _FixpointState):
+            fixpoint = state.fixpoint
+            if fixpoint._rederive_plans is not None:
+                self._warm[name][state.plan.tier] = (
+                    fixpoint._rederive_plans,
+                    fixpoint._rederive_interner,
+                )
+
+    def _maybe_replan(self) -> None:
+        """Let every adaptive controller react to the event just recorded.
+
+        A controller that proposes a swap gets it executed immediately:
+        the old state's warm caches are banked, a fresh state for the
+        target tier is built from the current frozen instance, and the
+        swap is atomic from any caller's view — ``self._states[name]`` is
+        rebound once, after the new state is fully loaded.
+        """
+        for name, controller in self._controllers.items():
+            decision = controller.propose(self.stats, self._instance)
+            if decision is None:
+                continue
+            start = _telemetry.now()
+            self._harvest_warm(name, self._states[name])
+            self._states[name] = self._build_state(
+                decision.plan, warm=self._warm[name].get(decision.plan.tier)
+            )
+            swap_s = _telemetry.now() - start
+            controller.commit(decision, swap_s)
+            tel = _telemetry.ACTIVE
+            if tel is not None:
+                record = controller.history[-1]
+                tel.count("adaptive.replans")
+                tel.record("adaptive.swap_s", swap_s)
+                tel.event(
+                    "adaptive.replan",
+                    query=name,
+                    epoch=record["epoch"],
+                    from_tier=record["from_tier"],
+                    to_tier=record["to_tier"],
+                    swap_s=swap_s,
+                    **{
+                        f"mix_{op}": share
+                        for op, share in record["trigger_mix"].items()
+                    },
+                )
+
     def _record_query(self, name: str, seconds: float) -> None:
         self.stats.queries_answered += 1
         self.stats.record_event("query", seconds=seconds, query=name)
@@ -492,6 +638,7 @@ class ObdaSession:
         if tel is not None:
             tel.count("session.queries")
             tel.record("session.query_s", seconds)
+        self._maybe_replan()
 
     # -- updates ---------------------------------------------------------------
 
@@ -535,6 +682,7 @@ class ObdaSession:
             tel.count("session.facts_inserted", len(added))
             tel.count("session.clauses_pushed", pushed)
             tel.record("session.insert_s", seconds)
+        self._maybe_replan()
         return len(added)
 
     def delete_facts(self, facts: Iterable[Fact]) -> int:
@@ -569,6 +717,7 @@ class ObdaSession:
             tel.count("session.deletes")
             tel.count("session.facts_deleted", len(removed))
             tel.record("session.delete_s", seconds)
+        self._maybe_replan()
         return len(removed)
 
     # -- queries ---------------------------------------------------------------
@@ -639,13 +788,10 @@ class ObdaSession:
         with _telemetry.maybe_span(
             "session.compact", facts=len(self._instance.facts)
         ):
-            facts = sorted(self._instance.facts, key=str)
             rebuilt: dict[str, _SatState | _FixpointState | _UcqState] = {}
-            old = Instance([])
-            delta = Instance(facts)
             for name, state in self._states.items():
-                fresh = _state_for(state.plan)
-                if facts:
-                    fresh.insert(old, delta, self._instance)
-                rebuilt[name] = fresh
+                self._harvest_warm(name, state)
+                rebuilt[name] = self._build_state(
+                    state.plan, warm=self._warm[name].get(state.plan.tier)
+                )
             self._states = rebuilt

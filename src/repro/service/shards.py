@@ -45,7 +45,7 @@ session validates this at construction time.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Mapping, Sequence
 
 from ..analysis import (
@@ -57,6 +57,8 @@ from ..core.instance import Fact, Instance
 from ..datalog.ddlog import DisjunctiveDatalogProgram
 from ..obs import telemetry as _telemetry
 from ..planner.execute import vacuous_answers, vacuous_decisions
+from ..planner.policy import _UNSET, PlanPolicy, resolve_policy
+from .explain import EXPLAIN_SCHEMA
 from .session import DEFAULT_QUERY, ObdaSession, _compile
 
 __all__ = [
@@ -136,10 +138,22 @@ class ShardedObdaSession:
         workload,
         shards: int = 2,
         initial_facts: Iterable[Fact] = (),
-        semantic: bool | None = None,
-        semantic_budget=None,
-        check: str = "warn",
+        policy: PlanPolicy | None = None,
+        *,
+        semantic=_UNSET,
+        semantic_budget=_UNSET,
+        check=_UNSET,
     ) -> None:
+        policy = resolve_policy(
+            policy,
+            {
+                "semantic": semantic,
+                "semantic_budget": semantic_budget,
+                "check": check,
+            },
+            where="ShardedObdaSession",
+        )
+        self.policy = policy
         if shards < 1:
             raise ValueError("need at least one shard")
         if isinstance(workload, Mapping):
@@ -149,8 +163,9 @@ class ShardedObdaSession:
         # Compile once; shards share the compiled program objects — and,
         # through the per-program plan cache, one semantic analysis.
         compiled = {name: _compile(entry) for name, entry in entries.items()}
+        resolved_check = policy.resolved_check("warn")
         for name, program in compiled.items():
-            vet_program(program, check, label=name)
+            vet_program(program, resolved_check, label=name)
         for name, program in compiled.items():
             # Shardability is enforced regardless of ``check``: serving an
             # unshardable program would return *wrong* answers, not just
@@ -167,15 +182,13 @@ class ShardedObdaSession:
                     f"[{first.code}] {first.message}",
                 )
         self.shard_count = shards
+        # check="off": the workload was already vetted once above; every
+        # other policy field — tier, semantic, adaptive, unfold caps —
+        # passes straight through to the per-shard sessions, which share
+        # the compiled program objects.
+        self._shard_policy = replace(policy, check="off")
         self._sessions = [
-            # check="off": the workload was already vetted once above;
-            # per-shard sessions share the compiled program objects.
-            ObdaSession(
-                compiled,
-                semantic=semantic,
-                semantic_budget=semantic_budget,
-                check="off",
-            )
+            ObdaSession(compiled, policy=self._shard_policy)
             for _ in range(shards)
         ]
         # Routing state: union-find over constants; per-component fact sets
@@ -209,11 +222,12 @@ class ShardedObdaSession:
         """
         return self._sessions[0].plan(name)
 
-    def explain(self) -> dict[str, dict]:
-        """Plan explanations with live per-shard counters merged in.
+    def explain(self) -> dict:
+        """The ``obda-explain/v2`` report with per-shard counters merged in.
 
         Shards share the compiled programs, so the static plan explanation
-        is identical on every shard.  Each query entry additionally carries:
+        is identical on every shard.  Each entry under ``"queries"``
+        additionally carries:
 
         * ``"live"`` — the per-query counters aggregated across shards,
           including the cross-shard ``obda-session-rollup/v1`` mix-and-cost
@@ -223,6 +237,12 @@ class ShardedObdaSession:
           visible without attaching a profiler;
         * ``"shard_skew"`` — the max/mean fact-count ratio over shards
           (1.0 = perfectly balanced).
+
+        The top-level ``"adaptive"`` block folds the shard sessions'
+        controllers together: every re-plan record gains a ``"shard"`` tag
+        (shards see different slices of the stream, so they may swap at
+        different times — or not at all), and ``adaptive["queries"]``
+        keeps the per-shard controller state under ``"per_shard"``.
         """
         per_shard = [session.explain() for session in self._sessions]
         shard_live: list[dict] = []
@@ -247,9 +267,9 @@ class ShardedObdaSession:
             "facts_ratio": (max(facts) / mean_facts) if mean_facts else 1.0,
         }
         rollup = self._merged_rollup()
-        explanations = per_shard[0]
-        for name, info in explanations.items():
-            lives = [shard[name]["live"] for shard in per_shard]
+        queries = per_shard[0]["queries"]
+        for name, info in queries.items():
+            lives = [shard["queries"][name]["live"] for shard in per_shard]
             answered = sum(live["queries_answered"] for live in lives)
             total_s = sum(live["total_s"] for live in lives)
             last = [live["last_s"] for live in lives if live["last_s"] is not None]
@@ -263,7 +283,37 @@ class ShardedObdaSession:
             }
             info["shards"] = shard_live
             info["shard_skew"] = skew
-        return explanations
+        adaptive: dict = {
+            "enabled": any(shard["adaptive"]["enabled"] for shard in per_shard)
+        }
+        reason = per_shard[0]["adaptive"].get("reason")
+        if reason is not None:
+            adaptive["reason"] = reason
+        replans: list[dict] = []
+        for index, shard in enumerate(per_shard):
+            for record in shard["adaptive"]["replans"]:
+                tagged = dict(record)
+                tagged["shard"] = index
+                replans.append(tagged)
+        replans.sort(key=lambda record: (record["epoch"], record["event"]))
+        adaptive["replans"] = replans
+        adaptive["queries"] = {
+            name: {
+                "enabled": any(
+                    shard["adaptive"]["queries"][name]["enabled"]
+                    for shard in per_shard
+                ),
+                "replans": sum(
+                    shard["adaptive"]["queries"][name].get("replans", 0)
+                    for shard in per_shard
+                ),
+                "per_shard": [
+                    shard["adaptive"]["queries"][name] for shard in per_shard
+                ],
+            }
+            for name in queries
+        }
+        return {"schema": EXPLAIN_SCHEMA, "queries": queries, "adaptive": adaptive}
 
     def _merged_rollup(self) -> dict:
         """The shards' stats folded into one ``obda-session-rollup/v1``."""
@@ -515,7 +565,8 @@ class ShardedObdaSession:
         facts = sorted(self.instance.facts, key=str)
         self._sessions = [
             ObdaSession(
-                {name: session.program(name) for name in session.query_names}
+                {name: session.program(name) for name in session.query_names},
+                policy=self._shard_policy,
             )
             for session in self._sessions
         ]

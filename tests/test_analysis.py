@@ -36,6 +36,7 @@ from repro.core.instance import Fact
 from repro.core.schema import RelationSymbol, Schema
 from repro.datalog.ddlog import ADOM, GOAL, DisjunctiveDatalogProgram, Rule
 from repro.planner.plan import plan_program
+from repro.planner.policy import PlanPolicy
 from repro.service.session import ObdaSession
 from repro.service.shards import ShardedObdaSession
 
@@ -278,7 +279,7 @@ def test_warn_session_emits_warnings_and_still_answers():
 def test_off_session_is_silent():
     with warnings.catch_warnings():
         warnings.simplefilter("error")
-        ObdaSession(seed_md003(), check="off")
+        ObdaSession(seed_md003(), policy=PlanPolicy(check="off"))
 
 
 def test_plan_program_strict_refuses_errors():

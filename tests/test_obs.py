@@ -355,7 +355,7 @@ def test_explain_reports_live_counters_and_rollup():
     universe = medical_universe(patients=3, generations=2)
     events = random_stream(universe, 12, seed=3, query_every=2)
     replay(session, events)
-    info = session.explain()["q"]
+    info = session.explain()["queries"]["q"]
     assert "tier" in info and "tier_name" in info  # plan keys stay top-level
     live = info["live"]
     assert live["queries_answered"] == session.stats.queries_answered > 0
@@ -373,7 +373,7 @@ def test_sharded_explain_parity():
     universe = medical_universe(patients=4, generations=2)
     events = random_stream(universe, 12, seed=9, query_every=3)
     replay(session, events)
-    info = session.explain()["q"]
+    info = session.explain()["queries"]["q"]
     assert "tier" in info and "tier_name" in info
     shards = info["shards"]
     assert len(shards) == 3

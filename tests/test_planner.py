@@ -468,9 +468,11 @@ def test_session_states_match_plan_tiers():
     assert isinstance(session._state("fixpoint"), _FixpointState)
     assert isinstance(session._state("sat"), _SatState)
     explain = session.explain()
-    assert explain["ucq"]["tier"] == TIER_REWRITE
-    assert explain["fixpoint"]["tier"] == TIER_FIXPOINT
-    assert explain["sat"]["tier"] == TIER_GROUND_SAT
+    assert explain["schema"] == "obda-explain/v2"
+    queries = explain["queries"]
+    assert queries["ucq"]["tier"] == TIER_REWRITE
+    assert queries["fixpoint"]["tier"] == TIER_FIXPOINT
+    assert queries["sat"]["tier"] == TIER_GROUND_SAT
     assert session.plan("ucq").tier_name == "ucq-rewrite"
 
 
@@ -524,7 +526,7 @@ def test_sharded_session_exposes_plans():
     program = _ucq_rewriting_program()
     sharded = ShardedObdaSession(program, shards=2)
     assert sharded.plan().tier == TIER_REWRITE
-    assert sharded.explain()[next(iter(sharded.query_names))]["tier"] == TIER_REWRITE
+    assert sharded.explain()["queries"][next(iter(sharded.query_names))]["tier"] == TIER_REWRITE
     hd = RelationSymbol("HasDiagnosis", 2)
     li = RelationSymbol("Listeriosis", 1)
     facts = [Fact(hd, (f"p{i}", f"d{i}")) for i in range(6)] + [

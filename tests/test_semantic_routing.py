@@ -372,7 +372,7 @@ def test_session_serves_semantic_tier0_state():
     program = compile_to_mddlog(fo_rewritable_omq())
     session = ObdaSession(program)
     assert isinstance(session._state(None), _UcqState)
-    explanation = session.explain()["q"]
+    explanation = session.explain()["queries"]["q"]
     assert explanation["tier"] == TIER_REWRITE
     assert explanation["semantic"]["rewriting"] == "obstruction-ucq"
     forced = ObdaSession(program, force_tier=TIER_GROUND_SAT)
