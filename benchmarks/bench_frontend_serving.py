@@ -1,0 +1,374 @@
+"""E-FRONT — Multi-tenant serving: 10k tenants, group commit, admission.
+
+PR 10's asyncio frontend multiplexes many tenants over shared compiled
+sessions.  This benchmark certifies the three serving claims end to end:
+
+* **scale** — 10,000 tenants register across three structurally distinct
+  workload shapes; the plan cache interns them to three shared sessions
+  (cross-tenant sharing is what makes registration and serving cheap), and
+  an open-loop read stream over a tenant sample reports p50/p99 latency;
+* **group commit** — a write-heavy churn segment (concurrent closed-loop
+  writers deleting and re-inserting *distinct* mid-chain edges of a
+  recursive reachability program, so batch coalescing cannot cancel any
+  work) must run at least ``REQUIRED_SPEEDUP``x faster through the batched
+  frontend than through a per-request twin that commits every op on its
+  critical path — and answers must be identical: sampled concurrent reads
+  are validated answer-for-answer against ``replay_commit_log`` at their
+  versions, and the final states of both frontends against from-scratch
+  recomputation;
+* **admission** — a storm against a small-budget frontend must actually
+  shed load (tier-2 first), and the shed counts land in the artifact.
+
+The verdict is written to ``results/FRONTEND_SERVING.json`` (a CI artifact
+next to ``ADAPTIVE_ROUTING.json``); ``run_all.py --check-only``
+re-validates the committed document on every PR.
+"""
+
+import asyncio
+import json
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.core import Atom, Fact, RelationSymbol, Variable
+from repro.datalog import DisjunctiveDatalogProgram, Rule, goal_atom
+from repro.obs.telemetry import Reservoir
+from repro.service import (
+    FaultInjector,
+    Frontend,
+    FrontendConfig,
+    FrontendRejected,
+    ObdaSession,
+    from_scratch_answers,
+    replay_commit_log,
+    validate_explain,
+)
+
+#: Group commit must beat per-request commits by at least this factor on
+#: the write-heavy segment.
+REQUIRED_SPEEDUP = 3.0
+REPORT_SCHEMA = "frontend-serving/v1"
+REPORT_PATH = Path(__file__).resolve().parent / "results" / "FRONTEND_SERVING.json"
+
+TENANTS = 10_000
+READ_SAMPLE = 2_000
+CHAIN = 64
+WRITERS = 24
+CYCLES = 8  # delete+reinsert cycles per writer
+
+A = RelationSymbol("A", 1)
+B = RelationSymbol("B", 1)
+EDGE = RelationSymbol("edge", 2)
+START = RelationSymbol("start", 1)
+REACH = RelationSymbol("reach", 1)
+P = RelationSymbol("P", 1)
+Q = RelationSymbol("Q", 1)
+
+
+def reach_program(tag: str) -> DisjunctiveDatalogProgram:
+    """Tier 1 (recursive reachability) — alpha-renamed per tenant."""
+    x, y = Variable(f"{tag}0"), Variable(f"{tag}1")
+    return DisjunctiveDatalogProgram(
+        (
+            Rule((Atom(REACH, (x,)),), (Atom(START, (x,)),)),
+            Rule((Atom(REACH, (y,)),), (Atom(REACH, (x,)), Atom(EDGE, (x, y)))),
+            Rule((goal_atom(x),), (Atom(REACH, (x,)),)),
+        )
+    )
+
+
+def conj_program(tag: str) -> DisjunctiveDatalogProgram:
+    """Tier 0 (nonrecursive conjunction)."""
+    x = Variable(f"{tag}0")
+    return DisjunctiveDatalogProgram(
+        (Rule((goal_atom(x),), (Atom(A, (x,)), Atom(B, (x,)))),)
+    )
+
+
+def disjunctive_program(tag: str) -> DisjunctiveDatalogProgram:
+    """Tier 2 (disjunctive heads)."""
+    x = Variable(f"{tag}0")
+    return DisjunctiveDatalogProgram(
+        (
+            Rule((Atom(P, (x,)), Atom(Q, (x,))), (Atom(A, (x,)),)),
+            Rule((goal_atom(x),), (Atom(P, (x,)),)),
+            Rule((goal_atom(x),), (Atom(Q, (x,)),)),
+        )
+    )
+
+
+SHAPES = (reach_program, conj_program, disjunctive_program)
+
+
+def chain_facts() -> list[Fact]:
+    facts = [Fact(START, ("g0",))]
+    facts += [Fact(EDGE, (f"g{i}", f"g{i + 1}")) for i in range(CHAIN)]
+    return facts
+
+
+def ab_facts() -> list[Fact]:
+    return [
+        Fact(relation, (f"m{i}",)) for i in range(40) for relation in (A, B)
+    ]
+
+
+def churn_ops(writer: int) -> list[tuple[str, Fact]]:
+    """The writer's closed-loop op sequence: churn one distinct mid-chain
+    edge per writer.  Awaiting each commit before the next op guarantees a
+    delete and its re-insert never share a batch, so coalescing never
+    cancels an op — the measured speedup is batching, not batch no-ops."""
+    edge = Fact(EDGE, (f"g{8 + writer}", f"g{9 + writer}"))
+    return [("delete", edge), ("insert", edge)] * CYCLES
+
+
+def register_fleet(frontend: Frontend) -> float:
+    """Register the 10k-tenant fleet; returns wall seconds."""
+    started = time.perf_counter()
+    for index in range(TENANTS):
+        shape = SHAPES[index % len(SHAPES)]
+        tier = 2 if index % 4 == 3 else 1
+        frontend.register_tenant(
+            f"t{index}", workload={"q": shape(f"v{index}_")}, tier=tier
+        )
+    return time.perf_counter() - started
+
+
+async def seed_groups(frontend: Frontend) -> None:
+    await frontend.insert("t0", chain_facts())  # reach group
+    await frontend.insert("t1", ab_facts())  # conj group
+    await frontend.insert("t2", ab_facts())  # disjunctive group
+    await frontend.drain()
+
+
+async def read_stream(frontend: Frontend) -> Reservoir:
+    """Open-loop read arrivals over a tenant sample, in waves of tasks."""
+    latency = Reservoir(capacity=READ_SAMPLE)
+    stride = TENANTS // READ_SAMPLE
+    sample = [f"t{index * stride}" for index in range(READ_SAMPLE)]
+    for wave_start in range(0, len(sample), 250):
+        wave = sample[wave_start : wave_start + 250]
+        results = await asyncio.gather(
+            *(frontend.query(tenant, "q") for tenant in wave)
+        )
+        for result in results:
+            latency.observe(result.elapsed_s)
+    return latency
+
+
+async def write_segment(frontend: Frontend) -> dict:
+    """The write-heavy segment, twice over identical churn:
+
+    * through ``frontend`` — ``WRITERS`` concurrent closed-loop writer
+      tenants whose ops group-commit into shared batches, with a trickle
+      of concurrent reads validated against the serial twin;
+    * through a per-request twin seeded with the identical starting
+      instance, where every op commits before the next is issued.
+    """
+    reach_session = frontend.session("t0")
+    start_facts = list(reach_session.instance.facts)
+
+    async def writer(tenant: str, index: int):
+        for kind, fact in churn_ops(index):
+            if kind == "delete":
+                await frontend.delete(tenant, [fact])
+            else:
+                await frontend.insert(tenant, [fact])
+
+    reads = []
+
+    async def reader(tenant: str):
+        for _ in range(4):
+            reads.append(await frontend.query(tenant, "q"))
+            await asyncio.sleep(0.001)
+
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(writer(f"t{3 * index}", index) for index in range(WRITERS)),
+        *(reader(f"t{3 * (WRITERS + index)}") for index in range(10)),
+    )
+    await frontend.drain()
+    grouped_s = time.perf_counter() - started
+
+    # the serial twin: identical churn, one committed epoch per request
+    twin = Frontend(
+        session=ObdaSession(
+            {"q": reach_program("tw")}, initial_facts=start_facts
+        ),
+        config=FrontendConfig(max_batch=1, max_delay_s=0.0),
+    )
+    twin.register_tenant("client")
+    ops = [op for index in range(WRITERS) for op in churn_ops(index)]
+    started = time.perf_counter()
+    for kind, fact in ops:
+        if kind == "delete":
+            await twin.delete("client", [fact])
+        else:
+            await twin.insert("client", [fact])
+    per_request_s = time.perf_counter() - started
+
+    # answers identical, answer for answer: every concurrent read equals
+    # the serial replay of the grouped commit log at the read's version
+    # (the full log — entry 1 is the seeding insert, so the replay twin
+    # reconstructs every version from the empty instance)
+    log = frontend.commit_log("t0")
+    versions = {read.version for read in reads} | {len(log)}
+    replayed = replay_commit_log(
+        frontend.programs("t0"), log, versions=versions
+    )
+    for read in reads:
+        assert read.answers == replayed[read.version]["q"]
+    # ... and the final states of both frontends agree with each other,
+    # with the replayed log, and with from-scratch recomputation
+    final = reach_session.certain_answers("q")
+    assert final == replayed[len(log)]["q"]
+    assert final == twin.session().certain_answers("q")
+    assert final == from_scratch_answers(reach_session, "q")
+    assert final == from_scratch_answers(twin.session(), "q")
+
+    batching = frontend.explain("t0")["frontend"]["batching"]
+    twin_flushes = twin.explain()["frontend"]["batching"]["flushes"]
+    await twin.close()
+    assert twin_flushes == len(ops), "the twin must commit per request"
+    speedup = per_request_s / grouped_s
+    print(
+        f"\n[E-FRONT] write-heavy: grouped {grouped_s:.3f}s "
+        f"({batching['flushes']} flushes, mean batch "
+        f"{batching['mean_batch']:.1f}) vs per-request {per_request_s:.3f}s "
+        f"({twin_flushes} flushes) -> {speedup:.1f}x"
+    )
+    return {
+        "ops": len(ops),
+        "validated_reads": len(reads),
+        "group_commit_s": round(grouped_s, 4),
+        "per_request_s": round(per_request_s, 4),
+        "speedup": round(speedup, 2),
+        "flushes": batching["flushes"],
+        "mean_batch": round(batching["mean_batch"], 2),
+    }
+
+
+async def admission_storm() -> dict:
+    """Flood a small-budget frontend; tier-2 load must shed first."""
+    frontend = Frontend(
+        workload={"q": conj_program("st")},
+        config=FrontendConfig(
+            max_batch=16, max_delay_s=0.001, max_pending=48, degrade_limit=12
+        ),
+        faults=FaultInjector(query_delay_s=0.003),
+    )
+    for index in range(32):
+        frontend.register_tenant(f"s{index}", tier=2 if index % 2 else 1)
+    await frontend.insert("s0", ab_facts())
+    await frontend.drain()
+    await frontend.query("s1", "q")  # warm the degraded-read cache
+
+    async def read(tenant: str):
+        try:
+            return await frontend.query(tenant, "q")
+        except FrontendRejected:
+            return None
+
+    async def write(tenant: str, index: int):
+        try:
+            return await frontend.insert(tenant, [Fact(A, (f"x{index}",))])
+        except FrontendRejected:
+            return None
+
+    await asyncio.gather(
+        *(read(f"s{index % 32}") for index in range(300)),
+        *(write(f"s{2 * (index % 16) + 1}", index) for index in range(60)),
+    )
+    await frontend.drain()
+    report = frontend.explain()
+    assert validate_explain(report) == []
+    admission = report["frontend"]["admission"]
+    await frontend.close()
+    print(
+        f"[E-FRONT] admission storm: rejected {admission['rejected']}, "
+        f"degraded {admission['degraded']}, by tier {admission['by_tier']}"
+    )
+    return {
+        "offered": 360,
+        "rejected": admission["rejected"],
+        "degraded": admission["degraded"],
+        "rejected_by_tier": {
+            str(tier): count for tier, count in admission["by_tier"].items()
+        },
+    }
+
+
+def test_frontend_serving_end_to_end(benchmark):
+    """The tentpole end to end: 10k tenants, three shared sessions, an
+    open-loop read stream, the ≥3x group-commit gate, and a shed storm."""
+    # max_batch == WRITERS: the closed-loop writers stay synchronized, so
+    # every churn round seals on the size trigger instead of idling out
+    # the deadline.
+    frontend = Frontend(
+        config=FrontendConfig(max_batch=WRITERS, max_delay_s=0.002)
+    )
+    register_s = register_fleet(frontend)
+    assert frontend.tenant_count == TENANTS
+    assert frontend.group_count == len(SHAPES), (
+        "structurally identical workloads must intern to shared sessions"
+    )
+    asyncio.run(seed_groups(frontend))
+
+    latency = benchmark.pedantic(
+        lambda: asyncio.run(read_stream(frontend)), rounds=1, iterations=1
+    )
+    writes = asyncio.run(write_segment(frontend))
+    report = frontend.explain("t0")
+    assert validate_explain(report) == []
+    asyncio.run(frontend.close())
+    sheds = asyncio.run(admission_storm())
+
+    print(
+        f"[E-FRONT] {TENANTS} tenants registered in {register_s:.2f}s; "
+        f"{len(latency)} reads p50 {latency.quantile(0.5) * 1e6:.0f}us "
+        f"p99 {latency.quantile(0.99) * 1e6:.0f}us"
+    )
+    document = {
+        "schema": REPORT_SCHEMA,
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "tenants": TENANTS,
+        "groups": len(SHAPES),
+        "register_s": round(register_s, 3),
+        "read_segment": {
+            "reads": len(latency),
+            "p50_s": latency.quantile(0.5),
+            "p99_s": latency.quantile(0.99),
+        },
+        "write_segment": writes,
+        "admission_segment": sheds,
+        "required_speedup": REQUIRED_SPEEDUP,
+        "answers_identical": True,
+    }
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(REPORT_PATH, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    assert writes["speedup"] >= REQUIRED_SPEEDUP, (
+        f"group commit only {writes['speedup']:.2f}x over per-request "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+    assert sheds["rejected"] > 0 and sheds["degraded"] > 0, (
+        "the storm never shed load — admission control was not exercised"
+    )
+
+
+def test_frontend_report_is_committed_and_sound():
+    """The committed CI artifact matches what ``run_all.py --check-only``
+    re-validates: schema tag, the speedup gate, scale, and shed counts."""
+    with open(REPORT_PATH) as handle:
+        document = json.load(handle)
+    assert document["schema"] == REPORT_SCHEMA
+    assert document["answers_identical"] is True
+    assert document["tenants"] >= 10_000
+    assert document["write_segment"]["speedup"] >= document["required_speedup"]
+    assert document["read_segment"]["p50_s"] is not None
+    assert document["read_segment"]["p99_s"] is not None
+    assert document["admission_segment"]["rejected"] > 0
+    assert document["admission_segment"]["degraded"] > 0

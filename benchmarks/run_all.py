@@ -33,6 +33,10 @@ committed ``results/ADAPTIVE_ROUTING.json`` verdict (the adaptive
 re-planning artifact of ``bench_adaptive_routing.py``, see
 ``docs/adaptive.md``): schema tag, 1-3 recorded re-plans, and every
 measured segment at or above its required ratio of the best pinned tier.
+The committed ``results/FRONTEND_SERVING.json`` verdict (the multi-tenant
+serving artifact of ``bench_frontend_serving.py``, see
+``docs/frontend.md``) is validated the same way: schema tag, the 10k
+tenant floor, the group-commit speedup gate, and non-zero shed counts.
 """
 
 from __future__ import annotations
@@ -217,6 +221,62 @@ def validate_adaptive_report() -> list[str]:
     return errors
 
 
+def validate_frontend_report() -> list[str]:
+    """Validate the committed ``results/FRONTEND_SERVING.json`` verdict.
+
+    Returns human-readable error strings; the file is a required CI
+    artifact (``bench_frontend_serving.py`` commits it), so a missing or
+    mangled document fails the check rather than passing silently.
+    """
+    path = BENCH_DIR / "results" / "FRONTEND_SERVING.json"
+    try:
+        with open(path) as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: cannot read committed verdict: {error}"]
+    errors: list[str] = []
+    if document.get("schema") != "frontend-serving/v1":
+        errors.append(
+            f"{path.name}: schema {document.get('schema')!r} is not "
+            "'frontend-serving/v1'"
+        )
+    if document.get("answers_identical") is not True:
+        errors.append(f"{path.name}: answers_identical is not true")
+    tenants = document.get("tenants")
+    if not isinstance(tenants, int) or tenants < 10_000:
+        errors.append(
+            f"{path.name}: tenants {tenants!r} below the required 10000"
+        )
+    required = document.get("required_speedup")
+    if not isinstance(required, (int, float)) or required < 3.0:
+        errors.append(
+            f"{path.name}: required_speedup {required!r} below the 3.0 floor"
+        )
+        required = 3.0
+    speedup = document.get("write_segment", {}).get("speedup")
+    if not isinstance(speedup, (int, float)) or speedup < required:
+        errors.append(
+            f"{path.name}: group-commit speedup {speedup!r} below the "
+            f"required {required}"
+        )
+    reads = document.get("read_segment", {})
+    for quantile in ("p50_s", "p99_s"):
+        if not isinstance(reads.get(quantile), (int, float)):
+            errors.append(
+                f"{path.name}: read_segment.{quantile} "
+                f"{reads.get(quantile)!r} is not a number"
+            )
+    admission = document.get("admission_segment", {})
+    for counter in ("rejected", "degraded"):
+        count = admission.get(counter)
+        if not isinstance(count, int) or count <= 0:
+            errors.append(
+                f"{path.name}: admission_segment.{counter} {count!r} shows "
+                "no load was shed"
+            )
+    return errors
+
+
 def gate_verdict(consolidated: dict, max_regression: float) -> tuple[bool, str]:
     """Apply the regression gate to a baseline-annotated consolidated file.
 
@@ -341,6 +401,15 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "committed ADAPTIVE_ROUTING.json: schema valid, re-plans in "
             "window, all segments at the required ratio"
+        )
+        frontend_errors = validate_frontend_report()
+        if frontend_errors:
+            for error in frontend_errors:
+                print(f"FRONTEND FAILURE: {error}")
+            return 1
+        print(
+            "committed FRONTEND_SERVING.json: schema valid, 10k tenants, "
+            "group-commit speedup at the gate, load shed under the storm"
         )
     else:
         raw, wall, returncode = run_pytest_benchmarks(paths)

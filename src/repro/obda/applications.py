@@ -283,6 +283,50 @@ def serve_omq_workload(
     return ObdaSession(workload, initial_facts=initial, policy=policy)
 
 
+def serve_frontend_workload(
+    workload,
+    initial_instance: Instance | None = None,
+    shards: int = 1,
+    policy=None,
+    *,
+    tenants=(),
+    config=None,
+    faults=None,
+):
+    """Serve an OMQ workload through the multi-tenant asyncio frontend.
+
+    Compiles the workload into a session exactly as
+    :func:`serve_omq_workload` (including ``shards`` > 1) and wraps it in
+    a :class:`repro.service.frontend.Frontend` whose *default group*
+    serves that session: tenants share the compiled programs, writes are
+    group-committed, reads run against versioned snapshots, and admission
+    control sheds tier-2 tenants first.  ``tenants`` is an iterable of
+    names or ``(name, tier)`` pairs registered up front (a single
+    ``"tenant-0"`` at tier 1 when empty); ``config`` is a
+    :class:`~repro.service.frontend.FrontendConfig`, ``faults`` an
+    optional :class:`~repro.service.frontend.FaultInjector` for harness
+    runs.  The returned frontend's async API (``query`` / ``insert`` /
+    ``delete`` / ``drain`` / ``close``) must be driven from one event
+    loop.
+    """
+    from ..service.frontend import Frontend
+
+    session = serve_omq_workload(
+        workload, initial_instance=initial_instance, shards=shards, policy=policy
+    )
+    frontend = Frontend(
+        session=session, policy=policy, config=config, faults=faults
+    )
+    entries = list(tenants) or ["tenant-0"]
+    for entry in entries:
+        if isinstance(entry, str):
+            frontend.register_tenant(entry)
+        else:
+            name, tier = entry
+            frontend.register_tenant(name, tier=tier)
+    return frontend
+
+
 def plan_omq_workload(workload, policy=None, *, semantic=_UNSET, semantic_budget=_UNSET) -> dict:
     """Plan a workload without serving it: query name -> :class:`QueryPlan`.
 

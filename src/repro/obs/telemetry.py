@@ -37,13 +37,16 @@ disabled because ``ACTIVE`` is re-imported, not inherited live).
 
 from __future__ import annotations
 
+import math
 import time
+from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
 __all__ = [
     "ACTIVE",
     "Histogram",
+    "Reservoir",
     "Span",
     "Telemetry",
     "enabled",
@@ -91,6 +94,49 @@ class Histogram:
             "mean": self.mean,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+        }
+
+
+class Reservoir:
+    """Sliding-window sample store with nearest-rank quantile queries.
+
+    :class:`Histogram` deliberately stores no samples, so it cannot answer
+    p50/p99 — the figures the serving frontend reports per tenant.  A
+    ``Reservoir`` keeps the most recent ``capacity`` observations in a
+    bounded deque; :meth:`quantile` sorts on demand (queries are rare
+    relative to observations).  Like the rest of this module it is not
+    thread-safe, which is fine: the frontend is a single-threaded asyncio
+    loop.
+    """
+
+    __slots__ = ("_samples",)
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError(f"Reservoir capacity must be >= 1, got {capacity}")
+        self._samples: deque[float] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def observe(self, value: float) -> None:
+        self._samples.append(value)
+
+    def quantile(self, q: float) -> float | None:
+        """The nearest-rank ``q``-quantile of the window (None when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    def describe(self) -> dict[str, float | int | None]:
+        return {
+            "count": len(self._samples),
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
         }
 
 

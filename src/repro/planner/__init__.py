@@ -66,12 +66,15 @@ from .plan import (
     TIER_NAMES,
     TIER_REWRITE,
     CostEstimate,
+    PlanCache,
     QueryPlan,
     auto_workers,
+    clear_plan_artifacts,
     estimate_cost,
     plan_for_tier,
     plan_program,
     plan_workload,
+    program_identity_key,
 )
 from .policy import (
     DEFAULT_ADAPTIVE,
@@ -94,6 +97,7 @@ __all__ = [
     "AdaptiveController",
     "AdaptivePolicy",
     "CostEstimate",
+    "PlanCache",
     "PlanPolicy",
     "PlannedMddlogEngine",
     "ProgramShape",
@@ -113,6 +117,7 @@ __all__ = [
     "analyse_rewritability",
     "auto_workers",
     "candidate_plans",
+    "clear_plan_artifacts",
     "cross_validate",
     "effective_unfold_caps",
     "estimate_cost",
@@ -122,6 +127,7 @@ __all__ = [
     "plan_for_tier",
     "plan_program",
     "plan_workload",
+    "program_identity_key",
     "resolve_policy",
     "static_rates",
     "ucq_candidate_certain",

@@ -408,6 +408,165 @@ def plan_workload(
 
 
 # ---------------------------------------------------------------------------
+# Program identity interning and the LRU plan/artifact cache
+# ---------------------------------------------------------------------------
+
+# Plans (and the other per-program artifacts below) live as attributes on
+# the program object, so two *structurally identical* programs compiled by
+# different tenants would each plan, ground, and compile from scratch.
+# ``PlanCache`` fixes that by interning programs under a canonical
+# structural key: the first program with a given shape becomes the
+# representative every later tenant is handed, so all attribute caches —
+# and the warm serving state keyed on the program object — are shared.
+_IDENTITY_KEY_ATTR = "_planner_identity_key"
+
+#: Per-program attribute caches cleared when ``PlanCache`` evicts a
+#: representative (each is rebuilt on demand by its owning layer).
+PLAN_ARTIFACT_ATTRS = (
+    _SYNTACTIC_PLANS_ATTR,  # syntactic QueryPlans, keyed by unfold caps
+    _SEMANTIC_PLANS_ATTR,  # semantic QueryPlans, keyed by budget
+    "_ground_plan_cache",  # engine/grounder.py per-rule ground plans
+    "_columnar_compiled",  # datalog/plain.py compiled columnar rules
+    "_analysis_report",  # analysis/checks.py static diagnostics
+)
+
+
+def _canonical_rule(rule) -> tuple:
+    """One rule up to variable renaming: vars numbered by first occurrence."""
+    numbering: dict = {}
+
+    def canon_term(term):
+        if isinstance(term, Variable):
+            index = numbering.setdefault(term, len(numbering))
+            return ("v", index)
+        return ("c", term)
+
+    def canon_atoms(atoms) -> tuple:
+        return tuple(
+            (atom.relation.name, atom.relation.arity)
+            + tuple(canon_term(term) for term in atom.arguments)
+            for atom in atoms
+        )
+
+    body = canon_atoms(rule.body)
+    head = canon_atoms(rule.head)
+    return (body, head)
+
+
+def program_identity_key(program: DisjunctiveDatalogProgram) -> tuple:
+    """A hashable structural identity for a compiled program.
+
+    Two programs get equal keys iff they have the same goal relation and
+    the same *set* of rules up to per-rule variable renaming — i.e. they
+    are interchangeable for planning and evaluation.  Constants are kept
+    as the constant objects themselves (compared by ``__eq__``), so
+    distinct constants that merely share a ``repr`` never collide.  The
+    key is cached on the program object.
+    """
+    cached = getattr(program, _IDENTITY_KEY_ATTR, None)
+    if cached is not None:
+        return cached
+    rules = sorted((_canonical_rule(rule) for rule in program.rules), key=repr)
+    key = (
+        "obda-program/v1",
+        program.goal_relation.name,
+        program.goal_relation.arity,
+        tuple(rules),
+    )
+    try:
+        setattr(program, _IDENTITY_KEY_ATTR, key)
+    except AttributeError:  # slotted/frozen program stand-ins in tests
+        pass
+    return key
+
+
+def clear_plan_artifacts(program: DisjunctiveDatalogProgram) -> tuple[str, ...]:
+    """Drop every attribute-cached artifact from a program object.
+
+    The eviction hook of :class:`PlanCache`; safe to call on any program
+    (missing attributes are skipped).  Returns the names cleared, which
+    makes eviction observable in tests.
+    """
+    cleared = []
+    for attr in PLAN_ARTIFACT_ATTRS:
+        if hasattr(program, attr):
+            try:
+                delattr(program, attr)
+            except AttributeError:
+                continue
+            cleared.append(attr)
+    return tuple(cleared)
+
+
+class PlanCache:
+    """LRU-interning cache of compiled programs and their plan artifacts.
+
+    ``intern(program)`` returns the cached *representative* for the
+    program's structural identity (inserting it on first sight).  Callers
+    that plan/serve the representative instead of their own copy share
+    every per-program artifact — plans, ground plans, columnar compiles,
+    warm session state keyed on the object — across tenants.  When the
+    cache exceeds ``capacity`` the least-recently-interned representative
+    is evicted and its artifacts are cleared via
+    :func:`clear_plan_artifacts`; re-interning later re-plans from scratch
+    (same answers, cold caches).
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"PlanCache capacity must be >= 1, got {capacity}")
+        from collections import OrderedDict
+
+        self.capacity = capacity
+        self._programs: OrderedDict[tuple, DisjunctiveDatalogProgram] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+    def __contains__(self, program: DisjunctiveDatalogProgram) -> bool:
+        return program_identity_key(program) in self._programs
+
+    def intern(
+        self, program: DisjunctiveDatalogProgram
+    ) -> DisjunctiveDatalogProgram:
+        """The representative program for ``program``'s structural identity."""
+        key = program_identity_key(program)
+        tel = _telemetry.ACTIVE
+        representative = self._programs.get(key)
+        if representative is not None:
+            self._programs.move_to_end(key)
+            self.hits += 1
+            if tel is not None:
+                tel.count("planner.program_cache_hits")
+            return representative
+        self.misses += 1
+        self._programs[key] = program
+        if tel is not None:
+            tel.count("planner.program_cache_misses")
+        while len(self._programs) > self.capacity:
+            _evicted_key, evicted = self._programs.popitem(last=False)
+            self.evictions += 1
+            clear_plan_artifacts(evicted)
+            if tel is not None:
+                tel.count("planner.program_cache_evictions")
+        return program
+
+    def describe(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self._programs),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+# ---------------------------------------------------------------------------
 # Cost model over instance index statistics
 # ---------------------------------------------------------------------------
 

@@ -13,7 +13,18 @@ recomputation.
 
 from .delta import DeltaGrounder, IncrementalFixpoint, adom_guard, fact_guard
 from .explain import EXPLAIN_SCHEMA, validate_explain
-from .session import ObdaSession, SessionStats
+from .frontend import (
+    FaultInjector,
+    Frontend,
+    FrontendClosed,
+    FrontendConfig,
+    FrontendError,
+    FrontendRejected,
+    FrontendWriteFailed,
+    ReadResult,
+    replay_commit_log,
+)
+from .session import ObdaSession, SessionSnapshot, SessionStats, evaluate_plan_at
 from .shards import (
     ShardedObdaSession,
     ShardedStats,
@@ -36,8 +47,17 @@ from .workload import (
 __all__ = [
     "DeltaGrounder",
     "EXPLAIN_SCHEMA",
+    "FaultInjector",
+    "Frontend",
+    "FrontendClosed",
+    "FrontendConfig",
+    "FrontendError",
+    "FrontendRejected",
+    "FrontendWriteFailed",
     "IncrementalFixpoint",
     "ObdaSession",
+    "ReadResult",
+    "SessionSnapshot",
     "SessionStats",
     "ShardedObdaSession",
     "ShardedStats",
@@ -45,6 +65,7 @@ __all__ = [
     "StreamReport",
     "adom_guard",
     "deletes",
+    "evaluate_plan_at",
     "fact_guard",
     "from_scratch_answers",
     "from_scratch_stream_cost",
@@ -54,6 +75,7 @@ __all__ = [
     "medical_universe",
     "random_stream",
     "replay",
+    "replay_commit_log",
     "shardability_violation",
     "validate_explain",
 ]

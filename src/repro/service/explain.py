@@ -14,7 +14,13 @@ re-plan history out of it, so the shape is now **versioned and validated**:
 * a top-level ``"adaptive"`` block records whether live re-planning is
   on, every swap taken so far (query-tagged, event-ordered), the
   per-query controller state, and the rationale when adaptivity was
-  requested but denied (forced tier pins a session).
+  requested but denied (forced tier pins a session);
+* reports produced through the multi-tenant serving frontend
+  (:meth:`repro.service.frontend.Frontend.explain`) additionally carry an
+  *optional* top-level ``"frontend"`` block — per-tenant traffic and
+  latency quantiles, admission-control shed counts with rationales,
+  group-commit batching counters, and snapshot-read freshness — shaped as
+  :class:`FrontendBlock` and validated here when present.
 
 :func:`validate_explain` is the executable contract — it returns the list
 of shape violations (empty = valid) and is asserted by the test-suite and
@@ -52,16 +58,80 @@ class AdaptiveBlock(TypedDict, total=False):
     reason: str
 
 
-class ExplainReport(TypedDict):
+class FrontendBlock(TypedDict, total=False):
+    """The optional top-level ``"frontend"`` section of an explain report.
+
+    Emitted only by frontend-mediated reports; each section is a dict:
+
+    * ``tenants`` — per-tenant ``{tier, queries, writes, rejected,
+      degraded, timeouts, p50_s, p99_s, last_rejection}``;
+    * ``admission`` — ``{max_pending, degrade_limit, rejected, degraded,
+      by_tier}`` shed counters;
+    * ``batching`` — ``{max_batch, max_delay_s, flushes, ops_batched,
+      mean_batch, rollbacks, withdrawn, reasons}`` group-commit counters;
+    * ``snapshots`` — ``{reads, fresh, stale, version}`` read freshness.
+    """
+
+    tenants: dict
+    admission: dict
+    batching: dict
+    snapshots: dict
+
+
+class ExplainReport(TypedDict, total=False):
     """The ``obda-explain/v2`` top-level shape."""
 
     schema: str
     queries: dict
     adaptive: AdaptiveBlock
+    frontend: FrontendBlock
 
 
 #: Keys every committed re-plan record must carry.
 _REPLAN_KEYS = ("event", "epoch", "from_tier", "to_tier", "trigger_mix", "swap_s")
+
+#: Required keys per section of the optional ``"frontend"`` block.
+_FRONTEND_SECTIONS: dict[str, tuple[str, ...]] = {
+    "tenants": (),
+    "admission": ("max_pending", "degrade_limit", "rejected", "degraded"),
+    "batching": ("max_batch", "max_delay_s", "flushes", "ops_batched", "reasons"),
+    "snapshots": ("reads", "fresh", "stale", "version"),
+}
+
+#: Keys every per-tenant record of ``frontend["tenants"]`` must carry.
+_TENANT_KEYS = ("tier", "queries", "writes", "rejected", "degraded")
+
+
+def _validate_frontend(frontend: dict, problems: list[str]) -> None:
+    for section, keys in _FRONTEND_SECTIONS.items():
+        block = frontend.get(section)
+        if not isinstance(block, dict):
+            problems.append(f"frontend.{section} must be a dict")
+            continue
+        for key in keys:
+            if key not in block:
+                problems.append(f"frontend.{section} missing {key!r}")
+    tenants = frontend.get("tenants")
+    if isinstance(tenants, dict):
+        for name, record in tenants.items():
+            if not isinstance(record, dict):
+                problems.append(f"frontend.tenants[{name!r}] must be a dict")
+                continue
+            for key in _TENANT_KEYS:
+                if key not in record:
+                    problems.append(f"frontend.tenants[{name!r}] missing {key!r}")
+            if record.get("rejected") and not record.get("last_rejection"):
+                problems.append(
+                    f"frontend.tenants[{name!r}] rejected without a rationale"
+                )
+    batching = frontend.get("batching")
+    if isinstance(batching, dict) and isinstance(batching.get("reasons"), dict):
+        flushes = batching.get("flushes")
+        spread = sum(batching["reasons"].values())
+        if isinstance(flushes, int) and spread != flushes:
+            problems.append(
+                f"frontend.batching reasons sum to {spread}, not {flushes}"
+            )
 
 
 def validate_explain(report: dict) -> list[str]:
@@ -92,6 +162,12 @@ def validate_explain(report: dict) -> list[str]:
                 or rollup.get("schema") != "obda-session-rollup/v1"
             ):
                 problems.append(f"queries[{name!r}] live.rollup schema mismatch")
+    frontend = report.get("frontend")
+    if frontend is not None:
+        if not isinstance(frontend, dict):
+            problems.append("frontend must be a dict when present")
+        else:
+            _validate_frontend(frontend, problems)
     adaptive = report.get("adaptive")
     if not isinstance(adaptive, dict):
         problems.append("adaptive must be a dict")

@@ -242,6 +242,99 @@ class _UcqState:
         return self.decide_batch(instance, [answer])[answer]
 
 
+def evaluate_plan_at(plan: QueryPlan, instance: Instance) -> frozenset[tuple]:
+    """Certain answers of a plan on an arbitrary frozen instance, statelessly.
+
+    Tier 0 joins the unfolded UCQ against the instance's indexes; tier 1
+    materializes a fresh fixpoint; tier 2 grounds from scratch.  No
+    session state is touched, so this is safe against *any* instance —
+    in particular a snapshot older than the live one.
+    """
+    if plan.tier == TIER_REWRITE:
+        return _UcqState(plan).certain_answers(instance)
+    if plan.tier == TIER_FIXPOINT:
+        return _FixpointState(plan, instance=instance).certain_answers(instance)
+    from ..engine.grounder import ground_program
+
+    return ground_program(plan.program, instance).certain_answers()
+
+
+class SessionSnapshot:
+    """A versioned read-only view of a session at one commit point.
+
+    ``Instance`` is immutable and sessions swap in *new* instances on
+    every epoch, so a snapshot is just a pinned reference: it never
+    changes under the reader no matter how many flushes advance the live
+    session.  Reads take the warm path (the session's own tier state)
+    while the session still serves the pinned instance; once the session
+    has moved on, answers are recomputed statelessly against the pinned
+    instance via :func:`evaluate_plan_at` and memoized, so concurrent
+    readers of a superseded version pay the recompute once.
+    """
+
+    def __init__(
+        self,
+        session,
+        version: int,
+        instance: Instance,
+        plans: Mapping[str, QueryPlan],
+    ) -> None:
+        self.version = version
+        self.instance = instance
+        self._session = session
+        self._plans = dict(plans)
+        self._answers: dict[str, frozenset[tuple]] = {}
+
+    @property
+    def query_names(self) -> tuple[str, ...]:
+        return tuple(self._plans)
+
+    @property
+    def is_current(self) -> bool:
+        """Does the live session still serve exactly this instance?"""
+        session = self._session
+        return session is not None and session.instance is self.instance
+
+    def plan(self, name: str | None = None) -> QueryPlan:
+        return self._plans[self._resolve_name(name)]
+
+    def _resolve_name(self, name: str | None) -> str:
+        if name is None:
+            if len(self._plans) == 1:
+                return next(iter(self._plans))
+            raise ValueError(
+                f"snapshot serves {sorted(self._plans)}; pass a query name"
+            )
+        if name not in self._plans:
+            raise KeyError(
+                f"unknown query {name!r}; snapshot serves {sorted(self._plans)}"
+            )
+        return name
+
+    def certain_answers(self, name: str | None = None) -> frozenset[tuple]:
+        """Certain answers of the (named) query at this snapshot's version."""
+        resolved = self._resolve_name(name)
+        answers = self._answers.get(resolved)
+        if answers is not None:
+            return answers
+        if self.is_current:
+            answers = self._session.certain_answers(resolved)
+        else:
+            tel = _telemetry.ACTIVE
+            if tel is not None:
+                tel.count("session.snapshot_recomputes")
+            answers = evaluate_plan_at(self._plans[resolved], self.instance)
+        self._answers[resolved] = answers
+        return answers
+
+    def is_certain(self, answer: Sequence = (), name: str | None = None) -> bool:
+        """Membership in :meth:`certain_answers` (memoized per query)."""
+        return tuple(answer) in self.certain_answers(name)
+
+    def answer_all(self) -> dict[str, frozenset[tuple]]:
+        return {name: self.certain_answers(name) for name in self._plans}
+
+
 #: Ring-buffer capacity for the per-event history kept by a session; the
 #: cumulative totals are unbounded, so nothing is lost to the bound except
 #: old per-event detail.
@@ -775,6 +868,24 @@ class ObdaSession:
     def answer_all(self) -> dict[str, frozenset[tuple]]:
         """Certain answers of every query in the workload."""
         return {name: self.certain_answers(name) for name in self._states}
+
+    def snapshot(self, version: int | None = None) -> SessionSnapshot:
+        """A read-only view pinned to the current instance.
+
+        ``version`` defaults to the session epoch; callers that manage
+        their own commit counter (the serving frontend's group-commit
+        version) pass it explicitly.  The snapshot stays answerable — and
+        immutable — after any number of later updates.
+        """
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("session.snapshots")
+        return SessionSnapshot(
+            self,
+            self.stats.epoch if version is None else version,
+            self._instance,
+            {name: state.plan for name, state in self._states.items()},
+        )
 
     # -- maintenance -----------------------------------------------------------
 

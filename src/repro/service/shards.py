@@ -59,7 +59,7 @@ from ..obs import telemetry as _telemetry
 from ..planner.execute import vacuous_answers, vacuous_decisions
 from ..planner.policy import _UNSET, PlanPolicy, resolve_policy
 from .explain import EXPLAIN_SCHEMA
-from .session import DEFAULT_QUERY, ObdaSession, _compile
+from .session import DEFAULT_QUERY, ObdaSession, SessionSnapshot, _compile
 
 __all__ = [
     "ShardedObdaSession",
@@ -645,3 +645,21 @@ class ShardedObdaSession:
     def answer_all(self) -> dict[str, frozenset[tuple]]:
         """Certain answers of every query in the workload."""
         return {name: self.certain_answers(name) for name in self.query_names}
+
+    def snapshot(self, version: int | None = None) -> SessionSnapshot:
+        """A read-only view pinned to the current merged union instance.
+
+        Mirrors :meth:`ObdaSession.snapshot`.  The pinned instance is the
+        (cached) union of the shard instances; while the shards have not
+        advanced, reads take the warm merged path, afterwards they
+        recompute statelessly against the pinned union.
+        """
+        tel = _telemetry.ACTIVE
+        if tel is not None:
+            tel.count("session.snapshots")
+        return SessionSnapshot(
+            self,
+            self.stats.epoch if version is None else version,
+            self.instance,
+            {name: self.plan(name) for name in self.query_names},
+        )
